@@ -1,0 +1,41 @@
+// Ablation: relational-engine style (push vs pull, §V-D) crossed with
+// index organization (hash vs sorted, the Soufflé-style ordered-index
+// extension) on the CSPA macrobenchmark.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace carac;
+  const bench::Sizes sizes = bench::Sizes::Get();
+  auto factory = bench::Factory("CSPA", analysis::RuleOrder::kHandOptimized,
+                                sizes);
+
+  std::printf("Ablation: engine style x index organization (CSPA, "
+              "hand-optimized, interpreted)\n\n");
+  harness::TablePrinter table(
+      {"configuration", "time (s)", "relative", "VAlias rows"});
+
+  double reference = 0;
+  for (ir::EngineStyle style : {ir::EngineStyle::kPush,
+                                ir::EngineStyle::kPull}) {
+    for (storage::IndexKind kind : {storage::IndexKind::kHash,
+                                    storage::IndexKind::kSorted}) {
+      core::EngineConfig config = harness::InterpretedConfig(true);
+      config.engine_style = style;
+      config.index_kind = kind;
+      harness::Measurement m =
+          harness::MeasureMedian(factory, config, sizes.reps);
+      if (reference == 0) reference = m.seconds;
+      const std::string label = std::string(ir::EngineStyleName(style)) +
+                                " + " + storage::IndexKindName(kind);
+      table.AddRow({label, harness::FormatSeconds(m.seconds),
+                    harness::FormatSpeedup(reference / m.seconds),
+                    std::to_string(m.result_size)});
+    }
+  }
+  table.Print();
+  std::printf("\nExpected shape: push vs pull differ only in per-row "
+              "overhead; hash probes beat\nsorted probes on point lookups "
+              "(sorted buys ordered range scans instead).\n");
+  return 0;
+}

@@ -1,0 +1,195 @@
+#ifndef CARAC_BENCH_BENCH_COMMON_H_
+#define CARAC_BENCH_BENCH_COMMON_H_
+
+// Shared workload sizing for the paper-reproduction benches. The paper's
+// datasets (httpd: 1.5M facts) are scaled down so every bench binary
+// finishes in seconds-to-minutes on a laptop; the *shape* of each result
+// (who wins, rough factors, crossovers) is what EXPERIMENTS.md compares.
+// CARAC_BENCH_SCALE=large restores bigger inputs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/programs.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+
+namespace carac::bench {
+
+inline bool LargeScale() {
+  const char* scale = std::getenv("CARAC_BENCH_SCALE");
+  return scale != nullptr && std::string(scale) == "large";
+}
+
+struct Sizes {
+  int64_t ack_bound;
+  int64_t fib_n;
+  int64_t primes_n;
+  int64_t slist_scale;
+  int64_t csda_length;
+  int64_t cspa_tuples;       // The "CSPA 20k" analog.
+  int reps;
+
+  static Sizes Get() {
+    if (LargeScale()) {
+      return {61, 25, 2000, 4, 8000, 20000, 3};
+    }
+    return {61, 25, 500, 1, 1500, 400, 1};
+  }
+};
+
+inline harness::WorkloadFactory Factory(const std::string& name,
+                                        analysis::RuleOrder order,
+                                        const Sizes& sizes) {
+  using namespace analysis;
+  if (name == "Ackermann") {
+    return [=] { return MakeAckermann(sizes.ack_bound, order); };
+  }
+  if (name == "Fibonacci") {
+    return [=] { return MakeFibonacci(sizes.fib_n, order); };
+  }
+  if (name == "Primes") {
+    return [=] { return MakePrimes(sizes.primes_n, order); };
+  }
+  if (name == "Andersen") {
+    SListConfig config;
+    config.scale = sizes.slist_scale;
+    return [=] { return MakeAndersen(config, order); };
+  }
+  if (name == "InvFuns") {
+    SListConfig config;
+    config.scale = sizes.slist_scale;
+    return [=] { return MakeInverseFunctions(config, order); };
+  }
+  if (name == "CSDA") {
+    CsdaConfig config;
+    config.length = sizes.csda_length;
+    return [=] { return MakeCsda(config); };
+  }
+  if (name == "CSPA") {
+    CspaConfig config;
+    config.total_tuples = sizes.cspa_tuples;
+    return [=] { return MakeCspa(config, order); };
+  }
+  return nullptr;
+}
+
+/// The seven configurations of Figs. 6-9 (Hand-Optimized is only included
+/// when the baseline is the unoptimized program).
+struct JitRowSpec {
+  const char* label;
+  backends::BackendKind backend;
+  bool async;
+};
+
+inline const std::vector<JitRowSpec>& JitRows() {
+  static const std::vector<JitRowSpec>* rows = new std::vector<JitRowSpec>{
+      {"JIT IRGenerator", backends::BackendKind::kIRGenerator, false},
+      {"JIT Lambda Blocking", backends::BackendKind::kLambda, false},
+      {"JIT Bytecode Async", backends::BackendKind::kBytecode, true},
+      {"JIT Bytecode Blocking", backends::BackendKind::kBytecode, false},
+      {"JIT Quotes Async", backends::BackendKind::kQuotes, true},
+      {"JIT Quotes Blocking", backends::BackendKind::kQuotes, false},
+  };
+  return *rows;
+}
+
+struct FigureBenchmark {
+  std::string name;
+  bool indexed_only = false;  // CSDA / CSPA run indexed only (paper §VI-B).
+};
+
+/// Shared driver for Figs. 6-9: speedup of each JIT configuration over the
+/// interpreted `baseline_order` program, with the JIT consuming
+/// `input_order` programs. Prints one row per configuration with indexed
+/// and unindexed columns per benchmark.
+inline void PrintSpeedupFigure(const std::string& title,
+                               const std::vector<FigureBenchmark>& benchmarks,
+                               analysis::RuleOrder input_order,
+                               bool include_hand_row, const Sizes& sizes) {
+  std::printf("%s\n\n", title.c_str());
+
+  std::vector<std::string> headers = {"configuration"};
+  for (const FigureBenchmark& b : benchmarks) {
+    headers.push_back(b.name + " idx");
+    headers.push_back(b.name + " unidx");
+  }
+  harness::TablePrinter table(headers);
+
+  // Baselines per benchmark x index setting.
+  struct Baseline {
+    double indexed = 0, unindexed = 0;
+  };
+  std::vector<Baseline> baselines;
+  for (const FigureBenchmark& b : benchmarks) {
+    Baseline base;
+    auto factory = Factory(b.name, input_order, sizes);
+    base.indexed = harness::MeasureMedian(factory,
+                                          harness::InterpretedConfig(true),
+                                          sizes.reps)
+                       .seconds;
+    if (!b.indexed_only) {
+      base.unindexed = harness::MeasureMedian(
+                           factory, harness::InterpretedConfig(false),
+                           sizes.reps)
+                           .seconds;
+    }
+    baselines.push_back(base);
+  }
+
+  auto speedup_cell = [](double base, double measured) -> std::string {
+    if (base <= 0 || measured <= 0) return "-";
+    return harness::FormatSpeedup(base / measured);
+  };
+
+  if (include_hand_row) {
+    std::vector<std::string> row = {"Hand-Optimized (interp)"};
+    for (size_t i = 0; i < benchmarks.size(); ++i) {
+      auto factory = Factory(benchmarks[i].name,
+                             analysis::RuleOrder::kHandOptimized, sizes);
+      const double idx = harness::MeasureMedian(
+                             factory, harness::InterpretedConfig(true),
+                             sizes.reps)
+                             .seconds;
+      row.push_back(speedup_cell(baselines[i].indexed, idx));
+      if (benchmarks[i].indexed_only) {
+        row.push_back("-");
+      } else {
+        const double unidx = harness::MeasureMedian(
+                                 factory, harness::InterpretedConfig(false),
+                                 sizes.reps)
+                                 .seconds;
+        row.push_back(speedup_cell(baselines[i].unindexed, unidx));
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+
+  for (const JitRowSpec& spec : JitRows()) {
+    std::vector<std::string> row = {spec.label};
+    for (size_t i = 0; i < benchmarks.size(); ++i) {
+      auto factory = Factory(benchmarks[i].name, input_order, sizes);
+      auto run = [&](bool indexes) {
+        return harness::MeasureMedian(
+                   factory,
+                   harness::JitConfigOf(spec.backend, spec.async, indexes,
+                                        core::Granularity::kUnion,
+                                        backends::CompileMode::kFull),
+                   sizes.reps)
+            .seconds;
+      };
+      row.push_back(speedup_cell(baselines[i].indexed, run(true)));
+      row.push_back(benchmarks[i].indexed_only
+                        ? "-"
+                        : speedup_cell(baselines[i].unindexed, run(false)));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace carac::bench
+
+#endif  // CARAC_BENCH_BENCH_COMMON_H_

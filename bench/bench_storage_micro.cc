@@ -1,0 +1,118 @@
+// google-benchmark micro-costs of the storage substrate: tuple inserts,
+// index probes, swap-clear-merge, and the interpreter's SPJ kernel. These
+// are the constants the macro results stand on.
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "analysis/factgen.h"
+#include "datalog/dsl.h"
+#include "ir/interpreter.h"
+#include "ir/lowering.h"
+#include "storage/database.h"
+
+namespace {
+
+using namespace carac;
+
+void BM_RelationInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::Relation rel("R", 2);
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      rel.Insert({i, i + 1});
+    }
+    benchmark::DoNotOptimize(rel.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RelationInsert)->Arg(1000)->Arg(10000);
+
+void BM_RelationInsertIndexed(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::Relation rel("R", 2);
+    rel.DeclareIndex(0);
+    rel.DeclareIndex(1);
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      rel.Insert({i % 97, i});
+    }
+    benchmark::DoNotOptimize(rel.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RelationInsertIndexed)->Arg(1000)->Arg(10000);
+
+void BM_IndexProbe(benchmark::State& state) {
+  storage::Relation rel("R", 2);
+  rel.DeclareIndex(0);
+  for (int64_t i = 0; i < 10000; ++i) rel.Insert({i % 128, i});
+  int64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rel.Probe(0, key).size());
+    key = (key + 1) % 128;
+  }
+}
+BENCHMARK(BM_IndexProbe);
+
+void BM_Contains(benchmark::State& state) {
+  storage::Relation rel("R", 2);
+  for (int64_t i = 0; i < 10000; ++i) rel.Insert({i, i + 1});
+  int64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rel.Contains({key, key + 1}));
+    key = (key + 1) % 20000;  // Half hits, half misses.
+  }
+}
+BENCHMARK(BM_Contains);
+
+void BM_SwapClearMerge(benchmark::State& state) {
+  storage::DatabaseSet db;
+  const auto r = db.AddRelation("R", 2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      db.Get(r, storage::DbKind::kDeltaNew).Insert({i, i});
+    }
+    state.ResumeTiming();
+    db.SwapClearMerge({r});
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SwapClearMerge)->Arg(1000);
+
+void BM_InterpreterSpjKernel(benchmark::State& state) {
+  datalog::Program program;
+  datalog::Dsl dsl(&program);
+  auto edge = dsl.Relation("Edge", 2);
+  auto out = dsl.Relation("Out", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  out(x, z) <<= edge(x, y) & edge(y, z);
+  const auto edges = analysis::GenerateSparseGraph(1, 500,
+                                                   state.range(0));
+  for (const auto& e : edges) edge.Fact(e.first, e.second);
+  ir::IRProgram irp;
+  CARAC_CHECK_OK(ir::LowerProgram(&program, true, &irp));
+
+  // Find the naive SPJ node.
+  ir::IROp* spj = nullptr;
+  std::function<void(ir::IROp*)> find = [&](ir::IROp* op) {
+    if (op->kind == ir::OpKind::kSpj) spj = op;
+    for (auto& c : op->children) find(c.get());
+  };
+  find(irp.root.get());
+
+  ir::ExecContext ctx(&program.db());
+  for (auto _ : state) {
+    program.db().Get(out.id(), storage::DbKind::kDeltaNew).Clear();
+    ir::RunSubquery(ctx, *spj);
+  }
+}
+BENCHMARK(BM_InterpreterSpjKernel)->Arg(1000)->Arg(4000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Backend tour: runs the Inverse-Functions analysis through all four
+// compilation targets (§V-C) at the same granularity and reports time and
+// JIT counters, illustrating the expressiveness/overhead trade-off.
+
+#include <cstdio>
+
+#include "analysis/programs.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace carac;
+
+  analysis::SListConfig slist;
+  slist.scale = 2;
+  auto factory = [&] {
+    return analysis::MakeInverseFunctions(slist,
+                                          analysis::RuleOrder::kUnoptimized);
+  };
+
+  harness::Measurement base =
+      harness::MeasureOnce(factory, harness::InterpretedConfig(true));
+  std::printf("interpreted baseline: %s s (%zu Wasted rows)\n\n",
+              harness::FormatSeconds(base.seconds).c_str(),
+              base.result_size);
+
+  harness::TablePrinter table({"backend", "time (s)", "speedup",
+                               "compilations", "compiled invocations"});
+  const backends::BackendKind kinds[] = {
+      backends::BackendKind::kIRGenerator, backends::BackendKind::kLambda,
+      backends::BackendKind::kBytecode, backends::BackendKind::kQuotes};
+  for (backends::BackendKind kind : kinds) {
+    harness::Measurement m = harness::MeasureOnce(
+        factory,
+        harness::JitConfigOf(kind, /*async=*/false, /*use_indexes=*/true,
+                             core::Granularity::kUnion,
+                             backends::CompileMode::kFull));
+    if (!m.ok) {
+      table.AddRow({backends::BackendKindName(kind), "failed", m.error});
+      continue;
+    }
+    table.AddRow({backends::BackendKindName(kind),
+                  harness::FormatSeconds(m.seconds),
+                  harness::FormatSpeedup(base.seconds / m.seconds),
+                  std::to_string(m.stats.compilations),
+                  std::to_string(m.stats.compiled_invocations)});
+  }
+  table.Print();
+  return 0;
+}

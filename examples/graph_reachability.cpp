@@ -1,0 +1,69 @@
+// Graph-reachability example: the CSDA dataflow analysis on a synthetic
+// control-flow graph, showing ahead-of-time ("macro") planning combined
+// with online re-optimization, plus negation and aggregation extensions:
+// which CFG nodes a null value can NEVER reach, and per-source reach
+// counts via the count<> aggregate.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/factgen.h"
+#include "core/engine.h"
+#include "datalog/dsl.h"
+#include "harness/table.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace carac;
+
+  const int64_t length = argc > 1 ? std::atoll(argv[1]) : 600;
+
+  datalog::Program program;
+  datalog::Dsl dsl(&program);
+  auto flow_edge = dsl.Relation("FlowEdge", 2);
+  auto null_edge = dsl.Relation("NullEdge", 2);
+  auto null_flow = dsl.Relation("NullFlow", 2);
+  auto node = dsl.Relation("Node", 1);
+  auto tainted = dsl.Relation("Tainted", 1);
+  auto safe = dsl.Relation("Safe", 1);
+  auto reach_count = dsl.Relation("ReachCount", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+
+  null_flow(x, y) <<= null_edge(x, y);
+  null_flow(x, z) <<= null_flow(x, y) & flow_edge(y, z);
+  tainted(y) <<= null_flow(x, y);
+  safe(x) <<= node(x) & !tainted(x);  // Stratified negation.
+  // Aggregation: how many nodes each null source reaches.
+  dsl.AggRule(reach_count(x, z), datalog::BodyExpr({null_flow(x, y).atom()}),
+              datalog::AggFunc::kCount);
+
+  const auto cfg = analysis::GenerateCfgEdges(/*seed=*/11, length,
+                                              /*branch_prob=*/0.3);
+  util::Rng rng(99);
+  for (const auto& e : cfg) {
+    flow_edge.Fact(e.first, e.second);
+    if (rng.NextBool(0.03)) null_edge.Fact(e.first, e.second);
+  }
+  for (int64_t v = 0; v < length; ++v) node.Fact(v);
+
+  // AOT planning from the initial facts, plus online IR regeneration.
+  core::EngineConfig config;
+  config.mode = core::EvalMode::kJit;
+  config.jit.backend = backends::BackendKind::kIRGenerator;
+  config.jit.granularity = core::Granularity::kUnionAll;
+  config.aot_reorder = true;
+  config.aot.use_fact_cardinalities = true;
+
+  core::Engine engine(&program, config);
+  CARAC_CHECK_OK(engine.Prepare());
+  CARAC_CHECK_OK(engine.Run());
+
+  std::printf("CFG nodes: %lld, edges: %zu\n",
+              static_cast<long long>(length), cfg.size());
+  std::printf("NullFlow facts:  %zu\n", engine.ResultSize(null_flow.id()));
+  std::printf("Tainted nodes:   %zu\n", engine.ResultSize(tainted.id()));
+  std::printf("Safe nodes:      %zu\n", engine.ResultSize(safe.id()));
+  std::printf("Null sources:    %zu\n", engine.ResultSize(reach_count.id()));
+  std::printf("stats: %s\n", engine.stats().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Program-analysis example: runs Graspan's context-sensitive pointer
+// analysis (CSPA, Fig. 1 of the paper) on synthetic httpd-shaped facts,
+// comparing the unoptimized interpreted baseline against the adaptive JIT.
+//
+// Usage: example_program_analysis [total_tuples]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/programs.h"
+#include "core/engine.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+
+int main(int argc, char** argv) {
+  using namespace carac;
+
+  analysis::CspaConfig cspa;
+  cspa.total_tuples = argc > 1 ? std::atoll(argv[1]) : 300;
+
+  auto unopt = [&] {
+    return analysis::MakeCspa(cspa, analysis::RuleOrder::kUnoptimized);
+  };
+  auto handopt = [&] {
+    return analysis::MakeCspa(cspa, analysis::RuleOrder::kHandOptimized);
+  };
+
+  std::printf("CSPA on %lld synthetic Graspan-shaped tuples\n\n",
+              static_cast<long long>(cspa.total_tuples));
+
+  harness::TablePrinter table(
+      {"configuration", "time (s)", "VAlias rows", "speedup"});
+
+  harness::Measurement base =
+      harness::MeasureOnce(unopt, harness::InterpretedConfig(true));
+  table.AddRow({"interpreted, unoptimized input",
+                harness::FormatSeconds(base.seconds),
+                std::to_string(base.result_size), "1.00x"});
+
+  harness::Measurement hand =
+      harness::MeasureOnce(handopt, harness::InterpretedConfig(true));
+  table.AddRow({"interpreted, hand-optimized input",
+                harness::FormatSeconds(hand.seconds),
+                std::to_string(hand.result_size),
+                harness::FormatSpeedup(base.seconds / hand.seconds)});
+
+  harness::Measurement jit = harness::MeasureOnce(
+      unopt, harness::JitConfigOf(backends::BackendKind::kLambda,
+                                  /*async=*/false, /*use_indexes=*/true,
+                                  core::Granularity::kUnion,
+                                  backends::CompileMode::kFull));
+  table.AddRow({"JIT (lambda), unoptimized input",
+                harness::FormatSeconds(jit.seconds),
+                std::to_string(jit.result_size),
+                harness::FormatSpeedup(base.seconds / jit.seconds)});
+
+  table.Print();
+  std::printf("\nThe JIT recovers (and can beat) the hand-tuned plan with "
+              "no user effort.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+#include "analysis/factgen.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+
+namespace carac::analysis {
+
+namespace {
+
+/// Inserts unique edges until `target` are collected or attempts run out.
+std::vector<Edge> UniqueEdges(util::Rng* rng, int64_t num_vertices,
+                              int64_t target, double zipf_s) {
+  std::set<Edge> edges;
+  const int64_t max_attempts = target * 20;
+  for (int64_t attempt = 0;
+       attempt < max_attempts && static_cast<int64_t>(edges.size()) < target;
+       ++attempt) {
+    const auto src = static_cast<int64_t>(
+        rng->NextZipf(static_cast<uint64_t>(num_vertices), zipf_s));
+    const auto dst = static_cast<int64_t>(
+        rng->NextBounded(static_cast<uint64_t>(num_vertices)));
+    edges.emplace(src, dst);
+  }
+  return {edges.begin(), edges.end()};
+}
+
+}  // namespace
+
+std::vector<Edge> GenerateSparseGraph(uint64_t seed, int64_t num_vertices,
+                                      int64_t num_edges, double zipf_s) {
+  util::Rng rng(seed);
+  return UniqueEdges(&rng, num_vertices, num_edges, zipf_s);
+}
+
+std::vector<Edge> GenerateCfgEdges(uint64_t seed, int64_t length,
+                                   double branch_prob, int64_t max_jump) {
+  util::Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(length));
+  for (int64_t i = 0; i + 1 < length; ++i) {
+    edges.emplace_back(i, i + 1);
+    if (rng.NextBool(branch_prob)) {
+      const int64_t jump = rng.NextInRange(2, max_jump);
+      if (i + jump < length) edges.emplace_back(i, i + jump);
+    }
+  }
+  return edges;
+}
+
+CspaFacts GenerateCspaFacts(uint64_t seed, int64_t total_tuples) {
+  // Vertex universe scaled so the value-flow closure stays bounded (sparse
+  // graph, average out-degree ~1.2 on the Assign component).
+  const int64_t num_assign = (total_tuples * 3) / 5;
+  const int64_t num_deref = total_tuples - num_assign;
+  const int64_t num_vertices = std::max<int64_t>(16, (total_tuples * 4) / 5);
+  CspaFacts facts;
+  util::Rng rng(seed);
+  facts.assign = UniqueEdges(&rng, num_vertices, num_assign, 1.2);
+  facts.dereference = UniqueEdges(&rng, num_vertices, num_deref, 1.1);
+  return facts;
+}
+
+SListLibFacts GenerateSListLibFacts(uint64_t seed, int64_t scale) {
+  util::Rng rng(seed);
+  SListLibFacts facts;
+
+  // The shape mirrors the paper's SListLib driver: list cells are heap
+  // objects threaded through next-pointers; the driver copies values
+  // around, serializes the list through `serialize`, shuffles the result
+  // through a couple of utility functions, then calls `deserialize`.
+  const int64_t lists = 4 * scale;       // Linked lists.
+  const int64_t cells = 12 * scale;      // Cells per list.
+  const int64_t temps = 30 * scale;      // Driver temporaries.
+  facts.num_funcs = 6;                   // serialize, deserialize, 4 utils.
+  facts.serialize_func = 0;
+  facts.deserialize_func = 1;
+
+  int64_t next_var = 0;
+  int64_t next_obj = 0;
+  std::vector<int64_t> all_vars;
+
+  for (int64_t l = 0; l < lists; ++l) {
+    const int64_t head = next_var++;
+    facts.addr_of.emplace_back(head, next_obj++);
+    all_vars.push_back(head);
+    int64_t prev = head;
+    for (int64_t c = 0; c < cells; ++c) {
+      const int64_t cell = next_var++;
+      facts.addr_of.emplace_back(cell, next_obj++);
+      facts.store.emplace_back(prev, cell);  // *prev = cell (next pointer).
+      facts.load.emplace_back(cell, prev);   // Traversal reads.
+      all_vars.push_back(cell);
+      prev = cell;
+    }
+  }
+
+  for (int64_t t = 0; t < temps; ++t) {
+    const int64_t var = next_var++;
+    const int64_t src =
+        all_vars[rng.NextBounded(static_cast<uint64_t>(all_vars.size()))];
+    facts.assign.emplace_back(var, src);
+    all_vars.push_back(var);
+  }
+
+  // Call chains: r1 = serialize(x); r2 = util_i(r1); r3 = deserialize(r2).
+  for (int64_t chain = 0; chain < 3 * scale; ++chain) {
+    const int64_t x =
+        all_vars[rng.NextBounded(static_cast<uint64_t>(all_vars.size()))];
+    const int64_t r1 = next_var++;
+    facts.call_ret.push_back({r1, facts.serialize_func, x});
+    int64_t cur = r1;
+    const int64_t hops = rng.NextInRange(0, 2);
+    for (int64_t h = 0; h < hops; ++h) {
+      const int64_t rn = next_var++;
+      facts.call_ret.push_back({rn, 2 + rng.NextInRange(0, 3), cur});
+      facts.assign.emplace_back(rn, cur);  // Utilities pass values through.
+      cur = rn;
+    }
+    const int64_t r2 = next_var++;
+    facts.call_ret.push_back({r2, facts.deserialize_func, cur});
+    all_vars.push_back(r2);
+  }
+
+  return facts;
+}
+
+}  // namespace carac::analysis

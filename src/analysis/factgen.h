@@ -1,0 +1,60 @@
+#ifndef CARAC_ANALYSIS_FACTGEN_H_
+#define CARAC_ANALYSIS_FACTGEN_H_
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace carac::analysis {
+
+using Edge = std::pair<int64_t, int64_t>;
+
+/// Deterministic synthetic fact generators. The paper evaluates on fact
+/// sets we cannot redistribute (Graspan's httpd extraction, TASTy facts of
+/// a private Scala program), so these generators produce edge sets with
+/// the same *shape*: power-law out-degrees for program-analysis graphs,
+/// chain-with-branches for control-flow graphs. The join orderer only
+/// observes cardinalities and skew, which these match (see DESIGN.md §2).
+
+/// Sparse directed graph over `num_vertices` with `num_edges` edges;
+/// out-degrees follow a Zipf-like law with exponent `zipf_s` (sources are
+/// skewed, destinations uniform). Self-loops allowed, duplicates dropped.
+std::vector<Edge> GenerateSparseGraph(uint64_t seed, int64_t num_vertices,
+                                      int64_t num_edges, double zipf_s = 1.2);
+
+/// Control-flow-graph-shaped edges: a main chain of `length` nodes with
+/// forward branch edges added with probability `branch_prob` per node
+/// (branch targets jump ahead up to `max_jump` nodes).
+std::vector<Edge> GenerateCfgEdges(uint64_t seed, int64_t length,
+                                   double branch_prob, int64_t max_jump = 12);
+
+/// Graspan-shaped pointer-analysis input: Assign and Dereference edge sets
+/// with `total_tuples` tuples split ~60/40, over a vertex universe sized
+/// for a bounded transitive closure (the httpd CSPA sample shape).
+struct CspaFacts {
+  std::vector<Edge> assign;
+  std::vector<Edge> dereference;
+};
+CspaFacts GenerateCspaFacts(uint64_t seed, int64_t total_tuples);
+
+/// SListLib-shaped facts: a small linked-list library plus a driver that
+/// serializes, computes, and deserializes (the paper's ~200-line input
+/// Scala program). `scale` multiplies every component count.
+struct SListLibFacts {
+  std::vector<Edge> addr_of;  // (var, alloc site)
+  std::vector<Edge> assign;   // (dst, src)
+  std::vector<Edge> load;     // (dst, ptr)       dst = *ptr
+  std::vector<Edge> store;    // (ptr, src)       *ptr = src
+  /// (ret, func, arg): ret = func(arg). Functions are interned ids the
+  /// workload builder maps to names ("serialize", "deserialize", ...).
+  std::vector<std::array<int64_t, 3>> call_ret;
+  int64_t num_funcs = 0;
+  int64_t serialize_func = 0;    // Index of the "serialize" function.
+  int64_t deserialize_func = 1;  // Index of the "deserialize" function.
+};
+SListLibFacts GenerateSListLibFacts(uint64_t seed, int64_t scale);
+
+}  // namespace carac::analysis
+
+#endif  // CARAC_ANALYSIS_FACTGEN_H_

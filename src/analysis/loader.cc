@@ -1,0 +1,93 @@
+#include "analysis/loader.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "storage/symbol_table.h"
+
+namespace carac::analysis {
+
+namespace {
+
+bool IsInteger(const std::string& token) {
+  if (token.empty()) return false;
+  size_t i = token[0] == '-' ? 1 : 0;
+  if (i == token.size()) return false;
+  for (; i < token.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(token[i]))) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == '\t' || c == ',') {
+      tokens.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  tokens.push_back(current);
+  return tokens;
+}
+
+}  // namespace
+
+util::Status LoadFactsCsv(const std::string& path, datalog::Program* program,
+                          datalog::PredicateId predicate) {
+  std::ifstream in(path);
+  if (!in) return util::Status::NotFound("cannot open " + path);
+  const size_t arity = program->PredicateArity(predicate);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> tokens = SplitLine(line);
+    if (tokens.size() != arity) {
+      return util::Status::InvalidArgument(
+          path + ":" + std::to_string(line_no) + ": expected " +
+          std::to_string(arity) + " columns, got " +
+          std::to_string(tokens.size()));
+    }
+    storage::Tuple tuple;
+    tuple.reserve(arity);
+    for (const std::string& token : tokens) {
+      if (IsInteger(token)) {
+        tuple.push_back(std::stoll(token));
+      } else {
+        tuple.push_back(program->Intern(token));
+      }
+    }
+    program->AddFact(predicate, std::move(tuple));
+  }
+  return util::Status::Ok();
+}
+
+util::Status WriteFactsCsv(const std::string& path,
+                           const datalog::Program& program,
+                           datalog::PredicateId predicate) {
+  std::ofstream out(path);
+  if (!out) return util::Status::Internal("cannot write " + path);
+  const storage::Relation& rel =
+      program.db().Get(predicate, storage::DbKind::kDerived);
+  for (const storage::Tuple& tuple : rel.SortedRows()) {
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (i > 0) out << '\t';
+      if (storage::SymbolTable::IsSymbol(tuple[i])) {
+        out << program.db().symbols().Lookup(tuple[i]);
+      } else {
+        out << tuple[i];
+      }
+    }
+    out << '\n';
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace carac::analysis

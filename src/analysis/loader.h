@@ -1,0 +1,25 @@
+#ifndef CARAC_ANALYSIS_LOADER_H_
+#define CARAC_ANALYSIS_LOADER_H_
+
+#include <string>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace carac::analysis {
+
+/// Loads tab/comma-separated facts into a relation (the format Graspan
+/// and Soufflé fact files use): one tuple per line, columns separated by
+/// '\t' or ','. Numeric tokens become integer values; anything else is
+/// interned as a symbol. Lines starting with '#' and blank lines skip.
+util::Status LoadFactsCsv(const std::string& path, datalog::Program* program,
+                          datalog::PredicateId predicate);
+
+/// Writes a relation's Derived store as tab-separated lines (sorted).
+util::Status WriteFactsCsv(const std::string& path,
+                           const datalog::Program& program,
+                           datalog::PredicateId predicate);
+
+}  // namespace carac::analysis
+
+#endif  // CARAC_ANALYSIS_LOADER_H_

@@ -1,0 +1,86 @@
+#ifndef CARAC_ANALYSIS_PROGRAMS_H_
+#define CARAC_ANALYSIS_PROGRAMS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/factgen.h"
+#include "datalog/ast.h"
+#include "datalog/dsl.h"
+
+namespace carac::analysis {
+
+/// A fully constructed benchmark program: facts loaded, rules registered.
+struct Workload {
+  std::unique_ptr<datalog::Program> program;
+  std::string name;
+  /// The headline output relation (row count sanity-checked by tests).
+  datalog::PredicateId output = 0;
+  /// All declared relations by name, for examples and tests.
+  std::unordered_map<std::string, datalog::PredicateId> relations;
+};
+
+/// The two input formulations of §VI-B: a body atom order tuned by hand
+/// (tracking intermediate cardinalities) vs. a plausibly unlucky order (a
+/// naive user), bounding the optimization headroom from both sides.
+enum class RuleOrder { kHandOptimized, kUnoptimized };
+
+const char* RuleOrderName(RuleOrder order);
+
+// ---- Macrobenchmarks (program analyses) ----
+
+/// Graspan's context-sensitive pointer analysis (Fig. 1 of the paper):
+/// VFlow/VAlias/MAlias over Assign and Dereference facts.
+struct CspaConfig {
+  uint64_t seed = 42;
+  int64_t total_tuples = 2000;  // "CSPA 20k" uses 20000.
+};
+Workload MakeCspa(const CspaConfig& config, RuleOrder order);
+
+/// Graspan's context-sensitive dataflow analysis: only 2-way joins, so
+/// there is a single formulation (the paper omits its "unoptimized" bar
+/// for the same reason).
+struct CsdaConfig {
+  uint64_t seed = 42;
+  int64_t length = 4000;
+  double branch_prob = 0.25;
+  double null_frac = 0.05;
+};
+Workload MakeCsda(const CsdaConfig& config);
+
+/// Andersen's context/flow-insensitive points-to analysis (Doop-style)
+/// over SListLib-shaped facts.
+struct SListConfig {
+  uint64_t seed = 7;
+  int64_t scale = 4;
+};
+Workload MakeAndersen(const SListConfig& config, RuleOrder order);
+
+/// The paper's custom Inverse-Functions ("wasted work") analysis: extends
+/// value flow with InvFuns("deserialize","serialize") knowledge and
+/// reports round-trips through inverse function pairs.
+Workload MakeInverseFunctions(const SListConfig& config, RuleOrder order);
+
+// ---- Microbenchmarks (general recursive queries) ----
+
+/// Bounded Ackermann: Ack(m, n, r) for all values representable below
+/// `bound` (bound=61 covers ack(3,3)=61).
+Workload MakeAckermann(int64_t bound, RuleOrder order);
+
+/// Fibonacci numbers up to index `n` via double recursion + arithmetic.
+Workload MakeFibonacci(int64_t n, RuleOrder order);
+
+/// Primes below `n` via trial division and stratified negation.
+Workload MakePrimes(int64_t n, RuleOrder order);
+
+// ---- Utility ----
+
+/// Plain transitive closure over an edge list (quickstart example).
+Workload MakeTransitiveClosure(const std::vector<Edge>& edges,
+                               RuleOrder order);
+
+}  // namespace carac::analysis
+
+#endif  // CARAC_ANALYSIS_PROGRAMS_H_

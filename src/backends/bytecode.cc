@@ -1,0 +1,216 @@
+#include "backends/bytecode.h"
+
+#include <unordered_set>
+
+#include "datalog/builtins.h"
+#include "util/status.h"
+
+namespace carac::backends {
+
+namespace {
+
+using storage::Relation;
+using storage::Tuple;
+using storage::Value;
+
+/// Iterator state: either a whole-relation scan (hash-set iterators) or an
+/// index-probe result (bucket vector).
+struct IterState {
+  const Relation* rel = nullptr;
+  bool probe = false;
+  const std::vector<const Tuple*>* bucket = nullptr;
+  size_t bucket_pos = 0;
+  std::unordered_set<Tuple, storage::TupleHash>::const_iterator it;
+  std::unordered_set<Tuple, storage::TupleHash>::const_iterator end;
+  const Tuple* current = nullptr;
+
+  void OpenScan(const Relation* relation) {
+    rel = relation;
+    probe = false;
+    it = relation->rows().begin();
+    end = relation->rows().end();
+    current = nullptr;
+  }
+
+  void OpenProbe(const Relation* relation, size_t col, Value value) {
+    rel = relation;
+    probe = true;
+    bucket = relation->HasIndex(col) ? &relation->Probe(col, value) : nullptr;
+    bucket_pos = 0;
+    current = nullptr;
+    if (bucket == nullptr) {
+      // No index (unindexed configuration): degrade to a scan; the CHECK
+      // instructions emitted alongside the probe still filter correctly
+      // because the compiler always re-checks the probed column.
+      OpenScan(relation);
+      probe = false;
+    }
+  }
+
+  bool Next() {
+    if (probe) {
+      if (bucket_pos >= bucket->size()) return false;
+      current = (*bucket)[bucket_pos++];
+      return true;
+    }
+    if (it == end) return false;
+    current = &*it;
+    ++it;
+    return true;
+  }
+};
+
+}  // namespace
+
+void RunBytecode(const BytecodeProgram& program, ir::ExecContext& ctx,
+                 ir::Interpreter& interp) {
+  std::vector<Value> regs(program.num_regs, 0);
+  std::vector<IterState> iters(program.num_iters);
+  Tuple scratch;
+  storage::DatabaseSet& db = ctx.db();
+
+  size_t pc = 0;
+  for (;;) {
+    const Insn& insn = program.code[pc];
+    switch (insn.op) {
+      case Insn::Op::kLoadImm:
+        regs[insn.a] = insn.imm;
+        ++pc;
+        break;
+      case Insn::Op::kScanOpen:
+        iters[insn.a].OpenScan(&db.Get(
+            static_cast<datalog::PredicateId>(insn.b),
+            static_cast<storage::DbKind>(insn.c)));
+        ++pc;
+        break;
+      case Insn::Op::kProbeOpenConst:
+        iters[insn.a].OpenProbe(
+            &db.Get(static_cast<datalog::PredicateId>(insn.b),
+                    static_cast<storage::DbKind>(insn.c)),
+            static_cast<size_t>(insn.d), insn.imm);
+        ++pc;
+        break;
+      case Insn::Op::kProbeOpenReg:
+        iters[insn.a].OpenProbe(
+            &db.Get(static_cast<datalog::PredicateId>(insn.b),
+                    static_cast<storage::DbKind>(insn.c)),
+            static_cast<size_t>(insn.d), regs[insn.e]);
+        ++pc;
+        break;
+      case Insn::Op::kNext:
+        if (iters[insn.a].Next()) {
+          ++pc;
+        } else {
+          pc = static_cast<size_t>(insn.d);
+        }
+        break;
+      case Insn::Op::kCheckConst:
+        pc = ((*iters[insn.a].current)[insn.b] == insn.imm)
+                 ? pc + 1
+                 : static_cast<size_t>(insn.d);
+        break;
+      case Insn::Op::kCheckReg:
+        pc = ((*iters[insn.a].current)[insn.b] == regs[insn.e])
+                 ? pc + 1
+                 : static_cast<size_t>(insn.d);
+        break;
+      case Insn::Op::kBindCol:
+        regs[insn.e] = (*iters[insn.a].current)[insn.b];
+        ++pc;
+        break;
+      case Insn::Op::kCompare:
+        pc = datalog::EvalComparison(static_cast<datalog::BuiltinOp>(insn.b),
+                                     regs[insn.e], regs[insn.f])
+                 ? pc + 1
+                 : static_cast<size_t>(insn.d);
+        break;
+      case Insn::Op::kArith: {
+        Value z;
+        if (datalog::EvalArithmetic(static_cast<datalog::BuiltinOp>(insn.b),
+                                    regs[insn.e], regs[insn.f], &z)) {
+          regs[insn.g] = z;
+          ++pc;
+        } else {
+          pc = static_cast<size_t>(insn.d);
+        }
+        break;
+      }
+      case Insn::Op::kArithCheck: {
+        Value z;
+        const bool ok =
+            datalog::EvalArithmetic(static_cast<datalog::BuiltinOp>(insn.b),
+                                    regs[insn.e], regs[insn.f], &z) &&
+            z == regs[insn.g];
+        pc = ok ? pc + 1 : static_cast<size_t>(insn.d);
+        break;
+      }
+      case Insn::Op::kNotContains: {
+        const TupleDesc& desc = program.tuples[insn.a];
+        scratch.clear();
+        for (int32_t r : desc.regs) scratch.push_back(regs[r]);
+        pc = db.Get(desc.predicate, desc.db).Contains(scratch)
+                 ? static_cast<size_t>(insn.d)
+                 : pc + 1;
+        break;
+      }
+      case Insn::Op::kEmit: {
+        const TupleDesc& desc = program.tuples[insn.a];
+        scratch.clear();
+        for (int32_t r : desc.regs) scratch.push_back(regs[r]);
+        ctx.stats().tuples_considered++;
+        if (!db.Get(desc.predicate, storage::DbKind::kDerived)
+                 .Contains(scratch)) {
+          if (db.Get(desc.predicate, storage::DbKind::kDeltaNew)
+                  .Insert(scratch)) {
+            ctx.stats().tuples_inserted++;
+          }
+        }
+        ++pc;
+        break;
+      }
+      case Insn::Op::kJump:
+        pc = static_cast<size_t>(insn.d);
+        break;
+      case Insn::Op::kSwapClear:
+        db.SwapClearMerge(program.relation_sets[insn.a]);
+        ++pc;
+        break;
+      case Insn::Op::kJumpIfDelta:
+        pc = db.AnyDeltaKnownNonEmpty(program.relation_sets[insn.a])
+                 ? static_cast<size_t>(insn.d)
+                 : pc + 1;
+        break;
+      case Insn::Op::kIterBump:
+        ctx.stats().iterations++;
+        ++pc;
+        break;
+      case Insn::Op::kCallNode:
+        interp.Execute(*const_cast<ir::IROp*>(program.call_nodes[insn.a]));
+        ++pc;
+        break;
+      case Insn::Op::kHalt:
+        return;
+    }
+  }
+}
+
+std::string BytecodeProgram::Disassemble() const {
+  static const char* kNames[] = {
+      "loadimm",  "scan",   "probec", "prober",   "next",     "checkc",
+      "checkr",   "bind",   "cmp",    "arith",    "arithchk", "notcont",
+      "emit",     "jump",   "swapclr", "jmpdelta", "iterbump", "callnode",
+      "halt"};
+  std::string out;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const Insn& insn = code[i];
+    out += std::to_string(i) + ": ";
+    out += kNames[static_cast<int>(insn.op)];
+    out += " a=" + std::to_string(insn.a) + " b=" + std::to_string(insn.b) +
+           " c=" + std::to_string(insn.c) + " d=" + std::to_string(insn.d) +
+           " e=" + std::to_string(insn.e) + " imm=" + std::to_string(insn.imm);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace carac::backends

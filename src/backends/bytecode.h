@@ -1,0 +1,78 @@
+#ifndef CARAC_BACKENDS_BYTECODE_H_
+#define CARAC_BACKENDS_BYTECODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "ir/exec_context.h"
+#include "ir/interpreter.h"
+#include "ir/irop.h"
+#include "storage/database.h"
+
+namespace carac::backends {
+
+/// The instruction set of the bytecode target (§V-C2). The compiler turns
+/// a (reordered) IR subtree into a flat, jump-based program: nested-loop
+/// joins become OPEN/NEXT loops with statically selected access paths, so
+/// execution pays no per-row planning or tree-traversal cost. Like the
+/// paper's direct-to-JVM-bytecode generator, the VM itself performs no
+/// verification — a malformed program is undefined behaviour — which is
+/// exactly the safety/overhead trade this target makes.
+struct Insn {
+  enum class Op : uint8_t {
+    kLoadImm,         // regs[a] = imm
+    kScanOpen,        // iters[a] = scan(pred b, db c)
+    kProbeOpenConst,  // iters[a] = probe(pred b, db c, col d, imm)
+    kProbeOpenReg,    // iters[a] = probe(pred b, db c, col d, regs[e])
+    kNext,            // advance iters[a]; jump d when exhausted
+    kCheckConst,      // row(a)[b] != imm -> jump d
+    kCheckReg,        // row(a)[b] != regs[e] -> jump d
+    kBindCol,         // regs[e] = row(a)[b]
+    kCompare,         // !cmp(b, regs[e], regs[f]) -> jump d
+    kArith,           // regs[g] = arith(b, regs[e], regs[f]); undef -> jump d
+    kArithCheck,      // arith(b,e,f) undef or != regs[g] -> jump d
+    kNotContains,     // tuple desc a in its relation -> jump d
+    kEmit,            // materialize tuple desc a, insert-if-novel
+    kJump,            // pc = d
+    kSwapClear,       // swap-clear-merge relation set a
+    kJumpIfDelta,     // any delta in set a non-empty -> jump d
+    kIterBump,        // iteration counter += 1 (DoWhile accounting)
+    kCallNode,        // run owned IR node a through the interpreter
+    kHalt,
+  };
+
+  Op op;
+  int32_t a = 0, b = 0, c = 0, d = 0, e = 0, f = 0, g = 0;
+  int64_t imm = 0;
+};
+
+/// A row template used by kNotContains / kEmit: each column is a register.
+struct TupleDesc {
+  datalog::PredicateId predicate;
+  storage::DbKind db;  // Source for kNotContains; ignored for kEmit.
+  std::vector<int32_t> regs;
+};
+
+/// A compiled bytecode program plus its constant pools.
+struct BytecodeProgram {
+  std::vector<Insn> code;
+  std::vector<TupleDesc> tuples;
+  std::vector<std::vector<datalog::PredicateId>> relation_sets;
+  /// Nodes the VM bails out to the interpreter for (aggregates, snippet
+  /// children). Owned clones; kCallNode indexes this vector.
+  std::vector<const ir::IROp*> call_nodes;
+  int32_t num_regs = 0;
+  int32_t num_iters = 0;
+
+  std::string Disassemble() const;
+};
+
+/// Executes a bytecode program against the live databases.
+void RunBytecode(const BytecodeProgram& program, ir::ExecContext& ctx,
+                 ir::Interpreter& interp);
+
+}  // namespace carac::backends
+
+#endif  // CARAC_BACKENDS_BYTECODE_H_

@@ -1,0 +1,49 @@
+#include "backends/irgen_backend.h"
+
+#include <utility>
+
+#include "util/status.h"
+
+namespace carac::backends {
+
+namespace {
+
+/// Holds the reordered atom vectors per node id; Run() splices them into
+/// the live tree and interprets it.
+class IRGenUnit : public CompiledUnit {
+ public:
+  IRGenUnit(AtomOrderMap orders, int reordered)
+      : orders_(std::move(orders)), reordered_(reordered) {}
+
+  void Run(ir::ExecContext& ctx, ir::Interpreter& interp,
+           ir::IROp& original) override {
+    ApplyAtomOrders(orders_, &original);
+    if (reordered_ > 0) ctx.stats().reorders += reordered_;
+    interp.ExecuteNode(original);
+  }
+
+  std::string Describe() const override {
+    return "irgen[" + std::to_string(orders_.size()) + " subqueries]";
+  }
+
+ private:
+  AtomOrderMap orders_;
+  int reordered_;
+};
+
+}  // namespace
+
+util::Status IRGeneratorBackend::Compile(CompileRequest request,
+                                         std::unique_ptr<CompiledUnit>* out) {
+  CARAC_CHECK(request.subtree != nullptr);
+  int reordered = 0;
+  if (request.reorder) {
+    reordered = optimizer::ReorderSubtree(request.stats, request.join_config,
+                                          request.subtree.get());
+  }
+  *out = std::make_unique<IRGenUnit>(CollectAtomOrders(*request.subtree),
+                                     reordered);
+  return util::Status::Ok();
+}
+
+}  // namespace carac::backends

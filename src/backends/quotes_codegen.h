@@ -1,0 +1,55 @@
+#ifndef CARAC_BACKENDS_QUOTES_CODEGEN_H_
+#define CARAC_BACKENDS_QUOTES_CODEGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "backends/backend.h"
+#include "ir/irop.h"
+#include "optimizer/statistics.h"
+
+namespace carac::backends {
+
+/// The C ABI between generated code and the engine. The generated source
+/// re-declares this struct textually (it is self-contained — no include
+/// paths), so the layout here and in quotes_codegen.cc must stay in sync;
+/// a static_assert-based golden test guards the field order.
+struct CaracQuotesApi {
+  void* rt;
+  uint32_t (*scan_open)(void* rt, uint32_t pred, uint32_t db);
+  uint32_t (*probe_open)(void* rt, uint32_t pred, uint32_t db, uint32_t col,
+                         int64_t value);
+  const int64_t* (*iter_next)(void* rt, uint32_t iter);
+  void (*iter_close)(void* rt, uint32_t iter);
+  int (*contains)(void* rt, uint32_t pred, uint32_t db, const int64_t* row,
+                  uint32_t n);
+  void (*insert)(void* rt, uint32_t pred, const int64_t* row, uint32_t n);
+  void (*swap_clear)(void* rt, uint32_t set_id);
+  int (*any_delta)(void* rt, uint32_t set_id);
+  void (*iter_bump)(void* rt);
+  void (*call_node)(void* rt, uint32_t node_index);
+};
+
+/// Entry point symbol exported by every generated shared object.
+using QuotesEntryFn = void (*)(const CaracQuotesApi* api);
+inline constexpr char kQuotesEntrySymbol[] = "carac_entry";
+
+/// Pools referenced by the generated code via small integer ids.
+struct QuotesPools {
+  std::vector<std::vector<datalog::PredicateId>> relation_sets;
+  std::vector<const ir::IROp*> call_nodes;
+};
+
+/// Generates a self-contained C++ translation unit implementing the
+/// (already reordered) subtree `op`: real nested loops with constants
+/// inlined and access paths chosen statically from `stats`. Snippet mode
+/// generates only the node's own control flow and splices
+/// `api->call_node(...)` continuations for the children (§V-B3).
+std::string GenerateQuotesSource(const ir::IROp& op,
+                                 const optimizer::StatsSnapshot& stats,
+                                 CompileMode mode, QuotesPools* pools);
+
+}  // namespace carac::backends
+
+#endif  // CARAC_BACKENDS_QUOTES_CODEGEN_H_

@@ -1,0 +1,29 @@
+#ifndef CARAC_BASELINES_DLX_LIKE_H_
+#define CARAC_BASELINES_DLX_LIKE_H_
+
+#include <string>
+
+#include "harness/runner.h"
+
+namespace carac::baselines {
+
+/// The DLX-analog comparator for Table II (the paper anonymizes a
+/// commercial engine): a *naive*-evaluation bottom-up engine — every
+/// iteration re-derives from the full Derived store rather than from
+/// deltas — with join orders as written and a wall-clock timeout that
+/// reports DNF, matching DLX's observed behaviour (slower than Soufflé on
+/// CSDA, did-not-finish on CSPA).
+struct DlxResult {
+  bool ok = true;
+  bool dnf = false;  ///< Timed out before reaching the fixpoint.
+  double seconds = 0;
+  size_t result_size = 0;
+  std::string error;
+};
+
+DlxResult RunDlxLike(const harness::WorkloadFactory& factory,
+                     double timeout_seconds);
+
+}  // namespace carac::baselines
+
+#endif  // CARAC_BASELINES_DLX_LIKE_H_

@@ -1,0 +1,36 @@
+#ifndef CARAC_BASELINES_SOUFFLE_LIKE_H_
+#define CARAC_BASELINES_SOUFFLE_LIKE_H_
+
+#include <string>
+
+#include "harness/runner.h"
+
+namespace carac::baselines {
+
+/// The Soufflé-analog comparator for Table II (see DESIGN.md §2). Three
+/// modes mirror Soufflé's:
+///   * kInterpreter — semi-naive interpretation of the plan as written;
+///   * kCompiler    — the whole program is compiled through the quotes
+///     backend, with the *real C++ compiler invocation included in the
+///     measured time* (Soufflé's compiler mode pays exactly this cost);
+///   * kAutoTuned   — an untimed profiling run first collects relation
+///     cardinalities; join orders are retuned from the profile (untimed,
+///     as the paper excludes profiling time) and the program is then
+///     compiled (timed) and run (timed).
+enum class SouffleMode { kInterpreter, kCompiler, kAutoTuned };
+
+const char* SouffleModeName(SouffleMode mode);
+
+struct BaselineResult {
+  bool ok = true;
+  double seconds = 0;
+  size_t result_size = 0;
+  std::string error;
+};
+
+BaselineResult RunSouffleLike(const harness::WorkloadFactory& factory,
+                              SouffleMode mode);
+
+}  // namespace carac::baselines
+
+#endif  // CARAC_BASELINES_SOUFFLE_LIKE_H_

@@ -1,0 +1,15 @@
+#include "core/aot_planner.h"
+
+#include "optimizer/statistics.h"
+
+namespace carac::core {
+
+int ApplyAotPlan(const AotPlan& plan, const storage::DatabaseSet& db,
+                 ir::IRProgram* irp) {
+  optimizer::StatsSnapshot stats = optimizer::StatsSnapshot::Capture(db);
+  optimizer::JoinOrderConfig config = plan.join_config;
+  config.use_cardinalities = plan.use_fact_cardinalities;
+  return optimizer::ReorderSubtree(stats, config, irp->root.get());
+}
+
+}  // namespace carac::core

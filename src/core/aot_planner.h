@@ -1,0 +1,32 @@
+#ifndef CARAC_CORE_AOT_PLANNER_H_
+#define CARAC_CORE_AOT_PLANNER_H_
+
+#include "ir/irop.h"
+#include "optimizer/join_order.h"
+#include "storage/database.h"
+
+namespace carac::core {
+
+/// Ahead-of-time ("macro", §VI-C) planning: join orders are fixed before
+/// execution begins, using whatever is available at that stage —
+///   * facts+rules: the initial EDB cardinalities plus the selectivity
+///     heuristic (the paper's "Macro Facts+rules"), or
+///   * rules only: the selectivity heuristic alone ("Macro Rules").
+/// The cost of this pass is an offline cost: benches exclude it from query
+/// execution time, exactly as the paper does. Because the engine's online
+/// reordering (Timsort-like greedy) benefits from presorted input, AOT
+/// planning composes with the online IRGenerator configurations.
+struct AotPlan {
+  /// Order by initial fact cardinalities (true) or rules only (false).
+  bool use_fact_cardinalities = true;
+  optimizer::JoinOrderConfig join_config;
+};
+
+/// Reorders every subquery of `irp` in place; returns the number of
+/// subqueries whose order changed.
+int ApplyAotPlan(const AotPlan& plan, const storage::DatabaseSet& db,
+                 ir::IRProgram* irp);
+
+}  // namespace carac::core
+
+#endif  // CARAC_CORE_AOT_PLANNER_H_

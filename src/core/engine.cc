@@ -1,0 +1,61 @@
+#include "core/engine.h"
+
+#include "datalog/rewrite.h"
+#include "ir/lowering.h"
+
+namespace carac::core {
+
+Engine::Engine(datalog::Program* program, EngineConfig config)
+    : program_(program), config_(config) {
+  ctx_ = std::make_unique<ir::ExecContext>(&program->db());
+  ctx_->set_engine_style(config_.engine_style);
+}
+
+util::Status Engine::Prepare() {
+  program_->db().SetIndexingEnabled(config_.use_indexes);
+  program_->db().SetDefaultIndexKind(config_.index_kind);
+  if (config_.eliminate_aliases) {
+    datalog::EliminateAliases(program_);
+  }
+  CARAC_RETURN_IF_ERROR(
+      ir::LowerProgram(program_, /*declare_indexes=*/true, &irp_));
+  if (config_.aot_reorder) {
+    ApplyAotPlan(config_.aot, program_->db(), &irp_);
+  }
+  if (config_.mode == EvalMode::kJit) {
+    jit_ = std::make_unique<Jit>(config_.jit);
+  }
+  prepared_ = true;
+  return util::Status::Ok();
+}
+
+util::Status Engine::Run() {
+  if (!prepared_) {
+    return util::Status::FailedPrecondition("call Prepare() before Run()");
+  }
+  ir::Interpreter interp(ctx_.get(), jit_.get());
+  interp.Execute(*irp_.root);
+  if (jit_ != nullptr) {
+    // Surface asynchronous compilation failures observed so far
+    // (evaluation itself is unaffected — it keeps interpreting). Pending
+    // compilations are simply abandoned, as in the paper: "asynchronous
+    // compilations may never be used if the interpreted subtrees finish
+    // before compilation is ready".
+    util::Status status = jit_->manager().first_error();
+    if (!status.ok()) return status;
+  }
+  return util::Status::Ok();
+}
+
+std::vector<storage::Tuple> Engine::Results(
+    datalog::PredicateId predicate) const {
+  return program_->db()
+      .Get(predicate, storage::DbKind::kDerived)
+      .SortedRows();
+}
+
+size_t Engine::ResultSize(datalog::PredicateId predicate) const {
+  return program_->db().Get(predicate, storage::DbKind::kDerived).size();
+}
+
+}  // namespace carac::core

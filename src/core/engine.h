@@ -1,0 +1,88 @@
+#ifndef CARAC_CORE_ENGINE_H_
+#define CARAC_CORE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/aot_planner.h"
+#include "core/jit.h"
+#include "datalog/ast.h"
+#include "ir/exec_context.h"
+#include "ir/interpreter.h"
+#include "ir/irop.h"
+#include "util/status.h"
+
+namespace carac::core {
+
+/// How a prepared program executes.
+enum class EvalMode : uint8_t {
+  kInterpreted,  // Pure IR interpretation — the paper's baseline.
+  kJit,          // Adaptive Metaprogramming: interpret + (re)compile.
+};
+
+/// Engine configuration: evaluation mode, indexing, optional AOT planning
+/// and the JIT switchboard.
+struct EngineConfig {
+  EvalMode mode = EvalMode::kInterpreted;
+  /// Build indexes on join/filter columns (§IV "Index selection").
+  bool use_indexes = true;
+  /// Index organization: hash (the paper's HashMap indexes) or sorted
+  /// (the Soufflé-style ordered index, an extension).
+  storage::IndexKind index_kind = storage::IndexKind::kHash;
+  /// Which relational engine executes subqueries (§V-D: push or pull).
+  ir::EngineStyle engine_style = ir::EngineStyle::kPush;
+  JitConfig jit;
+  /// Carac-compile-time macro optimization (§VI-C). Applied during
+  /// Prepare(), so its cost is offline.
+  bool aot_reorder = false;
+  AotPlan aot;
+  /// Apply the §V-A alias-elimination rewrite during Prepare(). Off by
+  /// default: eliminated alias relations stop being materialized, so
+  /// callers must query the alias target instead.
+  bool eliminate_aliases = false;
+};
+
+/// The public entry point: owns the lowered IR and the evaluation
+/// machinery for one Datalog program.
+///
+///   datalog::Program program;
+///   datalog::Dsl dsl(&program);
+///   ... declare relations, facts, rules ...
+///   core::Engine engine(&program, config);
+///   CARAC_CHECK_OK(engine.Prepare());
+///   CARAC_CHECK_OK(engine.Run());
+///   auto rows = engine.Results(path.id());
+class Engine {
+ public:
+  Engine(datalog::Program* program, EngineConfig config);
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Stratifies, lowers and (optionally) AOT-plans. Fails on invalid or
+  /// unstratifiable programs.
+  util::Status Prepare();
+
+  /// Evaluates to fixpoint. Call once per engine; results accumulate in
+  /// the program's Derived stores.
+  util::Status Run();
+
+  const ir::ExecStats& stats() const { return ctx_->stats(); }
+  ir::IRProgram& ir() { return irp_; }
+  Jit* jit() { return jit_.get(); }
+
+  /// Sorted Derived rows of a relation (test/report convenience).
+  std::vector<storage::Tuple> Results(datalog::PredicateId predicate) const;
+  size_t ResultSize(datalog::PredicateId predicate) const;
+
+ private:
+  datalog::Program* program_;
+  EngineConfig config_;
+  ir::IRProgram irp_;
+  std::unique_ptr<ir::ExecContext> ctx_;
+  std::unique_ptr<Jit> jit_;
+  bool prepared_ = false;
+};
+
+}  // namespace carac::core
+
+#endif  // CARAC_CORE_ENGINE_H_

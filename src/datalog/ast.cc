@@ -1,0 +1,258 @@
+#include "datalog/ast.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace carac::datalog {
+
+size_t BuiltinArity(BuiltinOp op) {
+  switch (op) {
+    case BuiltinOp::kNone:
+      return 0;
+    case BuiltinOp::kLt:
+    case BuiltinOp::kLe:
+    case BuiltinOp::kGt:
+    case BuiltinOp::kGe:
+    case BuiltinOp::kEq:
+    case BuiltinOp::kNe:
+      return 2;
+    case BuiltinOp::kAdd:
+    case BuiltinOp::kSub:
+    case BuiltinOp::kMul:
+    case BuiltinOp::kDiv:
+    case BuiltinOp::kMod:
+      return 3;
+  }
+  return 0;
+}
+
+bool BuiltinBindsOutput(BuiltinOp op) { return BuiltinArity(op) == 3; }
+
+const char* BuiltinName(BuiltinOp op) {
+  switch (op) {
+    case BuiltinOp::kNone:
+      return "none";
+    case BuiltinOp::kLt:
+      return "<";
+    case BuiltinOp::kLe:
+      return "<=";
+    case BuiltinOp::kGt:
+      return ">";
+    case BuiltinOp::kGe:
+      return ">=";
+    case BuiltinOp::kEq:
+      return "==";
+    case BuiltinOp::kNe:
+      return "!=";
+    case BuiltinOp::kAdd:
+      return "+";
+    case BuiltinOp::kSub:
+      return "-";
+    case BuiltinOp::kMul:
+      return "*";
+    case BuiltinOp::kDiv:
+      return "/";
+    case BuiltinOp::kMod:
+      return "%";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kNone:
+      return "none";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+PredicateId Program::AddRelation(const std::string& name, size_t arity) {
+  const PredicateId id = db_.AddRelation(name, arity);
+  is_idb_.push_back(false);
+  return id;
+}
+
+VarId Program::NewVar(const std::string& name) {
+  const VarId id = static_cast<VarId>(var_names_.size());
+  var_names_.push_back(name.empty() ? "v" + std::to_string(id) : name);
+  return id;
+}
+
+void Program::AddFact(PredicateId predicate, storage::Tuple tuple) {
+  db_.InsertFact(predicate, std::move(tuple));
+}
+
+util::Status Program::AddRule(Rule rule) {
+  CARAC_RETURN_IF_ERROR(ValidateRule(rule));
+  is_idb_[rule.head.predicate] = true;
+  rules_.push_back(std::move(rule));
+  return util::Status::Ok();
+}
+
+void Program::ReplaceRules(std::vector<Rule> rules) {
+  rules_ = std::move(rules);
+  std::fill(is_idb_.begin(), is_idb_.end(), false);
+  for (const Rule& rule : rules_) is_idb_[rule.head.predicate] = true;
+}
+
+bool Program::IsIdb(PredicateId p) const {
+  CARAC_CHECK(p < is_idb_.size());
+  return is_idb_[p];
+}
+
+util::Status Program::ValidateRule(const Rule& rule) const {
+  const Atom& head = rule.head;
+  if (head.is_builtin() || head.negated) {
+    return util::Status::InvalidArgument("rule head must be a plain atom");
+  }
+  if (head.predicate >= NumPredicates()) {
+    return util::Status::InvalidArgument("head predicate not declared");
+  }
+  if (head.terms.size() != PredicateArity(head.predicate)) {
+    return util::Status::InvalidArgument(
+        "head arity mismatch for " + PredicateName(head.predicate));
+  }
+  if (rule.body.empty()) {
+    return util::Status::InvalidArgument(
+        "rules need a non-empty body; use AddFact for facts");
+  }
+
+  // Collect variables bound by positive relational atoms and by arithmetic
+  // outputs; these are the only binders.
+  std::set<VarId> bound;
+  for (const Atom& atom : rule.body) {
+    if (atom.is_relational()) {
+      if (atom.predicate >= NumPredicates()) {
+        return util::Status::InvalidArgument("body predicate not declared");
+      }
+      if (atom.terms.size() != PredicateArity(atom.predicate)) {
+        return util::Status::InvalidArgument(
+            "body arity mismatch for " + PredicateName(atom.predicate));
+      }
+      if (!atom.negated) {
+        for (const Term& t : atom.terms) {
+          if (t.is_var()) bound.insert(t.var);
+        }
+      }
+    } else {
+      if (atom.terms.size() != BuiltinArity(atom.builtin)) {
+        return util::Status::InvalidArgument("builtin arity mismatch");
+      }
+      if (atom.negated) {
+        return util::Status::InvalidArgument(
+            "builtins cannot be negated; use the complementary operator");
+      }
+      if (BuiltinBindsOutput(atom.builtin) && atom.terms[2].is_var()) {
+        bound.insert(atom.terms[2].var);
+      }
+    }
+  }
+
+  // Safety: negated atoms and builtin inputs must only use bound variables.
+  for (const Atom& atom : rule.body) {
+    if (atom.is_relational() && atom.negated) {
+      for (const Term& t : atom.terms) {
+        if (t.is_var() && bound.count(t.var) == 0) {
+          return util::Status::InvalidArgument(
+              "unsafe negation: variable not bound by a positive atom");
+        }
+      }
+    }
+    if (atom.is_builtin()) {
+      const size_t inputs = BuiltinBindsOutput(atom.builtin) ? 2 : 1;
+      for (size_t i = 0; i <= inputs; ++i) {
+        if (i == 2) break;  // Output term may be fresh.
+        const Term& t = atom.terms[i];
+        if (t.is_var() && bound.count(t.var) == 0) {
+          return util::Status::InvalidArgument(
+              "unsafe builtin: input variable not bound");
+        }
+      }
+    }
+  }
+
+  // Range restriction on the head; the aggregate output column is exempt.
+  const size_t head_checked = rule.agg == AggFunc::kNone
+                                  ? head.terms.size()
+                                  : head.terms.size() - 1;
+  for (size_t i = 0; i < head_checked; ++i) {
+    const Term& t = head.terms[i];
+    if (t.is_var() && bound.count(t.var) == 0) {
+      return util::Status::InvalidArgument(
+          "range restriction violated: head variable " + VarName(t.var) +
+          " not bound in body");
+    }
+  }
+
+  if (rule.agg != AggFunc::kNone) {
+    if (head.terms.empty() || !head.terms.back().is_var()) {
+      return util::Status::InvalidArgument(
+          "aggregate rules need a variable as last head term");
+    }
+    if (bound.count(head.terms.back().var) > 0) {
+      return util::Status::InvalidArgument(
+          "aggregate output variable must be fresh");
+    }
+    if (rule.agg != AggFunc::kCount && bound.count(rule.agg_operand) == 0) {
+      return util::Status::InvalidArgument(
+          "aggregate operand must be bound in body");
+    }
+  }
+  return util::Status::Ok();
+}
+
+std::string Program::RuleToString(const Rule& rule) const {
+  auto term_str = [&](const Term& t) {
+    if (t.is_var()) return VarName(t.var);
+    if (storage::SymbolTable::IsSymbol(t.constant)) {
+      return "\"" + db_.symbols().Lookup(t.constant) + "\"";
+    }
+    return std::to_string(t.constant);
+  };
+  auto atom_str = [&](const Atom& a) {
+    std::string out;
+    if (a.negated) out += "!";
+    if (a.is_builtin()) {
+      if (BuiltinBindsOutput(a.builtin)) {
+        out += term_str(a.terms[2]) + " = " + term_str(a.terms[0]) + " " +
+               BuiltinName(a.builtin) + " " + term_str(a.terms[1]);
+      } else {
+        out += term_str(a.terms[0]) + " " + BuiltinName(a.builtin) + " " +
+               term_str(a.terms[1]);
+      }
+      return out;
+    }
+    out += PredicateName(a.predicate) + "(";
+    for (size_t i = 0; i < a.terms.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += term_str(a.terms[i]);
+    }
+    out += ")";
+    return out;
+  };
+
+  std::string out = atom_str(rule.head);
+  if (rule.agg != AggFunc::kNone) {
+    out += " [" + std::string(AggFuncName(rule.agg));
+    if (rule.agg != AggFunc::kCount) out += " " + VarName(rule.agg_operand);
+    out += "]";
+  }
+  out += " :- ";
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += atom_str(rule.body[i]);
+  }
+  out += ".";
+  return out;
+}
+
+}  // namespace carac::datalog

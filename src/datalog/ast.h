@@ -1,0 +1,176 @@
+#ifndef CARAC_DATALOG_AST_H_
+#define CARAC_DATALOG_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+#include "storage/tuple.h"
+#include "util/status.h"
+
+namespace carac::datalog {
+
+/// Predicates map 1:1 onto storage relations.
+using PredicateId = storage::RelationId;
+inline constexpr PredicateId kInvalidPredicate = static_cast<PredicateId>(-1);
+
+/// Variable ids are dense per Program.
+using VarId = int32_t;
+
+/// A term in an atom: either a variable or a constant value.
+struct Term {
+  enum class Kind : uint8_t { kVar, kConst };
+
+  Kind kind = Kind::kConst;
+  VarId var = -1;
+  storage::Value constant = 0;
+
+  static Term MakeVar(VarId v) {
+    Term t;
+    t.kind = Kind::kVar;
+    t.var = v;
+    return t;
+  }
+  static Term MakeConst(storage::Value c) {
+    Term t;
+    t.kind = Kind::kConst;
+    t.constant = c;
+    return t;
+  }
+
+  bool is_var() const { return kind == Kind::kVar; }
+  bool is_const() const { return kind == Kind::kConst; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.kind != b.kind) return false;
+    return a.is_var() ? a.var == b.var : a.constant == b.constant;
+  }
+};
+
+/// Built-in (evaluable) predicates supported in rule bodies. Comparisons
+/// take two terms; arithmetic takes three, reading the first two and
+/// binding the third (z = x OP y). These give the Datalog dialect the
+/// arithmetic needed by the paper's micro-benchmarks (Ackermann, Fibonacci,
+/// Primes) and are evaluated as soon as their inputs are bound.
+enum class BuiltinOp : uint8_t {
+  kNone = 0,
+  kLt,   // x <  y
+  kLe,   // x <= y
+  kGt,   // x >  y
+  kGe,   // x >= y
+  kEq,   // x == y
+  kNe,   // x != y
+  kAdd,  // z = x + y
+  kSub,  // z = x - y
+  kMul,  // z = x * y
+  kDiv,  // z = x / y  (y != 0; subquery row is dropped otherwise)
+  kMod,  // z = x % y  (y != 0; likewise)
+};
+
+/// Number of terms a builtin expects (2 for comparisons, 3 for arithmetic).
+size_t BuiltinArity(BuiltinOp op);
+
+/// True for kAdd..kMod (operators that bind their third term).
+bool BuiltinBindsOutput(BuiltinOp op);
+
+const char* BuiltinName(BuiltinOp op);
+
+/// One atom of a rule body (or a rule head, where negated/builtin are
+/// disallowed).
+struct Atom {
+  PredicateId predicate = kInvalidPredicate;
+  BuiltinOp builtin = BuiltinOp::kNone;
+  bool negated = false;
+  std::vector<Term> terms;
+
+  bool is_builtin() const { return builtin != BuiltinOp::kNone; }
+  bool is_relational() const { return !is_builtin(); }
+};
+
+/// Aggregate functions for rule heads (paper §V-A: the DSL supports
+/// stratified aggregation). The aggregate output is the last head column,
+/// grouped by the remaining head columns.
+enum class AggFunc : uint8_t { kNone = 0, kCount, kSum, kMin, kMax };
+
+const char* AggFuncName(AggFunc func);
+
+/// A Datalog rule `head :- body.`; facts are not rules (they are inserted
+/// directly into the relational layer as they are defined, §V-A).
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+
+  /// Aggregation: if agg != kNone, the last head term must be a fresh
+  /// variable and agg_operand names the body variable aggregated (ignored
+  /// for kCount). Aggregate rules must not be recursive.
+  AggFunc agg = AggFunc::kNone;
+  VarId agg_operand = -1;
+};
+
+/// The user-facing Datalog program: relation declarations, facts (stored
+/// immediately in the relational layer), rules and their metadata
+/// (per-rule variable locations feed the optimizer; the precedence graph
+/// feeds stratification).
+class Program {
+ public:
+  Program() = default;
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+
+  /// Declares a relation; the name must be unique.
+  PredicateId AddRelation(const std::string& name, size_t arity);
+
+  /// Fresh variable (name used only in diagnostics).
+  VarId NewVar(const std::string& name = "");
+
+  /// Inserts a fact into the relation's Derived store.
+  void AddFact(PredicateId predicate, storage::Tuple tuple);
+
+  /// Interns a string constant, returning its Value.
+  storage::Value Intern(std::string_view text) {
+    return db_.symbols().Intern(text);
+  }
+
+  /// Validates and registers a rule. Checks: arities match declarations,
+  /// range restriction (every head variable is bound by a positive
+  /// relational atom or an arithmetic output), safety of negation and
+  /// builtins, and aggregate well-formedness.
+  util::Status AddRule(Rule rule);
+
+  size_t NumPredicates() const { return db_.NumRelations(); }
+  size_t NumVariables() const { return var_names_.size(); }
+  const std::string& VarName(VarId v) const { return var_names_[v]; }
+  const std::string& PredicateName(PredicateId p) const {
+    return db_.RelationName(p);
+  }
+  size_t PredicateArity(PredicateId p) const { return db_.RelationArity(p); }
+
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  /// Replaces the rule set wholesale (used by rewrite passes, which
+  /// transform already-validated rules shape-preservingly) and recomputes
+  /// the IDB flags.
+  void ReplaceRules(std::vector<Rule> rules);
+
+  /// True if any rule defines this predicate (it is part of the IDB).
+  bool IsIdb(PredicateId p) const;
+
+  storage::DatabaseSet& db() { return db_; }
+  const storage::DatabaseSet& db() const { return db_; }
+
+  /// Renders a rule in Datalog syntax for diagnostics.
+  std::string RuleToString(const Rule& rule) const;
+
+ private:
+  util::Status ValidateRule(const Rule& rule) const;
+
+  storage::DatabaseSet db_;
+  std::vector<std::string> var_names_;
+  std::vector<Rule> rules_;
+  std::vector<bool> is_idb_;
+};
+
+}  // namespace carac::datalog
+
+#endif  // CARAC_DATALOG_AST_H_

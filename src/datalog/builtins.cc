@@ -1,0 +1,53 @@
+#include "datalog/builtins.h"
+
+#include "util/status.h"
+
+namespace carac::datalog {
+
+bool EvalComparison(BuiltinOp op, storage::Value a, storage::Value b) {
+  switch (op) {
+    case BuiltinOp::kLt:
+      return a < b;
+    case BuiltinOp::kLe:
+      return a <= b;
+    case BuiltinOp::kGt:
+      return a > b;
+    case BuiltinOp::kGe:
+      return a >= b;
+    case BuiltinOp::kEq:
+      return a == b;
+    case BuiltinOp::kNe:
+      return a != b;
+    default:
+      CARAC_CHECK(false && "not a comparison builtin");
+      return false;
+  }
+}
+
+bool EvalArithmetic(BuiltinOp op, storage::Value x, storage::Value y,
+                    storage::Value* z) {
+  switch (op) {
+    case BuiltinOp::kAdd:
+      *z = x + y;
+      return true;
+    case BuiltinOp::kSub:
+      *z = x - y;
+      return true;
+    case BuiltinOp::kMul:
+      *z = x * y;
+      return true;
+    case BuiltinOp::kDiv:
+      if (y == 0) return false;
+      *z = x / y;
+      return true;
+    case BuiltinOp::kMod:
+      if (y == 0) return false;
+      *z = x % y;
+      return true;
+    default:
+      CARAC_CHECK(false && "not an arithmetic builtin");
+      return false;
+  }
+}
+
+}  // namespace carac::datalog

@@ -1,0 +1,21 @@
+#ifndef CARAC_DATALOG_BUILTINS_H_
+#define CARAC_DATALOG_BUILTINS_H_
+
+#include "datalog/ast.h"
+#include "storage/tuple.h"
+
+namespace carac::datalog {
+
+/// Evaluates a comparison builtin on bound values.
+bool EvalComparison(BuiltinOp op, storage::Value a, storage::Value b);
+
+/// Evaluates an arithmetic builtin; returns false when the operation is
+/// undefined (division/modulo by zero), in which case the subquery row is
+/// silently dropped (matching the semantics of guarded arithmetic in
+/// bottom-up engines).
+bool EvalArithmetic(BuiltinOp op, storage::Value x, storage::Value y,
+                    storage::Value* z);
+
+}  // namespace carac::datalog
+
+#endif  // CARAC_DATALOG_BUILTINS_H_

@@ -1,0 +1,84 @@
+#include "datalog/dsl.h"
+
+#include "util/status.h"
+
+namespace carac::datalog {
+
+Term TermArg::ToTerm(Program* program) const {
+  switch (kind_) {
+    case Kind::kVar:
+      return Term::MakeVar(var_);
+    case Kind::kInt:
+      return Term::MakeConst(int_);
+    case Kind::kStr:
+      return Term::MakeConst(program->Intern(str_));
+  }
+  return Term::MakeConst(0);  // Unreachable.
+}
+
+storage::Value TermArg::ToValue(Program* program) const {
+  CARAC_CHECK(kind_ != Kind::kVar);
+  return kind_ == Kind::kInt ? int_ : program->Intern(str_);
+}
+
+BodyExpr operator&(const AtomExpr& a, const AtomExpr& b) {
+  return BodyExpr({a.atom(), b.atom()});
+}
+
+BodyExpr operator&(BodyExpr body, const AtomExpr& next) {
+  std::vector<Atom> atoms = body.atoms();
+  atoms.push_back(next.atom());
+  return BodyExpr(std::move(atoms));
+}
+
+void operator<<=(const AtomExpr& head, const BodyExpr& body) {
+  Rule rule;
+  rule.head = head.atom();
+  rule.body = body.atoms();
+  CARAC_CHECK_OK(head.dsl()->program()->AddRule(std::move(rule)));
+}
+
+void operator<<=(const AtomExpr& head, const AtomExpr& single_body_atom) {
+  head <<= BodyExpr({single_body_atom.atom()});
+}
+
+AtomExpr RelationRef::MakeAtom(std::vector<TermArg> args) const {
+  Atom atom;
+  atom.predicate = id_;
+  atom.terms.reserve(args.size());
+  for (const TermArg& arg : args) {
+    atom.terms.push_back(arg.ToTerm(dsl_->program()));
+  }
+  return AtomExpr(dsl_, std::move(atom));
+}
+
+void RelationRef::InsertFact(std::vector<TermArg> args) const {
+  storage::Tuple tuple;
+  tuple.reserve(args.size());
+  for (const TermArg& arg : args) {
+    tuple.push_back(arg.ToValue(dsl_->program()));
+  }
+  dsl_->program()->AddFact(id_, std::move(tuple));
+}
+
+AtomExpr Dsl::Builtin(BuiltinOp op, std::vector<TermArg> args) {
+  Atom atom;
+  atom.builtin = op;
+  atom.terms.reserve(args.size());
+  for (const TermArg& arg : args) {
+    atom.terms.push_back(arg.ToTerm(program_));
+  }
+  return AtomExpr(this, std::move(atom));
+}
+
+void Dsl::AggRule(const AtomExpr& head, const BodyExpr& body, AggFunc func,
+                  VarRef operand) {
+  Rule rule;
+  rule.head = head.atom();
+  rule.body = body.atoms();
+  rule.agg = func;
+  rule.agg_operand = operand.id;
+  CARAC_CHECK_OK(program_->AddRule(std::move(rule)));
+}
+
+}  // namespace carac::datalog

@@ -1,0 +1,186 @@
+#ifndef CARAC_DATALOG_DSL_H_
+#define CARAC_DATALOG_DSL_H_
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "datalog/ast.h"
+
+namespace carac::datalog {
+
+/// The embedded Datalog DSL (the C++ analog of the paper's Scala deep
+/// embedding, §V-A). Usage:
+///
+///   Program program;
+///   Dsl dsl(&program);
+///   auto edge = dsl.Relation("Edge", 2);
+///   auto path = dsl.Relation("Path", 2);
+///   auto [x, y, z] = dsl.Vars<3>();
+///   path(x, y) <<= edge(x, y);
+///   path(x, z) <<= path(x, y) & edge(y, z);
+///   edge.Fact(1, 2);
+///
+/// Rules are registered (and validated) by `operator<<=`; facts are stored
+/// immediately. Builtins: dsl.Lt(a,b), dsl.Add(x,y,z), ... Negation: !atom.
+
+class Dsl;
+
+/// A variable handle; cheap to copy.
+struct VarRef {
+  VarId id = -1;
+};
+
+/// A term argument accepted by the DSL: variable, integer, or string
+/// (interned on use).
+class TermArg {
+ public:
+  TermArg(VarRef v) : kind_(Kind::kVar), var_(v.id) {}          // NOLINT
+  TermArg(int value) : kind_(Kind::kInt), int_(value) {}        // NOLINT
+  TermArg(long value) : kind_(Kind::kInt), int_(value) {}       // NOLINT
+  TermArg(long long value) : kind_(Kind::kInt), int_(value) {}  // NOLINT
+  TermArg(const char* text) : kind_(Kind::kStr), str_(text) {}  // NOLINT
+  TermArg(std::string_view text) : kind_(Kind::kStr), str_(text) {}  // NOLINT
+
+  Term ToTerm(Program* program) const;
+  storage::Value ToValue(Program* program) const;
+
+ private:
+  enum class Kind { kVar, kInt, kStr };
+  Kind kind_;
+  VarId var_ = -1;
+  int64_t int_ = 0;
+  std::string str_;
+};
+
+/// A single body/head atom under construction.
+class AtomExpr {
+ public:
+  AtomExpr(Dsl* dsl, Atom atom) : dsl_(dsl), atom_(std::move(atom)) {}
+
+  /// Stratified negation.
+  AtomExpr operator!() const {
+    AtomExpr negated = *this;
+    negated.atom_.negated = !negated.atom_.negated;
+    return negated;
+  }
+
+  const Atom& atom() const { return atom_; }
+  Dsl* dsl() const { return dsl_; }
+
+ private:
+  Dsl* dsl_;
+  Atom atom_;
+};
+
+/// A conjunction of body atoms.
+class BodyExpr {
+ public:
+  explicit BodyExpr(std::vector<Atom> atoms) : atoms_(std::move(atoms)) {}
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+ private:
+  std::vector<Atom> atoms_;
+};
+
+BodyExpr operator&(const AtomExpr& a, const AtomExpr& b);
+BodyExpr operator&(BodyExpr body, const AtomExpr& next);
+
+/// Registers `head :- body.` with the program; aborts on invalid rules
+/// (tests for graceful failure use Program::AddRule directly).
+void operator<<=(const AtomExpr& head, const BodyExpr& body);
+void operator<<=(const AtomExpr& head, const AtomExpr& single_body_atom);
+
+/// Handle to a declared relation; callable to build atoms, with a
+/// convenience fact inserter.
+class RelationRef {
+ public:
+  RelationRef() = default;
+  RelationRef(Dsl* dsl, PredicateId id) : dsl_(dsl), id_(id) {}
+
+  PredicateId id() const { return id_; }
+
+  template <typename... Args>
+  AtomExpr operator()(Args... args) const {
+    return MakeAtom({TermArg(args)...});
+  }
+
+  /// Inserts a fact; arguments must be constants (ints or strings).
+  template <typename... Args>
+  void Fact(Args... args) const {
+    InsertFact({TermArg(args)...});
+  }
+
+ private:
+  AtomExpr MakeAtom(std::vector<TermArg> args) const;
+  void InsertFact(std::vector<TermArg> args) const;
+
+  Dsl* dsl_ = nullptr;
+  PredicateId id_ = kInvalidPredicate;
+};
+
+/// DSL factory bound to a Program.
+class Dsl {
+ public:
+  explicit Dsl(Program* program) : program_(program) {}
+
+  Program* program() const { return program_; }
+
+  RelationRef Relation(const std::string& name, size_t arity) {
+    return RelationRef(this, program_->AddRelation(name, arity));
+  }
+
+  VarRef Var(const std::string& name = "") {
+    return VarRef{program_->NewVar(name)};
+  }
+
+  /// Declares N fresh variables: `auto [x, y, z] = dsl.Vars<3>();`
+  template <size_t N>
+  auto Vars() {
+    return VarsImpl(std::make_index_sequence<N>{});
+  }
+
+  // ---- Builtins (comparisons filter; arithmetic binds its last term). ----
+  AtomExpr Lt(TermArg a, TermArg b) { return Builtin(BuiltinOp::kLt, {a, b}); }
+  AtomExpr Le(TermArg a, TermArg b) { return Builtin(BuiltinOp::kLe, {a, b}); }
+  AtomExpr Gt(TermArg a, TermArg b) { return Builtin(BuiltinOp::kGt, {a, b}); }
+  AtomExpr Ge(TermArg a, TermArg b) { return Builtin(BuiltinOp::kGe, {a, b}); }
+  AtomExpr Eq(TermArg a, TermArg b) { return Builtin(BuiltinOp::kEq, {a, b}); }
+  AtomExpr Ne(TermArg a, TermArg b) { return Builtin(BuiltinOp::kNe, {a, b}); }
+  AtomExpr Add(TermArg x, TermArg y, TermArg z) {
+    return Builtin(BuiltinOp::kAdd, {x, y, z});
+  }
+  AtomExpr Sub(TermArg x, TermArg y, TermArg z) {
+    return Builtin(BuiltinOp::kSub, {x, y, z});
+  }
+  AtomExpr Mul(TermArg x, TermArg y, TermArg z) {
+    return Builtin(BuiltinOp::kMul, {x, y, z});
+  }
+  AtomExpr Div(TermArg x, TermArg y, TermArg z) {
+    return Builtin(BuiltinOp::kDiv, {x, y, z});
+  }
+  AtomExpr Mod(TermArg x, TermArg y, TermArg z) {
+    return Builtin(BuiltinOp::kMod, {x, y, z});
+  }
+
+  /// Registers `head(group..., out) :- body` computing out = FUNC(operand)
+  /// grouped by the other head columns.
+  void AggRule(const AtomExpr& head, const BodyExpr& body, AggFunc func,
+               VarRef operand = VarRef{-1});
+
+ private:
+  template <size_t... Is>
+  auto VarsImpl(std::index_sequence<Is...>) {
+    return std::array<VarRef, sizeof...(Is)>{((void)Is, Var())...};
+  }
+
+  AtomExpr Builtin(BuiltinOp op, std::vector<TermArg> args);
+
+  Program* program_;
+};
+
+}  // namespace carac::datalog
+
+#endif  // CARAC_DATALOG_DSL_H_

@@ -1,0 +1,35 @@
+#ifndef CARAC_DATALOG_PARSER_H_
+#define CARAC_DATALOG_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace carac::datalog {
+
+/// Parses textual Datalog into a Program (the standalone counterpart of
+/// the embedded DSL; the CLI uses it to run `.dl` files).
+///
+/// Grammar (newline-insensitive, `%` or `//` comments to end of line):
+///
+///   fact     Edge(1, 2).                 all-constant atom
+///   rule     Path(x, z) :- Path(x, y), Edge(y, z).
+///   negation Safe(x) :- Node(x), !Tainted(x).
+///   compare  Small(x) :- Num(x), x < 10.         (< <= > >= = !=)
+///   arith    Next(x, y) :- Num(x), y = x + 1.    (+ - * / %)
+///   strings  Inv("deserialize", "serialize").
+///
+/// Relations are declared implicitly at first use; arity mismatches and
+/// unsafe rules are rejected with the offending line number. Variables
+/// are rule-scoped identifiers starting with a lowercase letter or '_';
+/// relation names start with an uppercase letter.
+util::Status ParseDatalog(std::string_view source, Program* program);
+
+/// Reads and parses a `.dl` file.
+util::Status ParseDatalogFile(const std::string& path, Program* program);
+
+}  // namespace carac::datalog
+
+#endif  // CARAC_DATALOG_PARSER_H_

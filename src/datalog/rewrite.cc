@@ -1,0 +1,82 @@
+#include "datalog/rewrite.h"
+
+#include <set>
+#include <vector>
+
+namespace carac::datalog {
+
+namespace {
+
+/// True if `rule` has the exact alias shape A(x1..xn) :- B(x1..xn).
+bool IsAliasRule(const Rule& rule) {
+  if (rule.agg != AggFunc::kNone) return false;
+  if (rule.body.size() != 1) return false;
+  const Atom& body = rule.body[0];
+  if (!body.is_relational() || body.negated) return false;
+  if (body.predicate == rule.head.predicate) return false;
+  if (body.terms.size() != rule.head.terms.size()) return false;
+  std::set<VarId> seen;
+  for (size_t i = 0; i < body.terms.size(); ++i) {
+    const Term& h = rule.head.terms[i];
+    const Term& b = body.terms[i];
+    if (!h.is_var() || !b.is_var() || h.var != b.var) return false;
+    if (!seen.insert(h.var).second) return false;  // Repeated variable.
+  }
+  return true;
+}
+
+}  // namespace
+
+int EliminateAliases(Program* program) {
+  int eliminated = 0;
+  for (;;) {
+    const std::vector<Rule>& rules = program->rules();
+
+    // A predicate is an alias only if its *sole* definition is an alias
+    // rule, it has no facts of its own, and some other rule body reads it
+    // (a sink nobody references is the program's output — eliminating it
+    // would silently un-materialize the user's results).
+    std::vector<int> definitions(program->NumPredicates(), 0);
+    std::vector<int> references(program->NumPredicates(), 0);
+    for (const Rule& rule : rules) {
+      ++definitions[rule.head.predicate];
+      for (const Atom& atom : rule.body) {
+        if (atom.is_relational()) ++references[atom.predicate];
+      }
+    }
+
+    PredicateId alias = kInvalidPredicate;
+    PredicateId target = kInvalidPredicate;
+    for (const Rule& rule : rules) {
+      if (!IsAliasRule(rule)) continue;
+      const PredicateId head = rule.head.predicate;
+      if (definitions[head] != 1 || references[head] == 0) continue;
+      if (!program->db()
+               .Get(head, storage::DbKind::kDerived)
+               .empty()) {
+        continue;  // Has its own facts: materialization is meaningful.
+      }
+      alias = head;
+      target = rule.body[0].predicate;
+      break;
+    }
+    if (alias == kInvalidPredicate) return eliminated;
+
+    std::vector<Rule> rewritten;
+    rewritten.reserve(rules.size());
+    for (const Rule& rule : rules) {
+      if (rule.head.predicate == alias && IsAliasRule(rule)) continue;
+      Rule copy = rule;
+      for (Atom& atom : copy.body) {
+        if (atom.is_relational() && atom.predicate == alias) {
+          atom.predicate = target;
+        }
+      }
+      rewritten.push_back(std::move(copy));
+    }
+    program->ReplaceRules(std::move(rewritten));
+    ++eliminated;
+  }
+}
+
+}  // namespace carac::datalog

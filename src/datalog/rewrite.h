@@ -1,0 +1,25 @@
+#ifndef CARAC_DATALOG_REWRITE_H_
+#define CARAC_DATALOG_REWRITE_H_
+
+#include "datalog/ast.h"
+
+namespace carac::datalog {
+
+/// Static rewrite pass from §V-A: "if there were [relation aliases], a
+/// static rewrite pass would remove any aliases to avoid extra costly
+/// materialization."
+///
+/// An *alias* is a predicate A defined by exactly one rule of the form
+///   A(x1, ..., xn) :- B(x1, ..., xn).
+/// with distinct variables in head order, no aggregation, and no facts of
+/// its own. The pass replaces every body occurrence of A (positive or
+/// negated) with B, drops A's defining rule, and repeats until no aliases
+/// remain (collapsing alias chains). A is no longer materialized — query
+/// B instead.
+///
+/// Returns the number of alias predicates eliminated.
+int EliminateAliases(Program* program);
+
+}  // namespace carac::datalog
+
+#endif  // CARAC_DATALOG_REWRITE_H_

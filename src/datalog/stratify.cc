@@ -1,0 +1,142 @@
+#include "datalog/stratify.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace carac::datalog {
+
+namespace {
+
+/// Tarjan SCC over the predicate precedence graph. Edges point from body
+/// predicates to head predicates ("the head depends on the body"), so
+/// Tarjan emits components in reverse dependency order; we reverse at the
+/// end to obtain evaluation order.
+struct SccState {
+  std::vector<std::vector<uint32_t>> adjacency;
+  std::vector<int32_t> index;
+  std::vector<int32_t> lowlink;
+  std::vector<bool> on_stack;
+  std::vector<uint32_t> stack;
+  std::vector<int32_t> component;  // Per node, SCC id in emission order.
+  int32_t next_index = 0;
+  int32_t num_components = 0;
+};
+
+void TarjanVisit(SccState* s, uint32_t v) {
+  s->index[v] = s->lowlink[v] = s->next_index++;
+  s->stack.push_back(v);
+  s->on_stack[v] = true;
+  for (uint32_t w : s->adjacency[v]) {
+    if (s->index[w] < 0) {
+      TarjanVisit(s, w);
+      s->lowlink[v] = std::min(s->lowlink[v], s->lowlink[w]);
+    } else if (s->on_stack[w]) {
+      s->lowlink[v] = std::min(s->lowlink[v], s->index[w]);
+    }
+  }
+  if (s->lowlink[v] == s->index[v]) {
+    const int32_t comp = s->num_components++;
+    for (;;) {
+      const uint32_t w = s->stack.back();
+      s->stack.pop_back();
+      s->on_stack[w] = false;
+      s->component[w] = comp;
+      if (w == v) break;
+    }
+  }
+}
+
+}  // namespace
+
+util::Status Stratify(const Program& program, Stratification* out) {
+  const size_t n = program.NumPredicates();
+  SccState scc;
+  scc.adjacency.resize(n);
+  scc.index.assign(n, -1);
+  scc.lowlink.assign(n, -1);
+  scc.on_stack.assign(n, false);
+  scc.component.assign(n, -1);
+
+  // Negative dependencies (negation or aggregation) recorded for the
+  // stratification check: pair of (body predicate, head predicate).
+  std::vector<std::pair<PredicateId, PredicateId>> negative_edges;
+
+  for (const Rule& rule : program.rules()) {
+    const PredicateId head = rule.head.predicate;
+    for (const Atom& atom : rule.body) {
+      if (!atom.is_relational()) continue;
+      scc.adjacency[atom.predicate].push_back(head);
+      if (atom.negated || rule.agg != AggFunc::kNone) {
+        negative_edges.emplace_back(atom.predicate, head);
+      }
+    }
+  }
+
+  for (uint32_t v = 0; v < n; ++v) {
+    if (scc.index[v] < 0) TarjanVisit(&scc, v);
+  }
+
+  // Tarjan pops a component only after every component reachable from it
+  // has been popped. With edges body->head, a head's component is emitted
+  // before the components of the bodies it depends on; evaluation must run
+  // dependencies first, so evaluation order is the reverse of emission
+  // order. (Pinned down by stratify unit tests.)
+  const int32_t num_comp = scc.num_components;
+  auto eval_pos = [num_comp](int32_t comp) { return num_comp - 1 - comp; };
+
+  // Reject negation/aggregation inside a single component.
+  for (const auto& [body_pred, head_pred] : negative_edges) {
+    if (scc.component[body_pred] == scc.component[head_pred]) {
+      return util::Status::InvalidArgument(
+          "program is not stratifiable: negation or aggregation through "
+          "recursion involving " +
+          program.PredicateName(head_pred));
+    }
+  }
+
+  out->strata.clear();
+  out->strata.resize(num_comp);
+  out->stratum_of.assign(n, -1);
+
+  for (uint32_t p = 0; p < n; ++p) {
+    if (program.IsIdb(static_cast<PredicateId>(p))) {
+      const int32_t pos = eval_pos(scc.component[p]);
+      out->strata[pos].predicates.push_back(static_cast<PredicateId>(p));
+      out->stratum_of[p] = pos;
+    }
+  }
+
+  const std::vector<Rule>& rules = program.rules();
+  for (uint32_t r = 0; r < rules.size(); ++r) {
+    const Rule& rule = rules[r];
+    const int32_t comp = scc.component[rule.head.predicate];
+    Stratum& stratum = out->strata[eval_pos(comp)];
+    stratum.rule_indices.push_back(r);
+    bool recursive = false;
+    for (const Atom& atom : rule.body) {
+      if (atom.is_relational() && !atom.negated &&
+          scc.component[atom.predicate] == comp) {
+        recursive = true;
+        break;
+      }
+    }
+    stratum.rule_is_recursive.push_back(recursive);
+  }
+
+  // Drop empty strata (pure-EDB singleton components), fixing stratum_of.
+  std::vector<Stratum> compact;
+  std::vector<int32_t> remap(out->strata.size(), -1);
+  for (size_t i = 0; i < out->strata.size(); ++i) {
+    if (!out->strata[i].rule_indices.empty()) {
+      remap[i] = static_cast<int32_t>(compact.size());
+      compact.push_back(std::move(out->strata[i]));
+    }
+  }
+  for (int32_t& s : out->stratum_of) {
+    if (s >= 0) s = remap[s];
+  }
+  out->strata = std::move(compact);
+  return util::Status::Ok();
+}
+
+}  // namespace carac::datalog

@@ -1,0 +1,40 @@
+#ifndef CARAC_DATALOG_STRATIFY_H_
+#define CARAC_DATALOG_STRATIFY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace carac::datalog {
+
+/// One evaluation stratum: a strongly connected component of the predicate
+/// precedence graph, evaluated to fixpoint before later strata start.
+struct Stratum {
+  /// IDB predicates whose rules live in this stratum.
+  std::vector<PredicateId> predicates;
+  /// Indices into Program::rules() of the rules defining those predicates.
+  std::vector<uint32_t> rule_indices;
+  /// For each entry of rule_indices: does the rule reference (positively)
+  /// a predicate of this same stratum? Recursive rules get semi-naive
+  /// delta-splitting; non-recursive rules only need the initial pass.
+  std::vector<bool> rule_is_recursive;
+};
+
+/// Result of stratification: strata in dependency (evaluation) order plus
+/// the stratum index of every predicate (-1 for pure-EDB predicates).
+struct Stratification {
+  std::vector<Stratum> strata;
+  std::vector<int32_t> stratum_of;
+};
+
+/// Builds the precedence graph (§V-A "generation of a precedence graph"),
+/// computes its SCC condensation and checks stratified negation and
+/// aggregation: a negated or aggregated dependency inside a single SCC is
+/// rejected with InvalidArgument.
+util::Status Stratify(const Program& program, Stratification* out);
+
+}  // namespace carac::datalog
+
+#endif  // CARAC_DATALOG_STRATIFY_H_

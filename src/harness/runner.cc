@@ -1,0 +1,71 @@
+#include "harness/runner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace carac::harness {
+
+Measurement MeasureOnce(const WorkloadFactory& factory,
+                        const core::EngineConfig& config) {
+  Measurement m;
+  analysis::Workload workload = factory();
+  core::Engine engine(workload.program.get(), config);
+  util::Status status = engine.Prepare();
+  if (!status.ok()) {
+    m.ok = false;
+    m.error = status.ToString();
+    return m;
+  }
+  util::Timer timer;
+  status = engine.Run();
+  m.seconds = timer.ElapsedSeconds();
+  if (!status.ok()) {
+    m.ok = false;
+    m.error = status.ToString();
+    return m;
+  }
+  m.result_size = engine.ResultSize(workload.output);
+  m.stats = engine.stats();
+  return m;
+}
+
+Measurement MeasureMedian(const WorkloadFactory& factory,
+                          const core::EngineConfig& config, int reps) {
+  std::vector<Measurement> runs;
+  runs.reserve(reps);
+  for (int i = 0; i < reps; ++i) {
+    Measurement m = MeasureOnce(factory, config);
+    if (!m.ok) return m;
+    runs.push_back(std::move(m));
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const Measurement& a, const Measurement& b) {
+              return a.seconds < b.seconds;
+            });
+  return runs[runs.size() / 2];
+}
+
+core::EngineConfig InterpretedConfig(bool use_indexes) {
+  core::EngineConfig config;
+  config.mode = core::EvalMode::kInterpreted;
+  config.use_indexes = use_indexes;
+  return config;
+}
+
+core::EngineConfig JitConfigOf(backends::BackendKind backend, bool async,
+                               bool use_indexes,
+                               core::Granularity granularity,
+                               backends::CompileMode mode) {
+  core::EngineConfig config;
+  config.mode = core::EvalMode::kJit;
+  config.use_indexes = use_indexes;
+  config.jit.backend = backend;
+  config.jit.async = async;
+  config.jit.granularity = granularity;
+  config.jit.mode = mode;
+  return config;
+}
+
+}  // namespace carac::harness

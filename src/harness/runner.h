@@ -1,0 +1,47 @@
+#ifndef CARAC_HARNESS_RUNNER_H_
+#define CARAC_HARNESS_RUNNER_H_
+
+#include <functional>
+#include <string>
+
+#include "analysis/programs.h"
+#include "core/engine.h"
+#include "ir/exec_context.h"
+
+namespace carac::harness {
+
+/// Produces a fresh workload per measurement (facts regenerate
+/// deterministically, so repetitions are identical).
+using WorkloadFactory = std::function<analysis::Workload()>;
+
+struct Measurement {
+  double seconds = 0;         ///< Run() wall-clock (Prepare() excluded —
+                              ///< AOT planning is an offline cost, §VI-C).
+  size_t result_size = 0;     ///< Rows in the workload's output relation.
+  ir::ExecStats stats;
+  bool ok = true;
+  std::string error;
+};
+
+/// Prepares and times one evaluation of `factory()` under `config`.
+Measurement MeasureOnce(const WorkloadFactory& factory,
+                        const core::EngineConfig& config);
+
+/// Repeats MeasureOnce `reps` times and keeps the median run (the stats of
+/// that run are returned). Reps are fresh engines — no warm state carries
+/// over except the process-wide quotes source cache, which is exactly the
+/// "warm compiler" the paper's steady-state JMH numbers reflect.
+Measurement MeasureMedian(const WorkloadFactory& factory,
+                          const core::EngineConfig& config, int reps);
+
+/// Convenience EngineConfig builders for the named configurations used
+/// across the benches.
+core::EngineConfig InterpretedConfig(bool use_indexes);
+core::EngineConfig JitConfigOf(backends::BackendKind backend, bool async,
+                               bool use_indexes,
+                               core::Granularity granularity,
+                               backends::CompileMode mode);
+
+}  // namespace carac::harness
+
+#endif  // CARAC_HARNESS_RUNNER_H_

@@ -1,0 +1,37 @@
+#ifndef CARAC_HARNESS_TABLE_H_
+#define CARAC_HARNESS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace carac::harness {
+
+/// Aligned ASCII table printer for the bench harnesses: each bench binary
+/// reproduces the rows/series of one paper table or figure and prints them
+/// in this format so EXPERIMENTS.md can quote the output directly.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders with per-column padding; first column left-aligned, the rest
+  /// right-aligned (numbers).
+  std::string Render() const;
+
+  /// Render() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.3", "0.0123", "1.23e-05"-style compact formatting.
+std::string FormatSeconds(double seconds);
+std::string FormatSpeedup(double speedup);
+
+}  // namespace carac::harness
+
+#endif  // CARAC_HARNESS_TABLE_H_

@@ -1,0 +1,22 @@
+#include "ir/exec_context.h"
+
+namespace carac::ir {
+
+const char* EngineStyleName(EngineStyle style) {
+  return style == EngineStyle::kPush ? "push" : "pull";
+}
+
+std::string ExecStats::ToString() const {
+  std::string out;
+  out += "iterations=" + std::to_string(iterations);
+  out += " spj=" + std::to_string(spj_executions);
+  out += " inserted=" + std::to_string(tuples_inserted);
+  out += " considered=" + std::to_string(tuples_considered);
+  out += " reorders=" + std::to_string(reorders);
+  out += " compilations=" + std::to_string(compilations);
+  out += " compiled_invocations=" + std::to_string(compiled_invocations);
+  out += " freshness_skips=" + std::to_string(freshness_skips);
+  return out;
+}
+
+}  // namespace carac::ir

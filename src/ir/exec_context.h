@@ -1,0 +1,62 @@
+#ifndef CARAC_IR_EXEC_CONTEXT_H_
+#define CARAC_IR_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/database.h"
+
+namespace carac::ir {
+
+/// Counters exposed by every evaluation mode; tests assert on them and the
+/// benches report them alongside wall-clock time.
+struct ExecStats {
+  uint64_t iterations = 0;            ///< DoWhile loop trips.
+  uint64_t spj_executions = 0;        ///< SPJ subquery evaluations.
+  uint64_t tuples_inserted = 0;       ///< Novel facts discovered.
+  uint64_t tuples_considered = 0;     ///< Join emissions before dedup.
+  uint64_t reorders = 0;              ///< Join-order optimizations applied.
+  uint64_t compilations = 0;          ///< Backend compilations started.
+  uint64_t compiled_invocations = 0;  ///< Executions served by compiled code.
+  uint64_t freshness_skips = 0;       ///< Recompilations skipped as fresh.
+
+  std::string ToString() const;
+};
+
+/// Which relational engine executes subqueries (§V-D: Carac's relational
+/// layer is pluggable and has been integrated with a push-based and a
+/// pull-based engine).
+enum class EngineStyle : uint8_t {
+  kPush = 0,  // Driver pushes rows through the join into the insert.
+  kPull = 1,  // Volcano iterator tree; rows are pulled from the root.
+};
+
+const char* EngineStyleName(EngineStyle style);
+
+/// Everything a running evaluation touches. All mutable evaluation state
+/// lives in the database (the property that makes every IR node boundary a
+/// safe point, §V-B3), so this is just the database plus counters.
+class ExecContext {
+ public:
+  explicit ExecContext(storage::DatabaseSet* db) : db_(db) {}
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  storage::DatabaseSet& db() { return *db_; }
+  const storage::DatabaseSet& db() const { return *db_; }
+
+  ExecStats& stats() { return stats_; }
+  const ExecStats& stats() const { return stats_; }
+
+  EngineStyle engine_style() const { return engine_style_; }
+  void set_engine_style(EngineStyle style) { engine_style_ = style; }
+
+ private:
+  storage::DatabaseSet* db_;
+  ExecStats stats_;
+  EngineStyle engine_style_ = EngineStyle::kPush;
+};
+
+}  // namespace carac::ir
+
+#endif  // CARAC_IR_EXEC_CONTEXT_H_

@@ -1,0 +1,319 @@
+#include "ir/interpreter.h"
+
+#include "ir/pull_evaluator.h"
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "datalog/builtins.h"
+#include "util/status.h"
+
+namespace carac::ir {
+
+namespace {
+
+using datalog::BuiltinBindsOutput;
+using datalog::BuiltinOp;
+using storage::Relation;
+using storage::Tuple;
+using storage::Value;
+
+/// Per-column behaviour of one relational atom, precomputed per execution
+/// (atom order can change between executions, so boundness is dynamic).
+struct TermAction {
+  enum class Kind : uint8_t { kCheckConst, kCheckVar, kBind };
+  Kind kind;
+  uint32_t col;
+  Value constant = 0;
+  LocalVar var = -1;
+};
+
+/// For arithmetic builtins: what to do with the output term.
+enum class OutMode : uint8_t { kBind, kCheckVar, kCheckConst };
+
+struct AtomPlan {
+  const AtomSpec* atom = nullptr;
+  const Relation* rel = nullptr;  // Relational atoms only.
+  std::vector<TermAction> actions;
+  // Access path: probe an index on probe_col (value from a constant or an
+  // already-bound variable), or scan when probe_col < 0.
+  int32_t probe_col = -1;
+  bool probe_is_const = false;
+  Value probe_const = 0;
+  LocalVar probe_var = -1;
+  OutMode out_mode = OutMode::kBind;  // Arithmetic builtins only.
+};
+
+/// The join executor. Stack-allocated per subquery evaluation.
+class SubqueryRun {
+ public:
+  SubqueryRun(ExecContext& ctx, const IROp& op) : ctx_(ctx), op_(op) {}
+
+  void Run() {
+    ctx_.stats().spj_executions++;
+    binding_.assign(op_.num_locals, 0);
+    BuildPlan();
+    if (op_.kind == OpKind::kAggregate) {
+      Join(0);
+      FlushAggregates();
+    } else {
+      Join(0);
+    }
+  }
+
+ private:
+  void BuildPlan() {
+    std::vector<bool> bound(op_.num_locals, false);
+    plan_.clear();
+    plan_.reserve(op_.atoms.size());
+    for (const AtomSpec& atom : op_.atoms) {
+      AtomPlan p;
+      p.atom = &atom;
+      if (atom.is_builtin()) {
+        if (BuiltinBindsOutput(atom.builtin)) {
+          const LocalTerm& out = atom.terms[2];
+          if (!out.is_var) {
+            p.out_mode = OutMode::kCheckConst;
+          } else if (bound[out.var]) {
+            p.out_mode = OutMode::kCheckVar;
+          } else {
+            p.out_mode = OutMode::kBind;
+            bound[out.var] = true;
+          }
+        }
+        plan_.push_back(std::move(p));
+        continue;
+      }
+      p.rel = &ctx_.db().Get(atom.predicate, atom.source);
+      if (atom.negated) {
+        // Membership test: every term must be resolvable; no binds.
+        plan_.push_back(std::move(p));
+        continue;
+      }
+      // Probe keys must be available *before* the atom runs: a variable
+      // first bound by this very atom (e.g. the second x of R(x, x)) is a
+      // within-row check, not a probe key.
+      const std::vector<bool> bound_before = bound;
+      for (uint32_t col = 0; col < atom.terms.size(); ++col) {
+        const LocalTerm& t = atom.terms[col];
+        TermAction action;
+        action.col = col;
+        if (!t.is_var) {
+          action.kind = TermAction::Kind::kCheckConst;
+          action.constant = t.constant;
+        } else if (bound[t.var]) {
+          action.kind = TermAction::Kind::kCheckVar;
+          action.var = t.var;
+        } else {
+          action.kind = TermAction::Kind::kBind;
+          action.var = t.var;
+          bound[t.var] = true;
+        }
+        // Pick the first index-supported column whose key is known before
+        // the atom executes.
+        if (p.probe_col < 0 && action.kind != TermAction::Kind::kBind &&
+            (!t.is_var || bound_before[t.var]) && p.rel->HasIndex(col)) {
+          p.probe_col = static_cast<int32_t>(col);
+          p.probe_is_const = action.kind == TermAction::Kind::kCheckConst;
+          p.probe_const = action.constant;
+          p.probe_var = action.var;
+        }
+        p.actions.push_back(action);
+      }
+      plan_.push_back(std::move(p));
+    }
+  }
+
+  Value Resolve(const LocalTerm& t) const {
+    return t.is_var ? binding_[t.var] : t.constant;
+  }
+
+  void Join(size_t i) {
+    if (i == plan_.size()) {
+      Emit();
+      return;
+    }
+    const AtomPlan& p = plan_[i];
+    const AtomSpec& atom = *p.atom;
+
+    if (atom.is_builtin()) {
+      const Value x = Resolve(atom.terms[0]);
+      const Value y = Resolve(atom.terms[1]);
+      if (!BuiltinBindsOutput(atom.builtin)) {
+        if (datalog::EvalComparison(atom.builtin, x, y)) Join(i + 1);
+        return;
+      }
+      Value z;
+      if (!datalog::EvalArithmetic(atom.builtin, x, y, &z)) return;
+      switch (p.out_mode) {
+        case OutMode::kBind:
+          binding_[atom.terms[2].var] = z;
+          Join(i + 1);
+          return;
+        case OutMode::kCheckVar:
+          if (binding_[atom.terms[2].var] == z) Join(i + 1);
+          return;
+        case OutMode::kCheckConst:
+          if (atom.terms[2].constant == z) Join(i + 1);
+          return;
+      }
+      return;
+    }
+
+    if (atom.negated) {
+      scratch_.clear();
+      for (const LocalTerm& t : atom.terms) scratch_.push_back(Resolve(t));
+      if (!p.rel->Contains(scratch_)) Join(i + 1);
+      return;
+    }
+
+    auto match = [&](const Tuple& t) {
+      for (const TermAction& action : p.actions) {
+        const Value v = t[action.col];
+        switch (action.kind) {
+          case TermAction::Kind::kCheckConst:
+            if (v != action.constant) return;
+            break;
+          case TermAction::Kind::kCheckVar:
+            if (v != binding_[action.var]) return;
+            break;
+          case TermAction::Kind::kBind:
+            binding_[action.var] = v;
+            break;
+        }
+      }
+      Join(i + 1);
+    };
+
+    if (p.probe_col >= 0) {
+      const Value key =
+          p.probe_is_const ? p.probe_const : binding_[p.probe_var];
+      for (const Tuple* t :
+           p.rel->Probe(static_cast<size_t>(p.probe_col), key)) {
+        match(*t);
+      }
+    } else {
+      for (const Tuple& t : p.rel->rows()) match(t);
+    }
+  }
+
+  void Emit() {
+    ctx_.stats().tuples_considered++;
+    if (op_.kind == OpKind::kAggregate) {
+      scratch_.clear();
+      for (size_t i = 0; i + 1 < op_.head_terms.size(); ++i) {
+        scratch_.push_back(Resolve(op_.head_terms[i]));
+      }
+      // Set semantics: aggregate over *distinct* witnesses so results do
+      // not depend on the join order or on how many derivations produce
+      // the same witness. count uses the full variable binding as witness
+      // (number of distinct body matches); sum/min/max use the operand.
+      Tuple witness = op_.agg == datalog::AggFunc::kCount
+                          ? binding_
+                          : Tuple{binding_[op_.agg_operand]};
+      witnesses_.emplace(scratch_, std::move(witness));
+      return;
+    }
+    scratch_.clear();
+    for (const LocalTerm& t : op_.head_terms) scratch_.push_back(Resolve(t));
+    InsertResult(scratch_);
+  }
+
+  void InsertResult(const Tuple& tuple) {
+    storage::DatabaseSet& db = ctx_.db();
+    if (db.Get(op_.target, storage::DbKind::kDerived).Contains(tuple)) return;
+    if (db.Get(op_.target, storage::DbKind::kDeltaNew).Insert(tuple)) {
+      ctx_.stats().tuples_inserted++;
+    }
+  }
+
+  void FlushAggregates() {
+    std::map<Tuple, Value> groups;
+    for (const auto& [key, witness] : witnesses_) {
+      Value contribution =
+          op_.agg == datalog::AggFunc::kCount ? 1 : witness[0];
+      auto [it, inserted] = groups.emplace(key, contribution);
+      if (inserted) continue;
+      switch (op_.agg) {
+        case datalog::AggFunc::kCount:
+        case datalog::AggFunc::kSum:
+          it->second += contribution;
+          break;
+        case datalog::AggFunc::kMin:
+          if (contribution < it->second) it->second = contribution;
+          break;
+        case datalog::AggFunc::kMax:
+          if (contribution > it->second) it->second = contribution;
+          break;
+        case datalog::AggFunc::kNone:
+          break;
+      }
+    }
+    for (const auto& [key, value] : groups) {
+      Tuple tuple = key;
+      tuple.push_back(value);
+      InsertResult(tuple);
+    }
+  }
+
+  ExecContext& ctx_;
+  const IROp& op_;
+  std::vector<AtomPlan> plan_;
+  std::vector<Value> binding_;
+  Tuple scratch_;
+  // Aggregation state: distinct (group key, witness) pairs.
+  std::set<std::pair<Tuple, Tuple>> witnesses_;
+};
+
+}  // namespace
+
+void RunSubquery(ExecContext& ctx, const IROp& op) {
+  CARAC_CHECK(op.kind == OpKind::kSpj || op.kind == OpKind::kAggregate);
+  // Aggregates always run through the push engine (they accumulate
+  // witnesses); plain SPJs dispatch on the configured relational engine.
+  if (op.kind == OpKind::kSpj &&
+      ctx.engine_style() == EngineStyle::kPull) {
+    RunSubqueryPull(ctx, op);
+    return;
+  }
+  SubqueryRun run(ctx, op);
+  run.Run();
+}
+
+void Interpreter::Execute(IROp& op) {
+  if (jit_ != nullptr && jit_->MaybeRunCompiled(op, *ctx_, *this)) return;
+  ExecuteNode(op);
+}
+
+void Interpreter::ExecuteNode(IROp& op) {
+  switch (op.kind) {
+    case OpKind::kProgram:
+    case OpKind::kSequence:
+    case OpKind::kUnionAll:
+    case OpKind::kUnion:
+      for (auto& child : op.children) Execute(*child);
+      return;
+    case OpKind::kDoWhile:
+      do {
+        ctx_->stats().iterations++;
+        Execute(*op.children[0]);
+      } while (ctx_->db().AnyDeltaKnownNonEmpty(op.relations));
+      return;
+    case OpKind::kSwapClear:
+      ctx_->db().SwapClearMerge(op.relations);
+      return;
+    case OpKind::kSpj:
+    case OpKind::kAggregate:
+      ExecuteSubquery(op);
+      return;
+  }
+}
+
+void Interpreter::ExecuteSubquery(IROp& op) {
+  if (jit_ != nullptr) jit_->BeforeSubquery(op, *ctx_);
+  RunSubquery(*ctx_, op);
+}
+
+}  // namespace carac::ir

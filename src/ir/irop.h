@@ -1,0 +1,123 @@
+#ifndef CARAC_IR_IROP_H_
+#define CARAC_IR_IROP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "storage/database.h"
+
+namespace carac::ir {
+
+/// Local variable id inside one SPJ subquery. Lowering remaps the rule's
+/// program-wide variables to dense per-subquery locals so that execution
+/// and the compiled backends can use flat binding arrays.
+using LocalVar = int32_t;
+
+/// A term of an SPJ atom after local remapping.
+struct LocalTerm {
+  bool is_var = false;
+  LocalVar var = -1;
+  storage::Value constant = 0;
+
+  static LocalTerm Var(LocalVar v) { return LocalTerm{true, v, 0}; }
+  static LocalTerm Const(storage::Value c) { return LocalTerm{false, -1, c}; }
+};
+
+/// One atom inside an SPJ subquery. Relational atoms carry the database
+/// they read (Derived or DeltaKnown — the semi-naive split, §II-A); builtin
+/// atoms evaluate in place; negated atoms are membership tests.
+struct AtomSpec {
+  datalog::BuiltinOp builtin = datalog::BuiltinOp::kNone;
+  datalog::PredicateId predicate = datalog::kInvalidPredicate;
+  storage::DbKind source = storage::DbKind::kDerived;
+  bool negated = false;
+  std::vector<LocalTerm> terms;
+
+  bool is_builtin() const { return builtin != datalog::BuiltinOp::kNone; }
+  bool is_relational() const { return !is_builtin(); }
+  /// True for positive relational atoms — the ones the join orderer moves.
+  bool is_join_atom() const { return is_relational() && !negated; }
+};
+
+/// IR operator kinds, mirroring the paper's Fig. 4.
+enum class OpKind : uint8_t {
+  kProgram,    // Root: sequence of strata.
+  kSequence,   // Ordered children.
+  kDoWhile,    // Fixpoint loop: run body, repeat while any delta non-empty.
+  kSwapClear,  // End-of-iteration delta maintenance for a relation set.
+  kUnionAll,   // "UnionOp*": all subqueries feeding one relation.
+  kUnion,      // Union of the SPJ subqueries of one rule definition.
+  kSpj,        // Select-project-join + insert into the target delta.
+  kAggregate,  // Grouped aggregation over a (non-recursive) rule body.
+};
+
+const char* OpKindName(OpKind kind);
+
+/// A node of the IR program. A single tagged struct (rather than a class
+/// hierarchy) keeps cloning, reordering and code generation simple — the
+/// C++ analog of the paper's GADT encoding, which likewise allows every
+/// node to be either interpreted or compiled.
+struct IROp {
+  OpKind kind;
+  /// Unique id across the owning IRProgram; used as compile-cache key and
+  /// as the continuation label spliced into snippet-compiled code.
+  uint32_t node_id = 0;
+
+  std::vector<std::unique_ptr<IROp>> children;
+
+  /// kDoWhile / kSwapClear: the stratum's relations. kUnionAll: singleton —
+  /// the fed relation.
+  std::vector<datalog::PredicateId> relations;
+
+  // ---- kSpj / kAggregate payload ----
+  datalog::PredicateId target = datalog::kInvalidPredicate;
+  /// Projection producing the head tuple, in head-column order.
+  std::vector<LocalTerm> head_terms;
+  /// Body atoms in execution order. The join orderer permutes this vector
+  /// (positive relational atoms move; builtins and negations are re-placed
+  /// at their earliest valid position).
+  std::vector<AtomSpec> atoms;
+  /// Number of distinct local variables across atoms + head.
+  int32_t num_locals = 0;
+  /// Which rule produced this subquery and which join atom reads the
+  /// delta (-1 for the naive initial pass). Diagnostics and tests only.
+  uint32_t rule_index = 0;
+  int32_t delta_pos = -1;
+
+  // kAggregate only:
+  datalog::AggFunc agg = datalog::AggFunc::kNone;
+  LocalVar agg_operand = -1;
+
+  explicit IROp(OpKind k) : kind(k) {}
+  IROp(const IROp&) = delete;
+  IROp& operator=(const IROp&) = delete;
+
+  /// Deep copy (fresh nodes share node_ids with the source — used by the
+  /// backends to snapshot a subtree at compile time).
+  std::unique_ptr<IROp> Clone() const;
+};
+
+/// A lowered program: the IR tree plus lookup tables.
+struct IRProgram {
+  std::unique_ptr<IROp> root;
+  uint32_t num_nodes = 0;
+
+  /// node_id -> node, for snippet continuations.
+  std::vector<IROp*> by_id;
+
+  void RebuildIndex();
+
+  /// Multi-line rendering for debugging and golden tests.
+  std::string ToString(const datalog::Program& program) const;
+};
+
+/// Renders one node (subtree) as an indented string.
+std::string OpToString(const IROp& op, const datalog::Program& program,
+                       int indent = 0);
+
+}  // namespace carac::ir
+
+#endif  // CARAC_IR_IROP_H_

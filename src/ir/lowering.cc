@@ -1,0 +1,308 @@
+#include "ir/lowering.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+namespace carac::ir {
+
+namespace {
+
+/// Tracks node-id assignment during one lowering.
+struct LoweringState {
+  const datalog::Program* program;
+  uint32_t next_id = 0;
+
+  std::unique_ptr<IROp> NewOp(OpKind kind) {
+    auto op = std::make_unique<IROp>(kind);
+    op->node_id = next_id++;
+    return op;
+  }
+};
+
+/// Remaps one rule's program variables to dense locals.
+class LocalMapper {
+ public:
+  LocalTerm Map(const datalog::Term& term) {
+    if (term.is_const()) return LocalTerm::Const(term.constant);
+    auto [it, inserted] = map_.emplace(term.var, next_);
+    if (inserted) ++next_;
+    return LocalTerm::Var(it->second);
+  }
+
+  LocalVar MapVar(datalog::VarId var) {
+    auto [it, inserted] = map_.emplace(var, next_);
+    if (inserted) ++next_;
+    return it->second;
+  }
+
+  int32_t num_locals() const { return next_; }
+
+ private:
+  std::map<datalog::VarId, LocalVar> map_;
+  LocalVar next_ = 0;
+};
+
+/// Variables an atom requires bound before it can execute.
+void FloaterInputs(const AtomSpec& atom, std::set<LocalVar>* inputs) {
+  if (atom.is_builtin()) {
+    const size_t n_inputs = datalog::BuiltinBindsOutput(atom.builtin) ? 2 : 2;
+    for (size_t i = 0; i < n_inputs && i < atom.terms.size(); ++i) {
+      if (atom.terms[i].is_var) inputs->insert(atom.terms[i].var);
+    }
+    // A constant or pre-bound output term is a check, not a binder; a
+    // variable output binds, so it is not an input.
+  } else {
+    // Negated atom: every variable must be bound.
+    for (const LocalTerm& t : atom.terms) {
+      if (t.is_var) inputs->insert(t.var);
+    }
+  }
+}
+
+void AtomBinds(const AtomSpec& atom, std::set<LocalVar>* bound) {
+  if (atom.is_join_atom()) {
+    for (const LocalTerm& t : atom.terms) {
+      if (t.is_var) bound->insert(t.var);
+    }
+  } else if (atom.is_builtin() && datalog::BuiltinBindsOutput(atom.builtin) &&
+             atom.terms[2].is_var) {
+    bound->insert(atom.terms[2].var);
+  }
+}
+
+}  // namespace
+
+std::vector<AtomSpec> ScheduleAtoms(const std::vector<AtomSpec>& join_atoms,
+                                    const std::vector<AtomSpec>& floaters) {
+  std::vector<AtomSpec> out;
+  out.reserve(join_atoms.size() + floaters.size());
+  std::set<LocalVar> bound;
+  std::vector<bool> placed(floaters.size(), false);
+
+  auto try_place_floaters = [&]() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (size_t f = 0; f < floaters.size(); ++f) {
+        if (placed[f]) continue;
+        std::set<LocalVar> inputs;
+        FloaterInputs(floaters[f], &inputs);
+        bool ready = true;
+        for (LocalVar v : inputs) {
+          if (bound.count(v) == 0) {
+            ready = false;
+            break;
+          }
+        }
+        if (ready) {
+          placed[f] = true;
+          out.push_back(floaters[f]);
+          AtomBinds(floaters[f], &bound);  // Arithmetic may bind outputs.
+          progress = true;
+        }
+      }
+    }
+  };
+
+  for (const AtomSpec& join : join_atoms) {
+    try_place_floaters();
+    out.push_back(join);
+    AtomBinds(join, &bound);
+  }
+  try_place_floaters();
+
+  // Rule validation guarantees a valid schedule exists.
+  for (bool p : placed) CARAC_CHECK(p);
+  return out;
+}
+
+namespace {
+
+/// Builds the SPJ/Aggregate node for `rule`. `delta_pos` selects which
+/// join atom (index among the positive relational atoms) reads DeltaKnown;
+/// -1 produces the naive variant reading Derived everywhere.
+std::unique_ptr<IROp> BuildSubquery(LoweringState* state,
+                                    const datalog::Rule& rule,
+                                    uint32_t rule_index, int32_t delta_pos,
+                                    const std::vector<int32_t>& stratum_of,
+                                    int32_t stratum) {
+  LocalMapper mapper;
+  std::vector<AtomSpec> joins;
+  std::vector<AtomSpec> floaters;
+
+  int32_t join_idx = 0;
+  for (const datalog::Atom& atom : rule.body) {
+    AtomSpec spec;
+    spec.builtin = atom.builtin;
+    spec.predicate = atom.predicate;
+    spec.negated = atom.negated;
+    spec.terms.reserve(atom.terms.size());
+    for (const datalog::Term& t : atom.terms) spec.terms.push_back(mapper.Map(t));
+    if (spec.is_join_atom()) {
+      const bool same_stratum =
+          stratum_of[atom.predicate] == stratum && stratum >= 0;
+      spec.source = (same_stratum && join_idx == delta_pos)
+                        ? storage::DbKind::kDeltaKnown
+                        : storage::DbKind::kDerived;
+      joins.push_back(std::move(spec));
+      ++join_idx;
+    } else {
+      spec.source = storage::DbKind::kDerived;  // Negations read Derived.
+      floaters.push_back(std::move(spec));
+    }
+  }
+
+  const bool is_agg = rule.agg != datalog::AggFunc::kNone;
+  auto op = state->NewOp(is_agg ? OpKind::kAggregate : OpKind::kSpj);
+  op->target = rule.head.predicate;
+  op->rule_index = rule_index;
+  op->delta_pos = delta_pos;
+  op->atoms = ScheduleAtoms(joins, floaters);
+  op->head_terms.reserve(rule.head.terms.size());
+  for (const datalog::Term& t : rule.head.terms) {
+    op->head_terms.push_back(mapper.Map(t));
+  }
+  if (is_agg) {
+    op->agg = rule.agg;
+    op->agg_operand =
+        rule.agg == datalog::AggFunc::kCount ? -1 : mapper.MapVar(rule.agg_operand);
+  }
+  op->num_locals = mapper.num_locals();
+  return op;
+}
+
+/// Indices (among the positive relational body atoms) whose predicates
+/// belong to `stratum` — the candidate delta positions.
+std::vector<int32_t> DeltaPositions(const datalog::Rule& rule,
+                                    const std::vector<int32_t>& stratum_of,
+                                    int32_t stratum) {
+  std::vector<int32_t> positions;
+  int32_t join_idx = 0;
+  for (const datalog::Atom& atom : rule.body) {
+    if (atom.is_relational() && !atom.negated) {
+      if (stratum_of[atom.predicate] == stratum) positions.push_back(join_idx);
+      ++join_idx;
+    }
+  }
+  return positions;
+}
+
+void DeclareRuleIndexes(const datalog::Program& program,
+                        storage::DatabaseSet* db) {
+  for (const datalog::Rule& rule : program.rules()) {
+    // Count variable occurrences across the body's relational atoms (plus
+    // builtin inputs, which also benefit from index probes on their
+    // binder); shared variables are join keys.
+    std::map<datalog::VarId, int> occurrences;
+    for (const datalog::Atom& atom : rule.body) {
+      for (const datalog::Term& t : atom.terms) {
+        if (t.is_var()) ++occurrences[t.var];
+      }
+    }
+    for (const datalog::Atom& atom : rule.body) {
+      if (!atom.is_relational()) continue;
+      for (size_t col = 0; col < atom.terms.size(); ++col) {
+        const datalog::Term& t = atom.terms[col];
+        if (t.is_const() || occurrences[t.var] > 1) {
+          db->DeclareIndex(atom.predicate, col);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+util::Status Lower(datalog::Program* program,
+                   const datalog::Stratification& strata, bool declare_indexes,
+                   IRProgram* out) {
+  LoweringState state;
+  state.program = program;
+
+  if (declare_indexes) {
+    DeclareRuleIndexes(*program, &program->db());
+  }
+
+  auto root = state.NewOp(OpKind::kProgram);
+  const std::vector<datalog::Rule>& rules = program->rules();
+
+  for (size_t s = 0; s < strata.strata.size(); ++s) {
+    const datalog::Stratum& stratum = strata.strata[s];
+    auto seq = state.NewOp(OpKind::kSequence);
+
+    // ---- Naive initial pass: every rule, all atoms read Derived. ----
+    for (datalog::PredicateId rel : stratum.predicates) {
+      auto union_all = state.NewOp(OpKind::kUnionAll);
+      union_all->relations = {rel};
+      for (size_t i = 0; i < stratum.rule_indices.size(); ++i) {
+        const uint32_t r = stratum.rule_indices[i];
+        if (rules[r].head.predicate != rel) continue;
+        auto union_op = state.NewOp(OpKind::kUnion);
+        union_op->target = rel;
+        union_op->children.push_back(BuildSubquery(
+            &state, rules[r], r, /*delta_pos=*/-1, strata.stratum_of,
+            static_cast<int32_t>(s)));
+        union_all->children.push_back(std::move(union_op));
+      }
+      if (!union_all->children.empty()) {
+        seq->children.push_back(std::move(union_all));
+      }
+    }
+    auto init_swap = state.NewOp(OpKind::kSwapClear);
+    init_swap->relations = stratum.predicates;
+    seq->children.push_back(std::move(init_swap));
+
+    // ---- Semi-naive fixpoint loop over the recursive rules. ----
+    bool any_recursive = false;
+    for (bool rec : stratum.rule_is_recursive) any_recursive |= rec;
+    if (any_recursive) {
+      auto loop = state.NewOp(OpKind::kDoWhile);
+      loop->relations = stratum.predicates;
+      auto body = state.NewOp(OpKind::kSequence);
+
+      for (datalog::PredicateId rel : stratum.predicates) {
+        auto union_all = state.NewOp(OpKind::kUnionAll);
+        union_all->relations = {rel};
+        for (size_t i = 0; i < stratum.rule_indices.size(); ++i) {
+          if (!stratum.rule_is_recursive[i]) continue;
+          const uint32_t r = stratum.rule_indices[i];
+          if (rules[r].head.predicate != rel) continue;
+          auto union_op = state.NewOp(OpKind::kUnion);
+          union_op->target = rel;
+          for (int32_t pos : DeltaPositions(rules[r], strata.stratum_of,
+                                            static_cast<int32_t>(s))) {
+            union_op->children.push_back(
+                BuildSubquery(&state, rules[r], r, pos, strata.stratum_of,
+                              static_cast<int32_t>(s)));
+          }
+          union_all->children.push_back(std::move(union_op));
+        }
+        if (!union_all->children.empty()) {
+          body->children.push_back(std::move(union_all));
+        }
+      }
+      auto loop_swap = state.NewOp(OpKind::kSwapClear);
+      loop_swap->relations = stratum.predicates;
+      body->children.push_back(std::move(loop_swap));
+      loop->children.push_back(std::move(body));
+      seq->children.push_back(std::move(loop));
+    }
+
+    root->children.push_back(std::move(seq));
+  }
+
+  out->root = std::move(root);
+  out->num_nodes = state.next_id;
+  out->RebuildIndex();
+  return util::Status::Ok();
+}
+
+util::Status LowerProgram(datalog::Program* program, bool declare_indexes,
+                          IRProgram* out) {
+  datalog::Stratification strata;
+  CARAC_RETURN_IF_ERROR(datalog::Stratify(*program, &strata));
+  return Lower(program, strata, declare_indexes, out);
+}
+
+}  // namespace carac::ir

@@ -1,0 +1,38 @@
+#ifndef CARAC_IR_LOWERING_H_
+#define CARAC_IR_LOWERING_H_
+
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/stratify.h"
+#include "ir/irop.h"
+#include "util/status.h"
+
+namespace carac::ir {
+
+/// Lowers a Datalog program to the IR via the Semi-Naive transform (the
+/// Futamura-projection step of §V-B1): per stratum, a naive initial pass
+/// seeding the deltas, then a DoWhile loop of delta-split SPJ subqueries.
+///
+/// When `declare_indexes` is true, a hash index is declared on every
+/// relation column that carries a constant or a shared (join) variable in
+/// any rule body — the paper's one-index-per-predicate policy (§IV). Index
+/// declarations still respect DatabaseSet::SetIndexingEnabled.
+util::Status Lower(datalog::Program* program,
+                   const datalog::Stratification& strata, bool declare_indexes,
+                   IRProgram* out);
+
+/// Convenience: stratify + Lower.
+util::Status LowerProgram(datalog::Program* program, bool declare_indexes,
+                          IRProgram* out);
+
+/// Interleaves non-join atoms ("floaters": builtins and negations) into a
+/// given order of join atoms, placing each floater at the earliest point
+/// where its inputs are bound. Exposed for the join orderer, which permutes
+/// join atoms and must then re-place the floaters.
+std::vector<AtomSpec> ScheduleAtoms(const std::vector<AtomSpec>& join_atoms,
+                                    const std::vector<AtomSpec>& floaters);
+
+}  // namespace carac::ir
+
+#endif  // CARAC_IR_LOWERING_H_

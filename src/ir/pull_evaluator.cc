@@ -1,0 +1,227 @@
+#include "ir/pull_evaluator.h"
+
+#include <memory>
+#include <vector>
+
+#include "datalog/builtins.h"
+#include "util/status.h"
+
+namespace carac::ir {
+
+namespace {
+
+using datalog::BuiltinBindsOutput;
+using storage::Relation;
+using storage::Tuple;
+using storage::Value;
+
+/// One Volcano operator: Reset() re-opens it under the current binding
+/// (outer rows are visible through the shared binding array), Next()
+/// produces the operator's next match and updates the binding.
+class RowSource {
+ public:
+  virtual ~RowSource() = default;
+  virtual void Reset(std::vector<Value>& binding) = 0;
+  virtual bool Next(std::vector<Value>& binding) = 0;
+};
+
+/// Scan / index-probe leaf for one positive relational atom.
+class ScanSource : public RowSource {
+ public:
+  ScanSource(const Relation* rel, const AtomSpec* atom,
+             std::vector<bool> bound_before)
+      : rel_(rel), atom_(atom), bound_before_(std::move(bound_before)) {
+    for (size_t col = 0; col < atom_->terms.size(); ++col) {
+      const LocalTerm& t = atom_->terms[col];
+      const bool pre_bound = !t.is_var || bound_before_[t.var];
+      if (probe_col_ < 0 && pre_bound && rel_->HasIndex(col)) {
+        probe_col_ = static_cast<int32_t>(col);
+      }
+    }
+  }
+
+  void Reset(std::vector<Value>& binding) override {
+    if (probe_col_ >= 0) {
+      const LocalTerm& key = atom_->terms[probe_col_];
+      bucket_ = &rel_->Probe(static_cast<size_t>(probe_col_),
+                             key.is_var ? binding[key.var] : key.constant);
+      bucket_pos_ = 0;
+    } else {
+      it_ = rel_->rows().begin();
+      end_ = rel_->rows().end();
+    }
+  }
+
+  bool Next(std::vector<Value>& binding) override {
+    for (;;) {
+      const Tuple* row = nullptr;
+      if (probe_col_ >= 0) {
+        if (bucket_pos_ >= bucket_->size()) return false;
+        row = (*bucket_)[bucket_pos_++];
+      } else {
+        if (it_ == end_) return false;
+        row = &*it_;
+        ++it_;
+      }
+      if (Matches(*row, binding)) return true;
+    }
+  }
+
+ private:
+  bool Matches(const Tuple& row, std::vector<Value>& binding) const {
+    // Interleaved check/bind so R(x, x) filters on its second column.
+    std::vector<bool> bound = bound_before_;
+    for (size_t col = 0; col < atom_->terms.size(); ++col) {
+      const LocalTerm& t = atom_->terms[col];
+      if (!t.is_var) {
+        if (row[col] != t.constant) return false;
+      } else if (bound[t.var]) {
+        if (row[col] != binding[t.var]) return false;
+      } else {
+        binding[t.var] = row[col];
+        bound[t.var] = true;
+      }
+    }
+    return true;
+  }
+
+  const Relation* rel_;
+  const AtomSpec* atom_;
+  std::vector<bool> bound_before_;
+  int32_t probe_col_ = -1;
+  const std::vector<const Tuple*>* bucket_ = nullptr;
+  size_t bucket_pos_ = 0;
+  std::unordered_set<Tuple, storage::TupleHash>::const_iterator it_, end_;
+};
+
+/// Builtin atom: a zero-or-one-row source (filter, or arithmetic binder).
+class BuiltinSource : public RowSource {
+ public:
+  BuiltinSource(const AtomSpec* atom, bool out_was_bound)
+      : atom_(atom), out_was_bound_(out_was_bound) {}
+
+  void Reset(std::vector<Value>& /*binding*/) override { produced_ = false; }
+
+  bool Next(std::vector<Value>& binding) override {
+    if (produced_) return false;
+    produced_ = true;
+    auto term_value = [&](const LocalTerm& t) {
+      return t.is_var ? binding[t.var] : t.constant;
+    };
+    const Value x = term_value(atom_->terms[0]);
+    const Value y = term_value(atom_->terms[1]);
+    if (!BuiltinBindsOutput(atom_->builtin)) {
+      return datalog::EvalComparison(atom_->builtin, x, y);
+    }
+    Value z;
+    if (!datalog::EvalArithmetic(atom_->builtin, x, y, &z)) return false;
+    const LocalTerm& out = atom_->terms[2];
+    if (!out.is_var) return out.constant == z;
+    if (out_was_bound_) return binding[out.var] == z;
+    binding[out.var] = z;
+    return true;
+  }
+
+ private:
+  const AtomSpec* atom_;
+  bool out_was_bound_;
+  bool produced_ = false;
+};
+
+/// Negated atom: antijoin membership test (zero-or-one empty row).
+class NegationSource : public RowSource {
+ public:
+  NegationSource(const Relation* rel, const AtomSpec* atom)
+      : rel_(rel), atom_(atom) {}
+
+  void Reset(std::vector<Value>& /*binding*/) override { produced_ = false; }
+
+  bool Next(std::vector<Value>& binding) override {
+    if (produced_) return false;
+    produced_ = true;
+    scratch_.clear();
+    for (const LocalTerm& t : atom_->terms) {
+      scratch_.push_back(t.is_var ? binding[t.var] : t.constant);
+    }
+    return !rel_->Contains(scratch_);
+  }
+
+ private:
+  const Relation* rel_;
+  const AtomSpec* atom_;
+  Tuple scratch_;
+  bool produced_ = false;
+};
+
+}  // namespace
+
+void RunSubqueryPull(ExecContext& ctx, const IROp& op) {
+  CARAC_CHECK(op.kind == OpKind::kSpj);
+  ctx.stats().spj_executions++;
+
+  // Build the iterator pipeline, tracking static boundness per stage.
+  std::vector<std::unique_ptr<RowSource>> pipeline;
+  pipeline.reserve(op.atoms.size());
+  std::vector<bool> bound(op.num_locals, false);
+  for (const AtomSpec& atom : op.atoms) {
+    if (atom.is_builtin()) {
+      const LocalTerm& out =
+          BuiltinBindsOutput(atom.builtin) ? atom.terms[2] : LocalTerm();
+      const bool out_was_bound = out.is_var && bound[out.var];
+      pipeline.push_back(
+          std::make_unique<BuiltinSource>(&atom, out_was_bound));
+      if (BuiltinBindsOutput(atom.builtin) && out.is_var) {
+        bound[out.var] = true;
+      }
+    } else if (atom.negated) {
+      pipeline.push_back(std::make_unique<NegationSource>(
+          &ctx.db().Get(atom.predicate, atom.source), &atom));
+    } else {
+      pipeline.push_back(std::make_unique<ScanSource>(
+          &ctx.db().Get(atom.predicate, atom.source), &atom, bound));
+      for (const LocalTerm& t : atom.terms) {
+        if (t.is_var) bound[t.var] = true;
+      }
+    }
+  }
+
+  storage::DatabaseSet& db = ctx.db();
+  Relation& derived = db.Get(op.target, storage::DbKind::kDerived);
+  Relation& delta_new = db.Get(op.target, storage::DbKind::kDeltaNew);
+  std::vector<Value> binding(op.num_locals, 0);
+  Tuple head;
+
+  auto emit = [&] {
+    ctx.stats().tuples_considered++;
+    head.clear();
+    for (const LocalTerm& t : op.head_terms) {
+      head.push_back(t.is_var ? binding[t.var] : t.constant);
+    }
+    if (derived.Contains(head)) return;
+    if (delta_new.Insert(head)) ctx.stats().tuples_inserted++;
+  };
+
+  if (pipeline.empty()) {
+    emit();
+    return;
+  }
+
+  // The Volcano get-next loop over the pipeline's cursor stack.
+  const int n = static_cast<int>(pipeline.size());
+  int depth = 0;
+  pipeline[0]->Reset(binding);
+  while (depth >= 0) {
+    if (!pipeline[depth]->Next(binding)) {
+      --depth;
+      continue;
+    }
+    if (depth == n - 1) {
+      emit();
+    } else {
+      ++depth;
+      pipeline[depth]->Reset(binding);
+    }
+  }
+}
+
+}  // namespace carac::ir

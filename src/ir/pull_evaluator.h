@@ -1,0 +1,24 @@
+#ifndef CARAC_IR_PULL_EVALUATOR_H_
+#define CARAC_IR_PULL_EVALUATOR_H_
+
+#include "ir/exec_context.h"
+#include "ir/irop.h"
+
+namespace carac::ir {
+
+/// The pull-based (Volcano-style) relational engine. §V-D notes Carac's
+/// relational layer has been integrated with "a typical push-based and a
+/// pull-based engine": RunSubquery in interpreter.cc is the push-based
+/// one (it drives each tuple through the join and into the insert), while
+/// this evaluator builds an iterator tree per subquery — scan/probe leaves
+/// under nested-loop join, filter and antijoin operators — and *pulls*
+/// result rows from the root, inserting each into the target delta.
+///
+/// Both engines produce identical results (enforced by property tests);
+/// they differ only in control flow and per-row overheads. The engine in
+/// use is selected per evaluation via ExecContext::engine_style.
+void RunSubqueryPull(ExecContext& ctx, const IROp& op);
+
+}  // namespace carac::ir
+
+#endif  // CARAC_IR_PULL_EVALUATOR_H_

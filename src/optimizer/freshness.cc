@@ -1,0 +1,54 @@
+#include "optimizer/freshness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+namespace carac::optimizer {
+
+FreshnessTracker::Observation FreshnessTracker::Observe(
+    const ir::IROp& op, const StatsSnapshot& stats) {
+  Observation obs;
+  std::function<void(const ir::IROp&)> visit = [&](const ir::IROp& node) {
+    if (node.kind == ir::OpKind::kSpj || node.kind == ir::OpKind::kAggregate) {
+      for (const ir::AtomSpec& atom : node.atoms) {
+        if (atom.is_relational()) obs.push_back(stats.AtomCardinality(atom));
+      }
+    }
+    for (const auto& child : node.children) visit(*child);
+  };
+  visit(op);
+  return obs;
+}
+
+void FreshnessTracker::Record(uint32_t node_id, const ir::IROp& op,
+                              const StatsSnapshot& stats) {
+  recorded_[node_id] = Observe(op, stats);
+}
+
+bool FreshnessTracker::IsFresh(uint32_t node_id, const ir::IROp& op,
+                               const StatsSnapshot& stats) const {
+  auto it = recorded_.find(node_id);
+  if (it == recorded_.end()) return false;
+  const Observation now = Observe(op, stats);
+  const Observation& then = it->second;
+  if (now.size() != then.size()) return false;
+
+  // Compare *relative* proportions: scale both observations to sum 1 and
+  // flag staleness when any input's share moved more than the threshold.
+  // A uniform growth of all relations keeps the old join order optimal;
+  // only relative shifts (e.g. a delta emptying out) matter.
+  const double sum_now = std::max<double>(
+      1.0, std::accumulate(now.begin(), now.end(), uint64_t{0}));
+  const double sum_then = std::max<double>(
+      1.0, std::accumulate(then.begin(), then.end(), uint64_t{0}));
+  for (size_t i = 0; i < now.size(); ++i) {
+    const double share_now = static_cast<double>(now[i]) / sum_now;
+    const double share_then = static_cast<double>(then[i]) / sum_then;
+    if (std::fabs(share_now - share_then) > threshold_) return false;
+  }
+  return true;
+}
+
+}  // namespace carac::optimizer

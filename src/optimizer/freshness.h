@@ -1,0 +1,50 @@
+#ifndef CARAC_OPTIMIZER_FRESHNESS_H_
+#define CARAC_OPTIMIZER_FRESHNESS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/irop.h"
+#include "optimizer/statistics.h"
+
+namespace carac::optimizer {
+
+/// The "freshness" test of §V-B2: before recompiling a higher-overhead
+/// target, check whether the cardinalities feeding the node's subqueries
+/// have shifted, relative to each other, beyond a tunable threshold. If
+/// they have not, the existing compiled artifact is still a good plan and
+/// recompilation is skipped.
+class FreshnessTracker {
+ public:
+  explicit FreshnessTracker(double threshold) : threshold_(threshold) {}
+
+  /// Records the statistics a node was (re)compiled against.
+  void Record(uint32_t node_id, const ir::IROp& op,
+              const StatsSnapshot& stats);
+
+  /// True if the node's inputs are still "fresh" w.r.t. the recorded
+  /// snapshot — i.e. recompilation can be skipped. Unknown nodes are
+  /// stale by definition.
+  bool IsFresh(uint32_t node_id, const ir::IROp& op,
+               const StatsSnapshot& stats) const;
+
+  void Forget(uint32_t node_id) { recorded_.erase(node_id); }
+  void Clear() { recorded_.clear(); }
+
+  double threshold() const { return threshold_; }
+
+ private:
+  /// (predicate, store) cardinalities observed at compile time, in the
+  /// deterministic order produced by CollectInputs.
+  using Observation = std::vector<uint64_t>;
+
+  static Observation Observe(const ir::IROp& op, const StatsSnapshot& stats);
+
+  double threshold_;
+  std::unordered_map<uint32_t, Observation> recorded_;
+};
+
+}  // namespace carac::optimizer
+
+#endif  // CARAC_OPTIMIZER_FRESHNESS_H_

@@ -1,0 +1,41 @@
+#ifndef CARAC_OPTIMIZER_JOIN_ORDER_H_
+#define CARAC_OPTIMIZER_JOIN_ORDER_H_
+
+#include "ir/irop.h"
+#include "optimizer/statistics.h"
+
+namespace carac::optimizer {
+
+/// Join-ordering configuration. The three inputs of §IV — cardinality,
+/// index selection and selectivity — can be toggled individually, which the
+/// AOT configurations use: the "Rules macro" has no fact cardinalities at
+/// planning time, so it orders by selectivity alone.
+struct JoinOrderConfig {
+  /// Constant per-condition reduction factor (independence assumption).
+  double reduction_factor = 0.25;
+  /// When false, all relations are assumed to have the same cardinality
+  /// (rules-only planning).
+  bool use_cardinalities = true;
+  /// Break ties towards atoms probe-able through an index.
+  bool prefer_indexes = true;
+  /// Cardinality assumed when use_cardinalities is false.
+  double assumed_cardinality = 1000.0;
+};
+
+/// Greedily reorders `op->atoms` (an SPJ or Aggregate node) in place to
+/// minimize estimated intermediate cardinalities: repeatedly picks the
+/// join atom with the smallest estimated result, preferring connected
+/// atoms over cartesian products; builtins and negations are then
+/// rescheduled at their earliest valid position. Returns true if the atom
+/// order changed.
+bool ReorderSubquery(const StatsSnapshot& stats, const JoinOrderConfig& config,
+                     ir::IROp* op);
+
+/// Applies ReorderSubquery to every SPJ/Aggregate in the subtree; returns
+/// the number of nodes whose order changed.
+int ReorderSubtree(const StatsSnapshot& stats, const JoinOrderConfig& config,
+                   ir::IROp* op);
+
+}  // namespace carac::optimizer
+
+#endif  // CARAC_OPTIMIZER_JOIN_ORDER_H_

@@ -1,0 +1,31 @@
+#include "optimizer/selectivity.h"
+
+namespace carac::optimizer {
+
+int CountBoundConditions(const ir::AtomSpec& atom,
+                         const std::set<ir::LocalVar>& bound) {
+  int conditions = 0;
+  std::set<ir::LocalVar> seen_here;
+  for (const ir::LocalTerm& t : atom.terms) {
+    if (!t.is_var) {
+      ++conditions;
+    } else if (bound.count(t.var) > 0) {
+      ++conditions;
+    } else if (!seen_here.insert(t.var).second) {
+      // Repeated fresh variable within the atom (e.g. R(x, x)) is a
+      // self-equality filter.
+      ++conditions;
+    }
+  }
+  return conditions;
+}
+
+bool IsConnected(const ir::AtomSpec& atom,
+                 const std::set<ir::LocalVar>& bound) {
+  for (const ir::LocalTerm& t : atom.terms) {
+    if (t.is_var && bound.count(t.var) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace carac::optimizer

@@ -1,0 +1,29 @@
+#ifndef CARAC_OPTIMIZER_SELECTIVITY_H_
+#define CARAC_OPTIMIZER_SELECTIVITY_H_
+
+#include <set>
+
+#include "ir/irop.h"
+
+namespace carac::optimizer {
+
+/// Carac's deliberately lightweight selectivity model (§IV): every join or
+/// filter condition contributes one constant reduction factor, assuming
+/// statistical independence. Richer statistics (histograms) are possible
+/// but would add runtime overhead to every reordering.
+inline constexpr double kDefaultReductionFactor = 0.25;
+
+/// Number of conditions an atom contributes given the currently bound
+/// variables: one per constant column plus one per column whose variable
+/// is already bound.
+int CountBoundConditions(const ir::AtomSpec& atom,
+                         const std::set<ir::LocalVar>& bound);
+
+/// True if the atom shares at least one variable with the bound set, i.e.
+/// joining it does not create a cartesian product.
+bool IsConnected(const ir::AtomSpec& atom,
+                 const std::set<ir::LocalVar>& bound);
+
+}  // namespace carac::optimizer
+
+#endif  // CARAC_OPTIMIZER_SELECTIVITY_H_

@@ -1,0 +1,48 @@
+#ifndef CARAC_OPTIMIZER_STATISTICS_H_
+#define CARAC_OPTIMIZER_STATISTICS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ir/irop.h"
+#include "storage/database.h"
+
+namespace carac::optimizer {
+
+/// An immutable snapshot of the statistics the join orderer consumes:
+/// live cardinalities of every store of every relation plus index
+/// availability. Captured on the evaluation thread at optimization (or
+/// compile-enqueue) time so that asynchronous compilation never races with
+/// evaluation — this is the "concrete instances of relations plugged
+/// directly into the reordering algorithm" of §IV.
+class StatsSnapshot {
+ public:
+  StatsSnapshot() = default;
+
+  static StatsSnapshot Capture(const storage::DatabaseSet& db);
+
+  uint64_t Cardinality(datalog::PredicateId pred, storage::DbKind kind) const {
+    return cards_[pred][static_cast<size_t>(kind)];
+  }
+
+  bool HasIndex(datalog::PredicateId pred, size_t column) const {
+    return (index_masks_[pred] >> column) & 1u;
+  }
+
+  size_t num_relations() const { return cards_.size(); }
+
+  /// Cardinality of the store an atom reads; 0 for builtins.
+  uint64_t AtomCardinality(const ir::AtomSpec& atom) const {
+    if (atom.is_builtin()) return 0;
+    return Cardinality(atom.predicate, atom.source);
+  }
+
+ private:
+  std::vector<std::array<uint64_t, 3>> cards_;
+  std::vector<uint32_t> index_masks_;
+};
+
+}  // namespace carac::optimizer
+
+#endif  // CARAC_OPTIMIZER_STATISTICS_H_

@@ -1,0 +1,102 @@
+#include "storage/database.h"
+
+#include <utility>
+
+#include "util/status.h"
+
+namespace carac::storage {
+
+const char* DbKindName(DbKind kind) {
+  switch (kind) {
+    case DbKind::kDerived:
+      return "derived";
+    case DbKind::kDeltaKnown:
+      return "delta_known";
+    case DbKind::kDeltaNew:
+      return "delta_new";
+  }
+  return "?";
+}
+
+RelationId DatabaseSet::AddRelation(const std::string& name, size_t arity) {
+  const RelationId id = static_cast<RelationId>(stores_.size());
+  Store store;
+  store.derived = std::make_unique<Relation>(name, arity);
+  store.delta_known = std::make_unique<Relation>(name + "_dk", arity);
+  store.delta_new = std::make_unique<Relation>(name + "_dn", arity);
+  stores_.push_back(std::move(store));
+  return id;
+}
+
+const std::string& DatabaseSet::RelationName(RelationId id) const {
+  CARAC_CHECK(id < stores_.size());
+  return stores_[id].derived->name();
+}
+
+size_t DatabaseSet::RelationArity(RelationId id) const {
+  CARAC_CHECK(id < stores_.size());
+  return stores_[id].derived->arity();
+}
+
+Relation& DatabaseSet::Get(RelationId id, DbKind kind) {
+  CARAC_CHECK(id < stores_.size());
+  Store& store = stores_[id];
+  switch (kind) {
+    case DbKind::kDerived:
+      return *store.derived;
+    case DbKind::kDeltaKnown:
+      return *store.delta_known;
+    case DbKind::kDeltaNew:
+      return *store.delta_new;
+  }
+  return *store.derived;  // Unreachable.
+}
+
+const Relation& DatabaseSet::Get(RelationId id, DbKind kind) const {
+  return const_cast<DatabaseSet*>(this)->Get(id, kind);
+}
+
+void DatabaseSet::DeclareIndex(RelationId id, size_t column) {
+  if (!indexing_enabled_) return;
+  CARAC_CHECK(id < stores_.size());
+  Store& store = stores_[id];
+  store.derived->DeclareIndex(column, index_kind_);
+  store.delta_known->DeclareIndex(column, index_kind_);
+  store.delta_new->DeclareIndex(column, index_kind_);
+}
+
+bool DatabaseSet::InsertFact(RelationId id, Tuple tuple) {
+  return Get(id, DbKind::kDerived).Insert(std::move(tuple));
+}
+
+void DatabaseSet::SwapClearMerge(const std::vector<RelationId>& relations) {
+  for (RelationId id : relations) {
+    Store& store = stores_[id];
+    store.delta_known->Clear();
+    std::swap(store.delta_known, store.delta_new);
+    // Merge the freshly swapped-in DeltaKnown into Derived: every fact
+    // readable from a delta must also be readable from Derived.
+    for (const Tuple& t : store.delta_known->rows()) {
+      store.derived->Insert(t);
+    }
+  }
+}
+
+bool DatabaseSet::AnyDeltaKnownNonEmpty(
+    const std::vector<RelationId>& relations) const {
+  for (RelationId id : relations) {
+    if (!stores_[id].delta_known->empty()) return true;
+  }
+  return false;
+}
+
+void DatabaseSet::ClearAll() {
+  for (Store& store : stores_) {
+    store.derived->Clear();
+    store.delta_known->Clear();
+    store.delta_new->Clear();
+  }
+}
+
+}  // namespace carac::storage
+

@@ -1,0 +1,92 @@
+#ifndef CARAC_STORAGE_DATABASE_H_
+#define CARAC_STORAGE_DATABASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+#include "storage/symbol_table.h"
+
+namespace carac::storage {
+
+/// Dense id of a relation inside a DatabaseSet.
+using RelationId = uint32_t;
+
+/// Which copy of a relation an operator reads or writes (paper §V-D):
+///   Derived    — all facts discovered so far (plus EDB facts),
+///   DeltaKnown — read-only facts discovered in the previous iteration,
+///   DeltaNew   — write-only facts discovered in the current iteration.
+enum class DbKind : uint8_t { kDerived = 0, kDeltaKnown = 1, kDeltaNew = 2 };
+
+const char* DbKindName(DbKind kind);
+
+/// Owns the three stores of every relation plus the symbol table. This is
+/// the paper's pluggable "relational layer": read/write access, clear,
+/// swap and diff, with the relational operators implemented on top by the
+/// interpreter and the compiled backends.
+class DatabaseSet {
+ public:
+  DatabaseSet() = default;
+  DatabaseSet(const DatabaseSet&) = delete;
+  DatabaseSet& operator=(const DatabaseSet&) = delete;
+
+  /// Registers a relation; ids are dense and returned in creation order.
+  RelationId AddRelation(const std::string& name, size_t arity);
+
+  size_t NumRelations() const { return stores_.size(); }
+  const std::string& RelationName(RelationId id) const;
+  size_t RelationArity(RelationId id) const;
+
+  Relation& Get(RelationId id, DbKind kind);
+  const Relation& Get(RelationId id, DbKind kind) const;
+
+  /// When disabled, DeclareIndex becomes a no-op: probes fall back to
+  /// filtered scans. Reproduces the paper's "Unindexed" configurations.
+  void SetIndexingEnabled(bool enabled) { indexing_enabled_ = enabled; }
+  bool indexing_enabled() const { return indexing_enabled_; }
+
+  /// Organization used by subsequent DeclareIndex calls (hash by default;
+  /// kSorted is the Soufflé-style ordered-index extension).
+  void SetDefaultIndexKind(IndexKind kind) { index_kind_ = kind; }
+  IndexKind default_index_kind() const { return index_kind_; }
+
+  /// Declares an index on `column` of all three stores of `id`, using the
+  /// default index kind.
+  void DeclareIndex(RelationId id, size_t column);
+
+  /// Inserts an EDB (or precomputed) fact into Derived; returns true if new.
+  bool InsertFact(RelationId id, Tuple tuple);
+
+  /// End-of-iteration maintenance for the relations of one stratum
+  /// (SwapClearOp, §V-B1): clears the old DeltaKnown, swaps DeltaKnown and
+  /// DeltaNew, then merges the new DeltaKnown into Derived so that during
+  /// the next iteration DeltaKnown is a subset of Derived.
+  void SwapClearMerge(const std::vector<RelationId>& relations);
+
+  /// The `diff` termination test: true if any DeltaKnown still has facts.
+  bool AnyDeltaKnownNonEmpty(const std::vector<RelationId>& relations) const;
+
+  /// Clears Derived and both deltas of every relation (test support).
+  void ClearAll();
+
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+
+ private:
+  struct Store {
+    std::unique_ptr<Relation> derived;
+    std::unique_ptr<Relation> delta_known;
+    std::unique_ptr<Relation> delta_new;
+  };
+
+  std::vector<Store> stores_;
+  SymbolTable symbols_;
+  bool indexing_enabled_ = true;
+  IndexKind index_kind_ = IndexKind::kHash;
+};
+
+}  // namespace carac::storage
+
+#endif  // CARAC_STORAGE_DATABASE_H_

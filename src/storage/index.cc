@@ -1,0 +1,44 @@
+#include "storage/index.h"
+
+#include "util/status.h"
+
+namespace carac::storage {
+
+const char* IndexKindName(IndexKind kind) {
+  return kind == IndexKind::kHash ? "hash" : "sorted";
+}
+
+void ColumnIndex::Add(const Tuple* tuple) {
+  const Value key = (*tuple)[column_];
+  if (kind_ == IndexKind::kHash) {
+    hash_buckets_[key].push_back(tuple);
+  } else {
+    sorted_buckets_[key].push_back(tuple);
+  }
+}
+
+const std::vector<const Tuple*>& ColumnIndex::Probe(Value value) const {
+  static const std::vector<const Tuple*> kEmpty;
+  if (kind_ == IndexKind::kHash) {
+    auto it = hash_buckets_.find(value);
+    return it == hash_buckets_.end() ? kEmpty : it->second;
+  }
+  auto it = sorted_buckets_.find(value);
+  return it == sorted_buckets_.end() ? kEmpty : it->second;
+}
+
+void ColumnIndex::ProbeRange(Value lo, Value hi,
+                             std::vector<const Tuple*>* out) const {
+  CARAC_CHECK(kind_ == IndexKind::kSorted);
+  for (auto it = sorted_buckets_.lower_bound(lo);
+       it != sorted_buckets_.end() && it->first <= hi; ++it) {
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+}
+
+void ColumnIndex::Clear() {
+  hash_buckets_.clear();
+  sorted_buckets_.clear();
+}
+
+}  // namespace carac::storage

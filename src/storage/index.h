@@ -1,0 +1,53 @@
+#ifndef CARAC_STORAGE_INDEX_H_
+#define CARAC_STORAGE_INDEX_H_
+
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace carac::storage {
+
+/// Index organization. Carac's paper implementation uses one hash map per
+/// indexed column (java.util.HashMap); Soufflé's specialized B-trees are
+/// cited as an orthogonal optimization (§VI-D). We provide both: kHash
+/// gives O(1) point probes; kSorted (an ordered map standing in for the
+/// B-tree) adds ordered range probes at a log-factor point-probe cost.
+enum class IndexKind : uint8_t { kHash = 0, kSorted = 1 };
+
+const char* IndexKindName(IndexKind kind);
+
+/// A per-column secondary index: value -> tuples with that value in the
+/// column. Tuples are referenced by stable pointers into the owning
+/// relation's node-based storage.
+class ColumnIndex {
+ public:
+  ColumnIndex(size_t column, IndexKind kind)
+      : column_(column), kind_(kind) {}
+
+  size_t column() const { return column_; }
+  IndexKind kind() const { return kind_; }
+
+  void Add(const Tuple* tuple);
+
+  /// Tuples whose column equals `value`; empty if none.
+  const std::vector<const Tuple*>& Probe(Value value) const;
+
+  /// Tuples whose column lies in [lo, hi], appended to `out` in ascending
+  /// column order. Requires kind() == kSorted.
+  void ProbeRange(Value lo, Value hi, std::vector<const Tuple*>* out) const;
+
+  void Clear();
+
+ private:
+  size_t column_;
+  IndexKind kind_;
+  std::unordered_map<Value, std::vector<const Tuple*>> hash_buckets_;
+  std::map<Value, std::vector<const Tuple*>> sorted_buckets_;
+};
+
+}  // namespace carac::storage
+
+#endif  // CARAC_STORAGE_INDEX_H_

@@ -1,0 +1,83 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace carac::storage {
+
+bool Relation::Insert(const Tuple& tuple) {
+  CARAC_CHECK(tuple.size() == arity_);
+  auto [it, inserted] = rows_.insert(tuple);
+  if (inserted) IndexNewTuple(&*it);
+  return inserted;
+}
+
+bool Relation::Insert(Tuple&& tuple) {
+  CARAC_CHECK(tuple.size() == arity_);
+  auto [it, inserted] = rows_.insert(std::move(tuple));
+  if (inserted) IndexNewTuple(&*it);
+  return inserted;
+}
+
+void Relation::DeclareIndex(size_t column, IndexKind kind) {
+  CARAC_CHECK(column < arity_);
+  if (HasIndex(column)) return;
+  if (index_by_column_.size() < arity_) {
+    index_by_column_.resize(arity_, kNoIndex);
+  }
+  index_by_column_[column] = indexes_.size();
+  indexes_.emplace_back(column, kind);
+  ColumnIndex& index = indexes_.back();
+  for (const Tuple& t : rows_) index.Add(&t);
+}
+
+const std::vector<const Tuple*>& Relation::Probe(size_t column,
+                                                 Value value) const {
+  CARAC_CHECK(HasIndex(column));
+  return indexes_[index_by_column_[column]].Probe(value);
+}
+
+IndexKind Relation::IndexKindOf(size_t column) const {
+  CARAC_CHECK(HasIndex(column));
+  return indexes_[index_by_column_[column]].kind();
+}
+
+void Relation::ProbeRange(size_t column, Value lo, Value hi,
+                          std::vector<const Tuple*>* out) const {
+  CARAC_CHECK(HasIndex(column));
+  indexes_[index_by_column_[column]].ProbeRange(lo, hi, out);
+}
+
+void Relation::Clear() {
+  rows_.clear();
+  for (ColumnIndex& index : indexes_) index.Clear();
+}
+
+void Relation::Absorb(Relation* other) {
+  CARAC_CHECK(other->arity_ == arity_);
+  for (auto it = other->rows_.begin(); it != other->rows_.end();) {
+    auto node = other->rows_.extract(it++);
+    auto [pos, inserted] = rows_.insert(std::move(node.value()));
+    if (inserted) IndexNewTuple(&*pos);
+  }
+  other->Clear();
+}
+
+void Relation::CopyIndexDeclarations(const Relation& other) {
+  for (const ColumnIndex& index : other.indexes_) {
+    DeclareIndex(index.column(), index.kind());
+  }
+}
+
+std::vector<Tuple> Relation::SortedRows() const {
+  std::vector<Tuple> out(rows_.begin(), rows_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Relation::IndexNewTuple(const Tuple* tuple) {
+  for (ColumnIndex& index : indexes_) index.Add(tuple);
+}
+
+}  // namespace carac::storage

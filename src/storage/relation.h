@@ -1,0 +1,91 @@
+#ifndef CARAC_STORAGE_RELATION_H_
+#define CARAC_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/index.h"
+#include "storage/tuple.h"
+
+namespace carac::storage {
+
+/// An in-memory set-semantics relation with optional per-column secondary
+/// indexes (hash by default, ordered optionally — see storage/index.h).
+/// Carac builds one index per join/filter predicate column (paper §IV,
+/// "Index selection"); incremental maintenance happens on insert. Tuples
+/// are stored in a node-based hash set, so `const Tuple*` handles remain
+/// stable across inserts (the indexes rely on this).
+class Relation {
+ public:
+  Relation(std::string name, size_t arity)
+      : name_(std::move(name)), arity_(arity) {}
+
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  const std::string& name() const { return name_; }
+  size_t arity() const { return arity_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Inserts a tuple; returns true if it was new. Indexes are maintained.
+  bool Insert(const Tuple& tuple);
+  bool Insert(Tuple&& tuple);
+
+  bool Contains(const Tuple& tuple) const { return rows_.count(tuple) > 0; }
+
+  /// Declares an index on `column` (idempotent — the first declaration's
+  /// kind wins) and builds it over the current contents.
+  void DeclareIndex(size_t column, IndexKind kind = IndexKind::kHash);
+
+  bool HasIndex(size_t column) const {
+    return column < index_by_column_.size() &&
+           index_by_column_[column] != kNoIndex;
+  }
+
+  /// Probes the index on `column` for `value`. Requires HasIndex(column).
+  const std::vector<const Tuple*>& Probe(size_t column, Value value) const;
+
+  /// Kind of the index on `column`. Requires HasIndex(column).
+  IndexKind IndexKindOf(size_t column) const;
+
+  /// Range probe [lo, hi] on a kSorted index (ascending column order).
+  void ProbeRange(size_t column, Value lo, Value hi,
+                  std::vector<const Tuple*>* out) const;
+
+  /// Stable iteration over all rows (iterator order of the hash set; the
+  /// engine never depends on a particular order).
+  const std::unordered_set<Tuple, TupleHash>& rows() const { return rows_; }
+
+  /// Removes all tuples, keeping index declarations.
+  void Clear();
+
+  /// Moves all tuples of `other` into this relation (used by SwapClearOp to
+  /// merge DeltaKnown into Derived). `other` is cleared.
+  void Absorb(Relation* other);
+
+  /// Copies index *declarations* (not contents) from another relation.
+  void CopyIndexDeclarations(const Relation& other);
+
+  /// Sorted copy of all rows, for golden tests and result extraction.
+  std::vector<Tuple> SortedRows() const;
+
+ private:
+  static constexpr size_t kNoIndex = static_cast<size_t>(-1);
+
+  void IndexNewTuple(const Tuple* tuple);
+
+  std::string name_;
+  size_t arity_;
+  std::unordered_set<Tuple, TupleHash> rows_;
+  std::vector<ColumnIndex> indexes_;
+  // Maps column -> position in indexes_, or kNoIndex.
+  std::vector<size_t> index_by_column_;
+};
+
+}  // namespace carac::storage
+
+#endif  // CARAC_STORAGE_RELATION_H_

@@ -1,0 +1,23 @@
+#include "storage/symbol_table.h"
+
+#include "util/status.h"
+
+namespace carac::storage {
+
+int64_t SymbolTable::Intern(std::string_view text) {
+  auto it = ids_.find(std::string(text));
+  if (it != ids_.end()) return it->second;
+  const int64_t id = kSymbolBase + static_cast<int64_t>(symbols_.size());
+  symbols_.emplace_back(text);
+  ids_.emplace(symbols_.back(), id);
+  return id;
+}
+
+const std::string& SymbolTable::Lookup(int64_t id) const {
+  CARAC_CHECK(IsSymbol(id));
+  const size_t index = static_cast<size_t>(id - kSymbolBase);
+  CARAC_CHECK(index < symbols_.size());
+  return symbols_[index];
+}
+
+}  // namespace carac::storage

@@ -1,0 +1,46 @@
+#ifndef CARAC_STORAGE_SYMBOL_TABLE_H_
+#define CARAC_STORAGE_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace carac::storage {
+
+/// First value id used for interned strings. Values below this threshold
+/// are plain integers that represent themselves; values at or above it are
+/// symbol ids. This keeps tuples fixed-width 64-bit while supporting both
+/// the integer-heavy program-analysis workloads (CSPA/CSDA encode vertices
+/// as ints) and string constants (e.g. InvFuns("deserialize","serialize")).
+inline constexpr int64_t kSymbolBase = int64_t{1} << 40;
+
+/// Interns strings to dense ids in [kSymbolBase, kSymbolBase + count).
+/// Not thread-safe; facts are loaded single-threaded before evaluation.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Returns the id for `text`, interning it on first use.
+  int64_t Intern(std::string_view text);
+
+  /// Returns the text for a symbol id. Aborts if `id` is not a symbol id
+  /// produced by this table.
+  const std::string& Lookup(int64_t id) const;
+
+  /// True if `id` falls in the interned-symbol range.
+  static bool IsSymbol(int64_t id) { return id >= kSymbolBase; }
+
+  size_t size() const { return symbols_.size(); }
+
+ private:
+  std::vector<std::string> symbols_;
+  std::unordered_map<std::string, int64_t> ids_;
+};
+
+}  // namespace carac::storage
+
+#endif  // CARAC_STORAGE_SYMBOL_TABLE_H_

@@ -1,0 +1,17 @@
+#include "storage/tuple.h"
+
+#include <string>
+
+namespace carac::storage {
+
+std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(t[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace carac::storage

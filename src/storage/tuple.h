@@ -1,0 +1,33 @@
+#ifndef CARAC_STORAGE_TUPLE_H_
+#define CARAC_STORAGE_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace carac::storage {
+
+/// A single column value. Plain integers represent themselves; interned
+/// strings live above SymbolTable::kSymbolBase (see symbol_table.h).
+using Value = int64_t;
+
+/// A fixed-arity row. Arity is implied by the owning relation's schema.
+using Tuple = std::vector<Value>;
+
+/// Hash functor for tuples (order dependent).
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    uint64_t h = 0x42ULL;
+    for (Value v : t) h = util::HashCombine(h, static_cast<uint64_t>(v));
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Renders "(1, 2, 3)" for debugging and golden tests.
+std::string TupleToString(const Tuple& t);
+
+}  // namespace carac::storage
+
+#endif  // CARAC_STORAGE_TUPLE_H_

@@ -1,0 +1,26 @@
+#ifndef CARAC_UTIL_HASH_H_
+#define CARAC_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace carac::util {
+
+/// 64-bit mix function (splitmix64 finalizer). Cheap and well distributed;
+/// used for tuple hashing and hash-index bucketing.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent hash combiner (boost-style, 64-bit).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+}  // namespace carac::util
+
+#endif  // CARAC_UTIL_HASH_H_

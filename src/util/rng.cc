@@ -1,0 +1,66 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace carac::util {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Seed expansion via splitmix64, per the xoshiro authors' recommendation.
+  uint64_t s = seed;
+  for (auto& word : state_) {
+    s += 0x9e3779b97f4a7c15ULL;
+    word = Mix64(s);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  if (n <= 1) return 0;
+  // Inverse-CDF on the continuous approximation; adequate for workload
+  // shaping (we do not need exact Zipf moments).
+  const double u = NextDouble();
+  const double x = std::pow(static_cast<double>(n), 1.0 - s);
+  const double v = std::pow(u * (x - 1.0) + 1.0, 1.0 / (1.0 - s));
+  uint64_t idx = static_cast<uint64_t>(v) - 1;
+  if (idx >= n) idx = n - 1;
+  return idx;
+}
+
+}  // namespace carac::util

@@ -1,0 +1,42 @@
+#ifndef CARAC_UTIL_RNG_H_
+#define CARAC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace carac::util {
+
+/// Deterministic xoshiro256**-based RNG. The synthetic fact generators and
+/// property tests must be reproducible across platforms, so we do not use
+/// std::mt19937 distributions (whose outputs are implementation-defined for
+/// std::uniform_int_distribution).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool NextBool(double p);
+
+  /// Zipf-like skewed index in [0, n): element i has weight ~ 1/(i+1)^s.
+  /// Used to make generated program-analysis graphs have the power-law
+  /// out-degree shape of real codebases (httpd).
+  uint64_t NextZipf(uint64_t n, double s);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace carac::util
+
+#endif  // CARAC_UTIL_RNG_H_

@@ -1,0 +1,93 @@
+#ifndef CARAC_UTIL_STATUS_H_
+#define CARAC_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace carac::util {
+
+/// Error categories used across the library. Kept deliberately small: the
+/// engine either succeeds, rejects malformed user input, or hits an
+/// environmental failure (e.g., the quotes backend cannot find a compiler).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Exception-free error propagation (the library never throws).
+/// A default-constructed Status is OK; failures carry a code and message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "INVALID_ARGUMENT: bad arity".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Aborts with a diagnostic. Used only for programmer errors (broken
+/// invariants), never for user input; user input failures return Status.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+
+}  // namespace carac::util
+
+/// Invariant check. Always on (benchmark-hot paths avoid it; it guards
+/// structural invariants whose violation would corrupt results).
+#define CARAC_CHECK(expr)                                        \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::carac::util::CheckFailed(__FILE__, __LINE__, #expr);     \
+    }                                                            \
+  } while (0)
+
+#define CARAC_CHECK_OK(status_expr)                              \
+  do {                                                           \
+    ::carac::util::Status s_ = (status_expr);                    \
+    if (!s_.ok()) {                                              \
+      std::fprintf(stderr, "Status not OK: %s\n",                \
+                   s_.ToString().c_str());                       \
+      ::carac::util::CheckFailed(__FILE__, __LINE__,             \
+                                 #status_expr);                  \
+    }                                                            \
+  } while (0)
+
+/// Propagates a non-OK Status to the caller.
+#define CARAC_RETURN_IF_ERROR(expr)              \
+  do {                                           \
+    ::carac::util::Status s_ = (expr);           \
+    if (!s_.ok()) return s_;                     \
+  } while (0)
+
+#endif  // CARAC_UTIL_STATUS_H_

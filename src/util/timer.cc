@@ -1,0 +1,11 @@
+#include "util/timer.h"
+
+namespace carac::util {
+
+int64_t Timer::ElapsedNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              start_)
+      .count();
+}
+
+}  // namespace carac::util

@@ -1,0 +1,33 @@
+#ifndef CARAC_UTIL_TIMER_H_
+#define CARAC_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace carac::util {
+
+/// Monotonic wall-clock stopwatch used by the measurement harness.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Nanoseconds since the last Restart().
+  int64_t ElapsedNanos() const;
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace carac::util
+
+#endif  // CARAC_UTIL_TIMER_H_

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "backends/backend.h"
+#include "datalog/dsl.h"
+#include "ir/interpreter.h"
+#include "ir/lowering.h"
+
+namespace carac::backends {
+namespace {
+
+using datalog::Dsl;
+using datalog::Program;
+
+struct Fixture {
+  Program program;
+  ir::IRProgram irp;
+  datalog::PredicateId edge, path;
+
+  Fixture() {
+    Dsl dsl(&program);
+    auto e = dsl.Relation("Edge", 2);
+    auto p = dsl.Relation("Path", 2);
+    edge = e.id();
+    path = p.id();
+    auto [x, y, z] = dsl.Vars<3>();
+    p(x, y) <<= e(x, y);
+    p(x, z) <<= p(x, y) & e(y, z);
+    for (int i = 0; i < 8; ++i) e.Fact(i, i + 1);
+    e.Fact(8, 0);
+    CARAC_CHECK_OK(ir::LowerProgram(&program, true, &irp));
+  }
+
+  CompileRequest Request(CompileMode mode = CompileMode::kFull) {
+    CompileRequest request;
+    request.subtree = irp.root->Clone();
+    request.stats = optimizer::StatsSnapshot::Capture(program.db());
+    request.mode = mode;
+    return request;
+  }
+
+  size_t RunUnit(CompiledUnit* unit) {
+    ir::ExecContext ctx(&program.db());
+    ir::Interpreter interp(&ctx);
+    unit->Run(ctx, interp, *irp.root);
+    return program.db().Get(path, storage::DbKind::kDerived).size();
+  }
+};
+
+constexpr size_t kExpectedPaths = 81;  // 9-cycle: full 9x9 closure.
+
+TEST(BackendFactoryTest, MakesAllKinds) {
+  for (BackendKind kind :
+       {BackendKind::kQuotes, BackendKind::kBytecode, BackendKind::kLambda,
+        BackendKind::kIRGenerator}) {
+    auto backend = MakeBackend(kind);
+    ASSERT_NE(backend, nullptr);
+    EXPECT_EQ(backend->kind(), kind);
+  }
+  EXPECT_STREQ(BackendKindName(BackendKind::kLambda), "lambda");
+  EXPECT_STREQ(BackendKindName(BackendKind::kQuotes), "quotes");
+}
+
+TEST(LambdaBackendTest, FullProgramProducesClosure) {
+  Fixture f;
+  auto backend = MakeBackend(BackendKind::kLambda);
+  std::unique_ptr<CompiledUnit> unit;
+  ASSERT_TRUE(backend->Compile(f.Request(), &unit).ok());
+  EXPECT_EQ(f.RunUnit(unit.get()), kExpectedPaths);
+  EXPECT_NE(unit->Describe().find("lambda"), std::string::npos);
+}
+
+TEST(LambdaBackendTest, SnippetModeMatchesFull) {
+  Fixture f;
+  auto backend = MakeBackend(BackendKind::kLambda);
+  std::unique_ptr<CompiledUnit> unit;
+  ASSERT_TRUE(backend->Compile(f.Request(CompileMode::kSnippet), &unit).ok());
+  EXPECT_EQ(f.RunUnit(unit.get()), kExpectedPaths);
+}
+
+TEST(IRGeneratorBackendTest, RewritesLiveTreeAndInterprets) {
+  Fixture f;
+  auto backend = MakeBackend(BackendKind::kIRGenerator);
+  std::unique_ptr<CompiledUnit> unit;
+  ASSERT_TRUE(backend->Compile(f.Request(), &unit).ok());
+  EXPECT_EQ(f.RunUnit(unit.get()), kExpectedPaths);
+}
+
+TEST(BytecodeBackendTest, FullProgramProducesClosure) {
+  Fixture f;
+  auto backend = MakeBackend(BackendKind::kBytecode);
+  std::unique_ptr<CompiledUnit> unit;
+  ASSERT_TRUE(backend->Compile(f.Request(), &unit).ok());
+  EXPECT_EQ(f.RunUnit(unit.get()), kExpectedPaths);
+  EXPECT_NE(unit->Describe().find("bytecode"), std::string::npos);
+}
+
+TEST(BytecodeBackendTest, SnippetModeMatchesFull) {
+  Fixture f;
+  auto backend = MakeBackend(BackendKind::kBytecode);
+  std::unique_ptr<CompiledUnit> unit;
+  ASSERT_TRUE(backend->Compile(f.Request(CompileMode::kSnippet), &unit).ok());
+  EXPECT_EQ(f.RunUnit(unit.get()), kExpectedPaths);
+}
+
+TEST(AtomOrderHelpersTest, CollectAndApplyRoundTrip) {
+  Fixture f;
+  AtomOrderMap orders = CollectAtomOrders(*f.irp.root);
+  EXPECT_FALSE(orders.empty());
+  // Reverse one subquery's atoms, apply, and verify the live tree changed.
+  auto it = orders.begin();
+  while (it != orders.end() && it->second.size() < 2) ++it;
+  ASSERT_NE(it, orders.end());
+  std::reverse(it->second.begin(), it->second.end());
+  const uint32_t node = it->first;
+  const auto expected_first = it->second[0].predicate;
+  ApplyAtomOrders(orders, f.irp.root.get());
+  f.irp.RebuildIndex();
+  EXPECT_EQ(f.irp.by_id[node]->atoms[0].predicate, expected_first);
+}
+
+TEST(CompileRequestTest, ReorderFalseKeepsAtomOrder) {
+  Fixture f;
+  auto backend = MakeBackend(BackendKind::kLambda);
+  CompileRequest request = f.Request();
+  request.reorder = false;
+  std::unique_ptr<CompiledUnit> unit;
+  ASSERT_TRUE(backend->Compile(std::move(request), &unit).ok());
+  EXPECT_EQ(f.RunUnit(unit.get()), kExpectedPaths);
+}
+
+}  // namespace
+}  // namespace carac::backends

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "baselines/dlx_like.h"
+#include "baselines/souffle_like.h"
+
+namespace carac::baselines {
+namespace {
+
+harness::WorkloadFactory TcFactory() {
+  return [] {
+    const auto edges = analysis::GenerateSparseGraph(3, 30, 45);
+    return analysis::MakeTransitiveClosure(
+        edges, analysis::RuleOrder::kHandOptimized);
+  };
+}
+
+size_t ReferenceSize() {
+  harness::Measurement m =
+      harness::MeasureOnce(TcFactory(), harness::InterpretedConfig(true));
+  CARAC_CHECK(m.ok);
+  return m.result_size;
+}
+
+TEST(SouffleLikeTest, InterpreterMatchesReference) {
+  BaselineResult r = RunSouffleLike(TcFactory(), SouffleMode::kInterpreter);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.result_size, ReferenceSize());
+  EXPECT_GT(r.seconds, 0);
+}
+
+TEST(SouffleLikeTest, CompilerModeIncludesCompileCost) {
+  if (std::system("c++ --version > /dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "no C++ compiler";
+  }
+  BaselineResult interp = RunSouffleLike(TcFactory(),
+                                         SouffleMode::kInterpreter);
+  BaselineResult compiled = RunSouffleLike(TcFactory(),
+                                           SouffleMode::kCompiler);
+  ASSERT_TRUE(compiled.ok) << compiled.error;
+  EXPECT_EQ(compiled.result_size, ReferenceSize());
+  // The real compiler invocation dominates on a tiny program — the effect
+  // Table II shows for short-running queries.
+  EXPECT_GT(compiled.seconds, interp.seconds);
+}
+
+TEST(SouffleLikeTest, AutoTunedMatchesReference) {
+  if (std::system("c++ --version > /dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "no C++ compiler";
+  }
+  BaselineResult r = RunSouffleLike(TcFactory(), SouffleMode::kAutoTuned);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.result_size, ReferenceSize());
+}
+
+TEST(SouffleLikeTest, ModeNames) {
+  EXPECT_STREQ(SouffleModeName(SouffleMode::kInterpreter), "interpreter");
+  EXPECT_STREQ(SouffleModeName(SouffleMode::kCompiler), "compiler");
+  EXPECT_STREQ(SouffleModeName(SouffleMode::kAutoTuned), "auto-tuned");
+}
+
+TEST(DlxLikeTest, NaiveEvaluationMatchesReference) {
+  DlxResult r = RunDlxLike(TcFactory(), /*timeout_seconds=*/30);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.dnf);
+  EXPECT_EQ(r.result_size, ReferenceSize());
+}
+
+TEST(DlxLikeTest, TimesOutAsDnf) {
+  auto big = [] {
+    analysis::CspaConfig config;
+    config.total_tuples = 4000;
+    return analysis::MakeCspa(config, analysis::RuleOrder::kUnoptimized);
+  };
+  DlxResult r = RunDlxLike(big, /*timeout_seconds=*/0.05);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.dnf);
+}
+
+TEST(DlxLikeTest, HandlesMultipleStrata) {
+  auto factory = [] {
+    return analysis::MakePrimes(60, analysis::RuleOrder::kHandOptimized);
+  };
+  DlxResult r = RunDlxLike(factory, /*timeout_seconds=*/30);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.dnf);
+  EXPECT_EQ(r.result_size, 17u);  // Primes below 60.
+}
+
+}  // namespace
+}  // namespace carac::baselines

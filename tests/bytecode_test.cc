@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "backends/bytecode.h"
+#include "backends/bytecode_backend.h"
+#include "datalog/dsl.h"
+#include "ir/interpreter.h"
+#include "ir/lowering.h"
+
+namespace carac::backends {
+namespace {
+
+using datalog::Dsl;
+using datalog::Program;
+
+TEST(BytecodeCompileTest, ProgramEndsWithHalt) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  path(x, y) <<= edge(x, y);
+  path(x, z) <<= path(x, y) & edge(y, z);
+  ir::IRProgram irp;
+  ASSERT_TRUE(ir::LowerProgram(&p, true, &irp).ok());
+
+  BytecodeProgram bc = CompileToBytecode(
+      *irp.root, optimizer::StatsSnapshot::Capture(p.db()),
+      CompileMode::kFull);
+  ASSERT_FALSE(bc.code.empty());
+  EXPECT_EQ(bc.code.back().op, Insn::Op::kHalt);
+  EXPECT_GT(bc.num_regs, 0);
+  EXPECT_GT(bc.num_iters, 0);
+  EXPECT_FALSE(bc.Disassemble().empty());
+}
+
+TEST(BytecodeCompileTest, IndexedAtomsUseProbes) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  path(x, y) <<= edge(x, y);
+  path(x, z) <<= path(x, y) & edge(y, z);
+  ir::IRProgram irp;
+  ASSERT_TRUE(ir::LowerProgram(&p, true, &irp).ok());
+
+  BytecodeProgram bc = CompileToBytecode(
+      *irp.root, optimizer::StatsSnapshot::Capture(p.db()),
+      CompileMode::kFull);
+  bool any_probe = false;
+  for (const Insn& insn : bc.code) {
+    any_probe |= insn.op == Insn::Op::kProbeOpenReg ||
+                 insn.op == Insn::Op::kProbeOpenConst;
+  }
+  EXPECT_TRUE(any_probe);
+}
+
+TEST(BytecodeCompileTest, UnindexedFallsBackToScans) {
+  Program p;
+  p.db().SetIndexingEnabled(false);
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  path(x, y) <<= edge(x, y);
+  path(x, z) <<= path(x, y) & edge(y, z);
+  ir::IRProgram irp;
+  ASSERT_TRUE(ir::LowerProgram(&p, true, &irp).ok());
+
+  BytecodeProgram bc = CompileToBytecode(
+      *irp.root, optimizer::StatsSnapshot::Capture(p.db()),
+      CompileMode::kFull);
+  for (const Insn& insn : bc.code) {
+    EXPECT_NE(insn.op, Insn::Op::kProbeOpenReg);
+    EXPECT_NE(insn.op, Insn::Op::kProbeOpenConst);
+  }
+}
+
+struct VmFixture {
+  Program program;
+  ir::IRProgram irp;
+  datalog::PredicateId output;
+
+  explicit VmFixture(
+      const std::function<datalog::PredicateId(Dsl*)>& build) {
+    Dsl dsl(&program);
+    output = build(&dsl);
+    CARAC_CHECK_OK(ir::LowerProgram(&program, true, &irp));
+  }
+
+  size_t Run(CompileMode mode = CompileMode::kFull) {
+    BytecodeProgram bc = CompileToBytecode(
+        *irp.root, optimizer::StatsSnapshot::Capture(program.db()), mode);
+    ir::ExecContext ctx(&program.db());
+    ir::Interpreter interp(&ctx);
+    RunBytecode(bc, ctx, interp);
+    return program.db().Get(output, storage::DbKind::kDerived).size();
+  }
+};
+
+TEST(BytecodeVmTest, TransitiveClosure) {
+  VmFixture f([](Dsl* dsl) {
+    auto edge = dsl->Relation("Edge", 2);
+    auto path = dsl->Relation("Path", 2);
+    auto x = dsl->Var();
+    auto y = dsl->Var();
+    auto z = dsl->Var();
+    path(x, y) <<= edge(x, y);
+    path(x, z) <<= path(x, y) & edge(y, z);
+    for (int i = 0; i < 10; ++i) edge.Fact(i, i + 1);
+    return path.id();
+  });
+  EXPECT_EQ(f.Run(), 55u);
+}
+
+TEST(BytecodeVmTest, ConstantsAndComparisons) {
+  VmFixture f([](Dsl* dsl) {
+    auto n = dsl->Relation("N", 1);
+    auto out = dsl->Relation("Out", 2);
+    auto x = dsl->Var();
+    auto d = dsl->Var();
+    out(x, d) <<= n(x) & dsl->Lt(x, 5) & dsl->Mul(x, 10, d);
+    for (int i = 0; i < 10; ++i) n.Fact(i);
+    return out.id();
+  });
+  EXPECT_EQ(f.Run(), 5u);
+}
+
+TEST(BytecodeVmTest, NegationViaNotContains) {
+  VmFixture f([](Dsl* dsl) {
+    auto node = dsl->Relation("Node", 1);
+    auto bad = dsl->Relation("Bad", 1);
+    auto good = dsl->Relation("Good", 1);
+    auto x = dsl->Var();
+    good(x) <<= node(x) & !bad(x);
+    for (int i = 0; i < 6; ++i) node.Fact(i);
+    bad.Fact(2);
+    bad.Fact(4);
+    return good.id();
+  });
+  EXPECT_EQ(f.Run(), 4u);
+}
+
+TEST(BytecodeVmTest, AggregateBailsOutToInterpreter) {
+  VmFixture f([](Dsl* dsl) {
+    auto edge = dsl->Relation("Edge", 2);
+    auto degree = dsl->Relation("Degree", 2);
+    auto x = dsl->Var();
+    auto y = dsl->Var();
+    auto c = dsl->Var();
+    dsl->AggRule(degree(x, c),
+                 datalog::BodyExpr({edge(x, y).atom()}),
+                 datalog::AggFunc::kCount);
+    edge.Fact(1, 2);
+    edge.Fact(1, 3);
+    edge.Fact(2, 3);
+    return degree.id();
+  });
+  EXPECT_EQ(f.Run(), 2u);
+}
+
+TEST(BytecodeVmTest, SnippetModeMatchesFull) {
+  auto make = [] {
+    return VmFixture([](Dsl* dsl) {
+      auto edge = dsl->Relation("Edge", 2);
+      auto path = dsl->Relation("Path", 2);
+      auto x = dsl->Var();
+      auto y = dsl->Var();
+      auto z = dsl->Var();
+      path(x, y) <<= edge(x, y);
+      path(x, z) <<= path(x, y) & edge(y, z);
+      for (int i = 0; i < 6; ++i) edge.Fact(i, i + 1);
+      edge.Fact(6, 2);
+      return path.id();
+    });
+  };
+  VmFixture full = make();
+  VmFixture snippet = make();
+  EXPECT_EQ(full.Run(CompileMode::kFull),
+            snippet.Run(CompileMode::kSnippet));
+}
+
+TEST(BytecodeVmTest, ArithCheckOnBoundOutput) {
+  VmFixture f([](Dsl* dsl) {
+    auto pair = dsl->Relation("Pair", 2);
+    auto fixpoint = dsl->Relation("Fix", 1);
+    auto x = dsl->Var();
+    auto y = dsl->Var();
+    // y must equal x + 0 -> checks the bound output path.
+    fixpoint(x) <<= pair(x, y) & dsl->Add(x, 0, y);
+    pair.Fact(3, 3);
+    pair.Fact(4, 5);
+    return fixpoint.id();
+  });
+  EXPECT_EQ(f.Run(), 1u);
+}
+
+}  // namespace
+}  // namespace carac::backends

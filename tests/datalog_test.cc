@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "datalog/ast.h"
+#include "datalog/builtins.h"
+#include "datalog/dsl.h"
+
+namespace carac::datalog {
+namespace {
+
+TEST(BuiltinTest, Arity) {
+  EXPECT_EQ(BuiltinArity(BuiltinOp::kLt), 2u);
+  EXPECT_EQ(BuiltinArity(BuiltinOp::kEq), 2u);
+  EXPECT_EQ(BuiltinArity(BuiltinOp::kAdd), 3u);
+  EXPECT_EQ(BuiltinArity(BuiltinOp::kMod), 3u);
+  EXPECT_FALSE(BuiltinBindsOutput(BuiltinOp::kGe));
+  EXPECT_TRUE(BuiltinBindsOutput(BuiltinOp::kMul));
+}
+
+TEST(BuiltinTest, Comparisons) {
+  EXPECT_TRUE(EvalComparison(BuiltinOp::kLt, 1, 2));
+  EXPECT_FALSE(EvalComparison(BuiltinOp::kLt, 2, 2));
+  EXPECT_TRUE(EvalComparison(BuiltinOp::kLe, 2, 2));
+  EXPECT_TRUE(EvalComparison(BuiltinOp::kGt, 3, 2));
+  EXPECT_TRUE(EvalComparison(BuiltinOp::kGe, 2, 2));
+  EXPECT_TRUE(EvalComparison(BuiltinOp::kEq, 5, 5));
+  EXPECT_TRUE(EvalComparison(BuiltinOp::kNe, 5, 6));
+}
+
+TEST(BuiltinTest, Arithmetic) {
+  storage::Value z = 0;
+  EXPECT_TRUE(EvalArithmetic(BuiltinOp::kAdd, 2, 3, &z));
+  EXPECT_EQ(z, 5);
+  EXPECT_TRUE(EvalArithmetic(BuiltinOp::kSub, 2, 3, &z));
+  EXPECT_EQ(z, -1);
+  EXPECT_TRUE(EvalArithmetic(BuiltinOp::kMul, 4, 3, &z));
+  EXPECT_EQ(z, 12);
+  EXPECT_TRUE(EvalArithmetic(BuiltinOp::kDiv, 7, 2, &z));
+  EXPECT_EQ(z, 3);
+  EXPECT_TRUE(EvalArithmetic(BuiltinOp::kMod, 7, 2, &z));
+  EXPECT_EQ(z, 1);
+}
+
+TEST(BuiltinTest, DivisionByZeroIsUndefined) {
+  storage::Value z = 0;
+  EXPECT_FALSE(EvalArithmetic(BuiltinOp::kDiv, 7, 0, &z));
+  EXPECT_FALSE(EvalArithmetic(BuiltinOp::kMod, 7, 0, &z));
+}
+
+TEST(ProgramTest, RelationAndVarDeclaration) {
+  Program p;
+  const PredicateId r = p.AddRelation("R", 2);
+  EXPECT_EQ(p.PredicateName(r), "R");
+  EXPECT_EQ(p.PredicateArity(r), 2u);
+  const VarId v = p.NewVar("x");
+  EXPECT_EQ(p.VarName(v), "x");
+  EXPECT_FALSE(p.IsIdb(r));
+}
+
+TEST(ProgramTest, FactsGoToDerived) {
+  Program p;
+  const PredicateId r = p.AddRelation("R", 2);
+  p.AddFact(r, {1, 2});
+  EXPECT_TRUE(p.db().Get(r, storage::DbKind::kDerived).Contains({1, 2}));
+}
+
+TEST(ProgramTest, AddRuleMarksIdb) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y] = dsl.Vars<2>();
+  path(x, y) <<= edge(x, y);
+  EXPECT_TRUE(p.IsIdb(path.id()));
+  EXPECT_FALSE(p.IsIdb(edge.id()));
+  EXPECT_EQ(p.rules().size(), 1u);
+}
+
+TEST(ProgramTest, RejectsHeadArityMismatch) {
+  Program p;
+  const PredicateId r = p.AddRelation("R", 2);
+  const PredicateId s = p.AddRelation("S", 1);
+  Rule rule;
+  rule.head.predicate = r;
+  rule.head.terms = {Term::MakeVar(p.NewVar())};  // Arity 1, declared 2.
+  Atom body;
+  body.predicate = s;
+  body.terms = {rule.head.terms[0]};
+  rule.body = {body};
+  EXPECT_FALSE(p.AddRule(rule).ok());
+}
+
+TEST(ProgramTest, RejectsEmptyBody) {
+  Program p;
+  const PredicateId r = p.AddRelation("R", 1);
+  Rule rule;
+  rule.head.predicate = r;
+  rule.head.terms = {Term::MakeConst(1)};
+  EXPECT_FALSE(p.AddRule(rule).ok());
+}
+
+TEST(ProgramTest, RejectsRangeRestrictionViolation) {
+  Program p;
+  const PredicateId r = p.AddRelation("R", 1);
+  const PredicateId s = p.AddRelation("S", 1);
+  Rule rule;
+  rule.head.predicate = r;
+  rule.head.terms = {Term::MakeVar(p.NewVar("unbound"))};
+  Atom body;
+  body.predicate = s;
+  body.terms = {Term::MakeVar(p.NewVar("other"))};
+  rule.body = {body};
+  EXPECT_FALSE(p.AddRule(rule).ok());
+}
+
+TEST(ProgramTest, RejectsUnsafeNegation) {
+  Program p;
+  const PredicateId r = p.AddRelation("R", 1);
+  const PredicateId s = p.AddRelation("S", 1);
+  const PredicateId t = p.AddRelation("T", 1);
+  const VarId x = p.NewVar("x");
+  const VarId y = p.NewVar("y");
+  Rule rule;
+  rule.head.predicate = r;
+  rule.head.terms = {Term::MakeVar(x)};
+  Atom pos;
+  pos.predicate = s;
+  pos.terms = {Term::MakeVar(x)};
+  Atom neg;
+  neg.predicate = t;
+  neg.negated = true;
+  neg.terms = {Term::MakeVar(y)};  // y never bound positively.
+  rule.body = {pos, neg};
+  EXPECT_FALSE(p.AddRule(rule).ok());
+}
+
+TEST(ProgramTest, RejectsUnsafeBuiltinInput) {
+  Program p;
+  const PredicateId r = p.AddRelation("R", 1);
+  const PredicateId s = p.AddRelation("S", 1);
+  const VarId x = p.NewVar("x");
+  const VarId y = p.NewVar("y");
+  Rule rule;
+  rule.head.predicate = r;
+  rule.head.terms = {Term::MakeVar(x)};
+  Atom pos;
+  pos.predicate = s;
+  pos.terms = {Term::MakeVar(x)};
+  Atom cmp;
+  cmp.builtin = BuiltinOp::kLt;
+  cmp.terms = {Term::MakeVar(y), Term::MakeConst(3)};  // y unbound.
+  rule.body = {pos, cmp};
+  EXPECT_FALSE(p.AddRule(rule).ok());
+}
+
+TEST(ProgramTest, ArithmeticOutputCountsAsBinder) {
+  Program p;
+  Dsl dsl(&p);
+  auto s = dsl.Relation("S", 1);
+  auto r = dsl.Relation("R", 1);
+  auto [x, z] = dsl.Vars<2>();
+  // z is bound by the Add output; using it in the head is legal.
+  r(z) <<= s(x) & dsl.Add(x, 1, z);
+  EXPECT_EQ(p.rules().size(), 1u);
+}
+
+TEST(ProgramTest, RuleToStringRendersDatalog) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto x = dsl.Var("x");
+  auto y = dsl.Var("y");
+  auto z = dsl.Var("z");
+  path(x, z) <<= path(x, y) & edge(y, z);
+  const std::string rendered = p.RuleToString(p.rules()[0]);
+  EXPECT_NE(rendered.find("Path(x, z) :- "), std::string::npos);
+  EXPECT_NE(rendered.find("Edge(y, z)"), std::string::npos);
+}
+
+TEST(DslTest, StringConstantsIntern) {
+  Program p;
+  Dsl dsl(&p);
+  auto inv = dsl.Relation("Inv", 2);
+  inv.Fact("deserialize", "serialize");
+  EXPECT_EQ(p.db().Get(inv.id(), storage::DbKind::kDerived).size(), 1u);
+  const storage::Value a = p.Intern("deserialize");
+  const storage::Value b = p.Intern("serialize");
+  EXPECT_TRUE(p.db().Get(inv.id(), storage::DbKind::kDerived)
+                  .Contains({a, b}));
+}
+
+TEST(DslTest, NegationOperator) {
+  Program p;
+  Dsl dsl(&p);
+  auto s = dsl.Relation("S", 1);
+  auto t = dsl.Relation("T", 1);
+  auto r = dsl.Relation("R", 1);
+  auto x = dsl.Var("x");
+  r(x) <<= s(x) & !t(x);
+  ASSERT_EQ(p.rules().size(), 1u);
+  EXPECT_TRUE(p.rules()[0].body[1].negated);
+}
+
+TEST(DslTest, AggRuleRegisters) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto degree = dsl.Relation("Degree", 2);
+  auto [x, y, c] = dsl.Vars<3>();
+  dsl.AggRule(degree(x, c), BodyExpr({edge(x, y).atom()}), AggFunc::kCount);
+  ASSERT_EQ(p.rules().size(), 1u);
+  EXPECT_EQ(p.rules()[0].agg, AggFunc::kCount);
+}
+
+TEST(DslTest, MixedConstantsAndVars) {
+  Program p;
+  Dsl dsl(&p);
+  auto succ = dsl.Relation("Succ", 2);
+  auto ack = dsl.Relation("Ack", 3);
+  auto [n, r] = dsl.Vars<2>();
+  ack(0, n, r) <<= succ(n, r);
+  ASSERT_EQ(p.rules().size(), 1u);
+  EXPECT_TRUE(p.rules()[0].head.terms[0].is_const());
+  EXPECT_EQ(p.rules()[0].head.terms[0].constant, 0);
+}
+
+}  // namespace
+}  // namespace carac::datalog

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "datalog/dsl.h"
+
+namespace carac::core {
+namespace {
+
+using datalog::Dsl;
+using datalog::Program;
+
+TEST(EngineTest, InterpretedTransitiveClosure) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  path(x, y) <<= edge(x, y);
+  path(x, z) <<= path(x, y) & edge(y, z);
+  edge.Fact(1, 2);
+  edge.Fact(2, 3);
+
+  EngineConfig config;
+  Engine engine(&p, config);
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  const auto rows = engine.Results(path.id());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (storage::Tuple{1, 2}));
+  EXPECT_EQ(rows[1], (storage::Tuple{1, 3}));
+  EXPECT_EQ(rows[2], (storage::Tuple{2, 3}));
+}
+
+TEST(EngineTest, PrepareRejectsUnstratifiable) {
+  Program p;
+  Dsl dsl(&p);
+  auto seed = dsl.Relation("Seed", 1);
+  auto a = dsl.Relation("A", 1);
+  auto b = dsl.Relation("B", 1);
+  auto x = dsl.Var();
+  a(x) <<= seed(x) & !b(x);
+  b(x) <<= a(x);
+  seed.Fact(1);
+
+  Engine engine(&p, EngineConfig{});
+  EXPECT_FALSE(engine.Prepare().ok());
+}
+
+TEST(EngineTest, AotReorderFactsAndRules) {
+  Program p;
+  Dsl dsl(&p);
+  auto big = dsl.Relation("Big", 2);
+  auto tiny = dsl.Relation("Tiny", 2);
+  auto out = dsl.Relation("Out", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  out(x, z) <<= big(x, y) & tiny(y, z);
+  for (int i = 0; i < 300; ++i) big.Fact(i, i % 7);
+  tiny.Fact(3, 1);
+
+  EngineConfig config;
+  config.aot_reorder = true;
+  config.aot.use_fact_cardinalities = true;
+  Engine engine(&p, config);
+  ASSERT_TRUE(engine.Prepare().ok());
+
+  // After AOT planning the Tiny atom leads the only subquery.
+  bool found = false;
+  std::function<void(ir::IROp*)> visit = [&](ir::IROp* op) {
+    if (op->kind == ir::OpKind::kSpj) {
+      found = true;
+      EXPECT_EQ(op->atoms[0].predicate, tiny.id());
+    }
+    for (auto& c : op->children) visit(c.get());
+  };
+  visit(engine.ir().root.get());
+  EXPECT_TRUE(found);
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_GT(engine.ResultSize(out.id()), 0u);
+}
+
+TEST(EngineTest, AotRulesOnlyStillRuns) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  path(x, y) <<= edge(x, y);
+  path(x, z) <<= path(x, y) & edge(y, z);
+  for (int i = 0; i < 5; ++i) edge.Fact(i, i + 1);
+
+  EngineConfig config;
+  config.aot_reorder = true;
+  config.aot.use_fact_cardinalities = false;
+  Engine engine(&p, config);
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_EQ(engine.ResultSize(path.id()), 15u);
+}
+
+TEST(EngineTest, UnindexedConfigDisablesIndexes) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  path(x, y) <<= edge(x, y);
+  path(x, z) <<= path(x, y) & edge(y, z);
+  edge.Fact(1, 2);
+
+  EngineConfig config;
+  config.use_indexes = false;
+  Engine engine(&p, config);
+  ASSERT_TRUE(engine.Prepare().ok());
+  EXPECT_FALSE(
+      p.db().Get(edge.id(), storage::DbKind::kDerived).HasIndex(0));
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_EQ(engine.ResultSize(path.id()), 1u);
+}
+
+TEST(EngineTest, StatsToStringContainsCounters) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y] = dsl.Vars<2>();
+  path(x, y) <<= edge(x, y);
+  edge.Fact(1, 2);
+  Engine engine(&p, EngineConfig{});
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  const std::string s = engine.stats().ToString();
+  EXPECT_NE(s.find("iterations="), std::string::npos);
+  EXPECT_NE(s.find("inserted="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace carac::core

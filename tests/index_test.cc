@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "analysis/programs.h"
+#include "core/engine.h"
+#include "storage/index.h"
+#include "storage/relation.h"
+
+namespace carac::storage {
+namespace {
+
+TEST(ColumnIndexTest, HashProbe) {
+  Tuple a{1, 10}, b{1, 11}, c{2, 20};
+  ColumnIndex index(0, IndexKind::kHash);
+  index.Add(&a);
+  index.Add(&b);
+  index.Add(&c);
+  EXPECT_EQ(index.Probe(1).size(), 2u);
+  EXPECT_EQ(index.Probe(2).size(), 1u);
+  EXPECT_TRUE(index.Probe(3).empty());
+  EXPECT_EQ(index.kind(), IndexKind::kHash);
+}
+
+TEST(ColumnIndexTest, SortedProbe) {
+  Tuple a{5, 0}, b{7, 0}, c{5, 1};
+  ColumnIndex index(0, IndexKind::kSorted);
+  index.Add(&a);
+  index.Add(&b);
+  index.Add(&c);
+  EXPECT_EQ(index.Probe(5).size(), 2u);
+  EXPECT_EQ(index.Probe(7).size(), 1u);
+  EXPECT_TRUE(index.Probe(6).empty());
+}
+
+TEST(ColumnIndexTest, RangeProbeAscending) {
+  Tuple rows[] = {{3, 0}, {1, 0}, {7, 0}, {5, 0}, {5, 1}};
+  ColumnIndex index(0, IndexKind::kSorted);
+  for (Tuple& t : rows) index.Add(&t);
+  std::vector<const Tuple*> out;
+  index.ProbeRange(2, 6, &out);
+  ASSERT_EQ(out.size(), 3u);  // 3, 5, 5.
+  EXPECT_EQ((*out[0])[0], 3);
+  EXPECT_EQ((*out[1])[0], 5);
+  EXPECT_EQ((*out[2])[0], 5);
+  out.clear();
+  index.ProbeRange(100, 200, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ColumnIndexTest, ClearEmptiesBothOrganizations) {
+  Tuple a{1, 2};
+  for (IndexKind kind : {IndexKind::kHash, IndexKind::kSorted}) {
+    ColumnIndex index(0, kind);
+    index.Add(&a);
+    EXPECT_EQ(index.Probe(1).size(), 1u);
+    index.Clear();
+    EXPECT_TRUE(index.Probe(1).empty());
+  }
+}
+
+TEST(RelationIndexKindTest, SortedIndexOnRelation) {
+  Relation rel("R", 2);
+  rel.DeclareIndex(0, IndexKind::kSorted);
+  for (int64_t i = 0; i < 20; ++i) rel.Insert({i % 5, i});
+  EXPECT_EQ(rel.IndexKindOf(0), IndexKind::kSorted);
+  EXPECT_EQ(rel.Probe(0, 3).size(), 4u);
+  std::vector<const Tuple*> out;
+  rel.ProbeRange(0, 1, 3, &out);
+  EXPECT_EQ(out.size(), 12u);  // Keys 1,2,3 with 4 rows each.
+}
+
+TEST(RelationIndexKindTest, FirstDeclarationWins) {
+  Relation rel("R", 1);
+  rel.DeclareIndex(0, IndexKind::kSorted);
+  rel.DeclareIndex(0, IndexKind::kHash);  // Ignored (idempotent).
+  EXPECT_EQ(rel.IndexKindOf(0), IndexKind::kSorted);
+}
+
+TEST(DatabaseIndexKindTest, DefaultKindAppliesToAllStores) {
+  DatabaseSet db;
+  const RelationId r = db.AddRelation("R", 2);
+  db.SetDefaultIndexKind(IndexKind::kSorted);
+  db.DeclareIndex(r, 1);
+  EXPECT_EQ(db.Get(r, DbKind::kDerived).IndexKindOf(1), IndexKind::kSorted);
+  EXPECT_EQ(db.Get(r, DbKind::kDeltaNew).IndexKindOf(1),
+            IndexKind::kSorted);
+  EXPECT_STREQ(IndexKindName(IndexKind::kSorted), "sorted");
+  EXPECT_STREQ(IndexKindName(IndexKind::kHash), "hash");
+}
+
+TEST(EngineIndexKindTest, SortedIndexesProduceSameResults) {
+  auto run = [](IndexKind kind) {
+    analysis::CspaConfig config;
+    config.total_tuples = 200;
+    analysis::Workload w =
+        analysis::MakeCspa(config, analysis::RuleOrder::kHandOptimized);
+    core::EngineConfig ec;
+    ec.index_kind = kind;
+    core::Engine engine(w.program.get(), ec);
+    CARAC_CHECK_OK(engine.Prepare());
+    CARAC_CHECK_OK(engine.Run());
+    return engine.Results(w.output);
+  };
+  EXPECT_EQ(run(IndexKind::kHash), run(IndexKind::kSorted));
+}
+
+TEST(EngineIndexKindTest, SortedIndexesWorkUnderJit) {
+  auto run = [](IndexKind kind) {
+    analysis::Workload w =
+        analysis::MakeAckermann(29, analysis::RuleOrder::kUnoptimized);
+    core::EngineConfig ec;
+    ec.mode = core::EvalMode::kJit;
+    ec.index_kind = kind;
+    ec.jit.backend = backends::BackendKind::kBytecode;
+    core::Engine engine(w.program.get(), ec);
+    CARAC_CHECK_OK(engine.Prepare());
+    CARAC_CHECK_OK(engine.Run());
+    return engine.Results(w.output);
+  };
+  EXPECT_EQ(run(IndexKind::kHash), run(IndexKind::kSorted));
+}
+
+}  // namespace
+}  // namespace carac::storage

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "datalog/dsl.h"
+
+namespace carac {
+namespace {
+
+using datalog::Dsl;
+using datalog::Program;
+using storage::Tuple;
+
+core::EngineConfig Interp(bool indexes = true) {
+  core::EngineConfig config;
+  config.mode = core::EvalMode::kInterpreted;
+  config.use_indexes = indexes;
+  return config;
+}
+
+TEST(InterpreterTest, TransitiveClosureChain) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  path(x, y) <<= edge(x, y);
+  path(x, z) <<= path(x, y) & edge(y, z);
+  for (int i = 0; i < 10; ++i) edge.Fact(i, i + 1);
+
+  core::Engine engine(&p, Interp());
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  // Chain of 11 nodes: 10+9+...+1 = 55 paths.
+  EXPECT_EQ(engine.ResultSize(path.id()), 55u);
+  EXPECT_TRUE(p.db().Get(path.id(), storage::DbKind::kDerived)
+                  .Contains({0, 10}));
+}
+
+TEST(InterpreterTest, CycleTerminates) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  path(x, y) <<= edge(x, y);
+  path(x, z) <<= path(x, y) & edge(y, z);
+  edge.Fact(1, 2);
+  edge.Fact(2, 3);
+  edge.Fact(3, 1);
+
+  core::Engine engine(&p, Interp());
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_EQ(engine.ResultSize(path.id()), 9u);  // Full 3x3 closure.
+}
+
+TEST(InterpreterTest, UnindexedMatchesIndexed) {
+  auto build = [](Program* p) {
+    Dsl dsl(p);
+    auto edge = dsl.Relation("Edge", 2);
+    auto path = dsl.Relation("Path", 2);
+    auto [x, y, z] = dsl.Vars<3>();
+    path(x, y) <<= edge(x, y);
+    path(x, z) <<= path(x, y) & edge(y, z);
+    edge.Fact(1, 2);
+    edge.Fact(2, 3);
+    edge.Fact(2, 4);
+    edge.Fact(4, 1);
+    return path.id();
+  };
+  Program a, b;
+  auto pa = build(&a);
+  auto pb = build(&b);
+  core::Engine ea(&a, Interp(true)), eb(&b, Interp(false));
+  ASSERT_TRUE(ea.Prepare().ok() && ea.Run().ok());
+  ASSERT_TRUE(eb.Prepare().ok() && eb.Run().ok());
+  EXPECT_EQ(ea.Results(pa), eb.Results(pb));
+}
+
+TEST(InterpreterTest, ConstantsFilter) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto from7 = dsl.Relation("From7", 1);
+  auto x = dsl.Var("x");
+  from7(x) <<= edge(7, x);
+  edge.Fact(7, 1);
+  edge.Fact(7, 2);
+  edge.Fact(8, 3);
+
+  core::Engine engine(&p, Interp());
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_EQ(engine.ResultSize(from7.id()), 2u);
+}
+
+TEST(InterpreterTest, RepeatedVariableSelfEquality) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto loops = dsl.Relation("Loops", 1);
+  auto x = dsl.Var("x");
+  loops(x) <<= edge(x, x);
+  edge.Fact(1, 1);
+  edge.Fact(1, 2);
+  edge.Fact(3, 3);
+
+  core::Engine engine(&p, Interp());
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  const auto rows = engine.Results(loops.id());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (Tuple{1}));
+  EXPECT_EQ(rows[1], (Tuple{3}));
+}
+
+TEST(InterpreterTest, NegationStratified) {
+  Program p;
+  Dsl dsl(&p);
+  auto node = dsl.Relation("Node", 1);
+  auto edge = dsl.Relation("Edge", 2);
+  auto has_out = dsl.Relation("HasOut", 1);
+  auto sink = dsl.Relation("Sink", 1);
+  auto [x, y] = dsl.Vars<2>();
+  has_out(x) <<= edge(x, y);
+  sink(x) <<= node(x) & !has_out(x);
+  for (int i = 1; i <= 5; ++i) node.Fact(i);
+  edge.Fact(1, 2);
+  edge.Fact(2, 3);
+  edge.Fact(4, 1);
+
+  core::Engine engine(&p, Interp());
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  const auto rows = engine.Results(sink.id());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (Tuple{3}));
+  EXPECT_EQ(rows[1], (Tuple{5}));
+}
+
+TEST(InterpreterTest, ArithmeticBindsFreshVariables) {
+  Program p;
+  Dsl dsl(&p);
+  auto n = dsl.Relation("N", 1);
+  auto doubled = dsl.Relation("Doubled", 2);
+  auto [x, d] = dsl.Vars<2>();
+  doubled(x, d) <<= n(x) & dsl.Mul(x, 2, d);
+  n.Fact(1);
+  n.Fact(5);
+
+  core::Engine engine(&p, Interp());
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  const auto rows = engine.Results(doubled.id());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (Tuple{1, 2}));
+  EXPECT_EQ(rows[1], (Tuple{5, 10}));
+}
+
+TEST(InterpreterTest, ComparisonFilters) {
+  Program p;
+  Dsl dsl(&p);
+  auto n = dsl.Relation("N", 1);
+  auto small = dsl.Relation("Small", 1);
+  auto x = dsl.Var("x");
+  small(x) <<= n(x) & dsl.Le(x, 3);
+  for (int i = 1; i <= 6; ++i) n.Fact(i);
+
+  core::Engine engine(&p, Interp());
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_EQ(engine.ResultSize(small.id()), 3u);
+}
+
+TEST(InterpreterTest, DivisionByZeroDropsRow) {
+  Program p;
+  Dsl dsl(&p);
+  auto pairs = dsl.Relation("Pairs", 2);
+  auto quot = dsl.Relation("Quot", 3);
+  auto [a, b, q] = dsl.Vars<3>();
+  quot(a, b, q) <<= pairs(a, b) & dsl.Div(a, b, q);
+  pairs.Fact(6, 2);
+  pairs.Fact(6, 0);  // Dropped silently.
+
+  core::Engine engine(&p, Interp());
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  const auto rows = engine.Results(quot.id());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (Tuple{6, 2, 3}));
+}
+
+TEST(InterpreterTest, CountAggregate) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto degree = dsl.Relation("Degree", 2);
+  auto [x, y] = dsl.Vars<2>();
+  auto c = dsl.Var("c");
+  dsl.AggRule(degree(x, c), datalog::BodyExpr({edge(x, y).atom()}),
+              datalog::AggFunc::kCount);
+  edge.Fact(1, 10);
+  edge.Fact(1, 11);
+  edge.Fact(1, 12);
+  edge.Fact(2, 10);
+
+  core::Engine engine(&p, Interp());
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  const auto rows = engine.Results(degree.id());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (Tuple{1, 3}));
+  EXPECT_EQ(rows[1], (Tuple{2, 1}));
+}
+
+TEST(InterpreterTest, SumMinMaxAggregates) {
+  Program p;
+  Dsl dsl(&p);
+  auto sale = dsl.Relation("Sale", 2);  // (store, amount)
+  auto total = dsl.Relation("Total", 2);
+  auto lo = dsl.Relation("Lo", 2);
+  auto hi = dsl.Relation("Hi", 2);
+  auto [s, a] = dsl.Vars<2>();
+  auto out1 = dsl.Var("o1");
+  auto out2 = dsl.Var("o2");
+  auto out3 = dsl.Var("o3");
+  dsl.AggRule(total(s, out1), datalog::BodyExpr({sale(s, a).atom()}),
+              datalog::AggFunc::kSum, a);
+  dsl.AggRule(lo(s, out2), datalog::BodyExpr({sale(s, a).atom()}),
+              datalog::AggFunc::kMin, a);
+  dsl.AggRule(hi(s, out3), datalog::BodyExpr({sale(s, a).atom()}),
+              datalog::AggFunc::kMax, a);
+  sale.Fact(1, 10);
+  sale.Fact(1, 30);
+  sale.Fact(2, 7);
+
+  core::Engine engine(&p, Interp());
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_EQ(engine.Results(total.id())[0], (Tuple{1, 40}));
+  EXPECT_EQ(engine.Results(lo.id())[0], (Tuple{1, 10}));
+  EXPECT_EQ(engine.Results(hi.id())[0], (Tuple{1, 30}));
+  EXPECT_EQ(engine.Results(total.id())[1], (Tuple{2, 7}));
+}
+
+TEST(InterpreterTest, MutualRecursionEvenOdd) {
+  Program p;
+  Dsl dsl(&p);
+  auto succ = dsl.Relation("Succ", 2);
+  auto even = dsl.Relation("Even", 1);
+  auto odd = dsl.Relation("Odd", 1);
+  auto [x, y] = dsl.Vars<2>();
+  odd(y) <<= even(x) & succ(x, y);
+  even(y) <<= odd(x) & succ(x, y);
+  even.Fact(0);
+  for (int i = 0; i < 10; ++i) succ.Fact(i, i + 1);
+
+  core::Engine engine(&p, Interp());
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_EQ(engine.ResultSize(even.id()), 6u);  // 0,2,4,6,8,10
+  EXPECT_EQ(engine.ResultSize(odd.id()), 5u);   // 1,3,5,7,9
+}
+
+TEST(InterpreterTest, IdbFactsSeedEvaluation) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  path(x, y) <<= edge(x, y);
+  path(x, z) <<= path(x, y) & path(y, z);
+  path.Fact(100, 200);  // IDB fact, no Edge counterpart.
+  edge.Fact(200, 300);
+
+  core::Engine engine(&p, Interp());
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_TRUE(p.db().Get(path.id(), storage::DbKind::kDerived)
+                  .Contains({100, 300}));
+}
+
+TEST(InterpreterTest, StatsArepopulated) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  path(x, y) <<= edge(x, y);
+  path(x, z) <<= path(x, y) & edge(y, z);
+  for (int i = 0; i < 5; ++i) edge.Fact(i, i + 1);
+
+  core::Engine engine(&p, Interp());
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_GT(engine.stats().iterations, 1u);
+  EXPECT_GT(engine.stats().spj_executions, 0u);
+  EXPECT_EQ(engine.stats().tuples_inserted, 15u);
+  EXPECT_EQ(engine.stats().compilations, 0u);  // Pure interpretation.
+}
+
+TEST(InterpreterTest, EngineRequiresPrepare) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y] = dsl.Vars<2>();
+  path(x, y) <<= edge(x, y);
+  core::Engine engine(&p, Interp());
+  EXPECT_FALSE(engine.Run().ok());
+}
+
+}  // namespace
+}  // namespace carac

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "core/compile_manager.h"
+#include "core/engine.h"
+#include "core/jit.h"
+#include "datalog/dsl.h"
+#include "ir/lowering.h"
+
+namespace carac::core {
+namespace {
+
+using datalog::Dsl;
+using datalog::Program;
+
+datalog::PredicateId BuildTc(Dsl* dsl, int chain) {
+  auto edge = dsl->Relation("Edge", 2);
+  auto path = dsl->Relation("Path", 2);
+  auto x = dsl->Var();
+  auto y = dsl->Var();
+  auto z = dsl->Var();
+  path(x, y) <<= edge(x, y);
+  path(x, z) <<= path(x, y) & edge(y, z);
+  for (int i = 0; i < chain; ++i) edge.Fact(i, i + 1);
+  return path.id();
+}
+
+size_t Closure(int chain) {
+  return static_cast<size_t>(chain) * (chain + 1) / 2;
+}
+
+EngineConfig JitConfigFor(backends::BackendKind backend, Granularity g,
+                          bool async = false,
+                          backends::CompileMode mode =
+                              backends::CompileMode::kFull) {
+  EngineConfig config;
+  config.mode = EvalMode::kJit;
+  config.jit.backend = backend;
+  config.jit.granularity = g;
+  config.jit.async = async;
+  config.jit.mode = mode;
+  return config;
+}
+
+TEST(JitTest, LambdaBlockingEveryGranularity) {
+  for (Granularity g :
+       {Granularity::kProgram, Granularity::kDoWhile, Granularity::kUnionAll,
+        Granularity::kUnion, Granularity::kSpj}) {
+    Program p;
+    Dsl dsl(&p);
+    auto path = BuildTc(&dsl, 12);
+    Engine engine(&p, JitConfigFor(backends::BackendKind::kLambda, g));
+    ASSERT_TRUE(engine.Prepare().ok());
+    ASSERT_TRUE(engine.Run().ok()) << GranularityName(g);
+    EXPECT_EQ(engine.ResultSize(path), Closure(12)) << GranularityName(g);
+    EXPECT_GT(engine.stats().compilations, 0u) << GranularityName(g);
+    EXPECT_GT(engine.stats().compiled_invocations, 0u) << GranularityName(g);
+  }
+}
+
+TEST(JitTest, BytecodeBlockingEveryGranularity) {
+  for (Granularity g :
+       {Granularity::kProgram, Granularity::kDoWhile, Granularity::kUnionAll,
+        Granularity::kUnion, Granularity::kSpj}) {
+    Program p;
+    Dsl dsl(&p);
+    auto path = BuildTc(&dsl, 12);
+    Engine engine(&p, JitConfigFor(backends::BackendKind::kBytecode, g));
+    ASSERT_TRUE(engine.Prepare().ok());
+    ASSERT_TRUE(engine.Run().ok()) << GranularityName(g);
+    EXPECT_EQ(engine.ResultSize(path), Closure(12)) << GranularityName(g);
+  }
+}
+
+TEST(JitTest, IRGeneratorMatchesInterpreter) {
+  Program p;
+  Dsl dsl(&p);
+  auto path = BuildTc(&dsl, 15);
+  Engine engine(&p, JitConfigFor(backends::BackendKind::kIRGenerator,
+                                 Granularity::kUnionAll));
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_EQ(engine.ResultSize(path), Closure(15));
+}
+
+TEST(JitTest, AsyncLambdaProducesSameResults) {
+  Program p;
+  Dsl dsl(&p);
+  auto path = BuildTc(&dsl, 30);
+  Engine engine(&p, JitConfigFor(backends::BackendKind::kLambda,
+                                 Granularity::kUnion, /*async=*/true));
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_EQ(engine.ResultSize(path), Closure(30));
+}
+
+TEST(JitTest, AsyncBytecodeProducesSameResults) {
+  Program p;
+  Dsl dsl(&p);
+  auto path = BuildTc(&dsl, 30);
+  Engine engine(&p, JitConfigFor(backends::BackendKind::kBytecode,
+                                 Granularity::kUnionAll, /*async=*/true));
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_EQ(engine.ResultSize(path), Closure(30));
+}
+
+TEST(JitTest, SnippetModeProducesSameResults) {
+  Program p;
+  Dsl dsl(&p);
+  auto path = BuildTc(&dsl, 20);
+  Engine engine(&p, JitConfigFor(backends::BackendKind::kLambda,
+                                 Granularity::kUnionAll, /*async=*/false,
+                                 backends::CompileMode::kSnippet));
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_EQ(engine.ResultSize(path), Closure(20));
+}
+
+TEST(JitTest, FreshnessSkipsRecompilation) {
+  Program p;
+  Dsl dsl(&p);
+  BuildTc(&dsl, 40);
+  EngineConfig config =
+      JitConfigFor(backends::BackendKind::kLambda, Granularity::kUnion);
+  config.jit.freshness_threshold = 1.0;  // Everything is always fresh.
+  Engine engine(&p, config);
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_GT(engine.stats().freshness_skips, 0u);
+  // With a 1.0 threshold each node compiles exactly once.
+  EXPECT_LE(engine.stats().compilations, 3u);
+}
+
+TEST(JitTest, ZeroThresholdRecompilesOnEveryShift) {
+  Program p;
+  Dsl dsl(&p);
+  auto path = BuildTc(&dsl, 40);
+  EngineConfig config =
+      JitConfigFor(backends::BackendKind::kLambda, Granularity::kUnion);
+  config.jit.freshness_threshold = 0.0;
+  Engine engine(&p, config);
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  // Deltas change every iteration, so recompilations pile up.
+  EXPECT_GT(engine.stats().compilations, 3u);
+  EXPECT_EQ(engine.ResultSize(path), Closure(40));
+}
+
+TEST(CompileManagerTest, SyncCompileStoresUnit) {
+  auto backend = backends::MakeBackend(backends::BackendKind::kLambda);
+  CompileManager manager(backend.get());
+
+  Program p;
+  Dsl dsl(&p);
+  BuildTc(&dsl, 5);
+  ir::IRProgram irp;
+  ASSERT_TRUE(ir::LowerProgram(&p, true, &irp).ok());
+
+  backends::CompileRequest request;
+  request.subtree = irp.root->Clone();
+  request.stats = optimizer::StatsSnapshot::Capture(p.db());
+  ASSERT_TRUE(manager.CompileSync(1, std::move(request)).ok());
+  EXPECT_NE(manager.GetReady(1), nullptr);
+  EXPECT_EQ(manager.GetReady(2), nullptr);
+  manager.Invalidate(1);
+  EXPECT_EQ(manager.GetReady(1), nullptr);
+}
+
+TEST(CompileManagerTest, AsyncCompileCompletes) {
+  auto backend = backends::MakeBackend(backends::BackendKind::kLambda);
+  CompileManager manager(backend.get());
+
+  Program p;
+  Dsl dsl(&p);
+  BuildTc(&dsl, 5);
+  ir::IRProgram irp;
+  ASSERT_TRUE(ir::LowerProgram(&p, true, &irp).ok());
+
+  backends::CompileRequest request;
+  request.subtree = irp.root->Clone();
+  request.stats = optimizer::StatsSnapshot::Capture(p.db());
+  manager.CompileAsync(7, std::move(request));
+  manager.WaitIdle();
+  EXPECT_NE(manager.GetReady(7), nullptr);
+  EXPECT_FALSE(manager.IsPending(7));
+  EXPECT_TRUE(manager.first_error().ok());
+  EXPECT_EQ(manager.compiles_completed(), 1u);
+}
+
+TEST(JitTest, DeoptimizeRevertsToInterpretation) {
+  Program p;
+  Dsl dsl(&p);
+  auto path = BuildTc(&dsl, 10);
+  EngineConfig config =
+      JitConfigFor(backends::BackendKind::kLambda, Granularity::kProgram);
+  Engine engine(&p, config);
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  ASSERT_NE(engine.jit(), nullptr);
+  const uint32_t root_id = engine.ir().root->node_id;
+  EXPECT_NE(engine.jit()->manager().GetReady(root_id), nullptr);
+  engine.jit()->Deoptimize(root_id);
+  EXPECT_EQ(engine.jit()->manager().GetReady(root_id), nullptr);
+  EXPECT_EQ(engine.ResultSize(path), Closure(10));
+}
+
+TEST(JitTest, GranularityNames) {
+  EXPECT_STREQ(GranularityName(Granularity::kProgram), "program");
+  EXPECT_STREQ(GranularityName(Granularity::kSpj), "spj");
+}
+
+}  // namespace
+}  // namespace carac::core

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "datalog/dsl.h"
+#include "ir/lowering.h"
+
+namespace carac::ir {
+namespace {
+
+using datalog::Dsl;
+using datalog::Program;
+
+struct Lowered {
+  std::unique_ptr<Program> program;
+  IRProgram irp;
+};
+
+/// Collects all nodes of a kind in the subtree.
+void Collect(IROp* op, OpKind kind, std::vector<IROp*>* out) {
+  if (op->kind == kind) out->push_back(op);
+  for (auto& child : op->children) Collect(child.get(), kind, out);
+}
+
+TEST(LoweringTest, TransitiveClosureShape) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  path(x, y) <<= edge(x, y);
+  path(x, z) <<= path(x, y) & edge(y, z);
+
+  IRProgram irp;
+  ASSERT_TRUE(LowerProgram(&p, true, &irp).ok());
+  ASSERT_NE(irp.root, nullptr);
+  EXPECT_EQ(irp.root->kind, OpKind::kProgram);
+  ASSERT_EQ(irp.root->children.size(), 1u);  // One stratum.
+
+  std::vector<IROp*> loops;
+  Collect(irp.root.get(), OpKind::kDoWhile, &loops);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0]->relations, std::vector<datalog::PredicateId>{path.id()});
+
+  // Init pass: 2 naive SPJs. Loop: 1 delta SPJ (one recursive atom).
+  std::vector<IROp*> spjs;
+  Collect(irp.root.get(), OpKind::kSpj, &spjs);
+  ASSERT_EQ(spjs.size(), 3u);
+  int naive = 0, delta = 0;
+  for (IROp* spj : spjs) {
+    (spj->delta_pos < 0 ? naive : delta)++;
+  }
+  EXPECT_EQ(naive, 2);
+  EXPECT_EQ(delta, 1);
+}
+
+TEST(LoweringTest, DeltaSplitOnePerRecursiveAtom) {
+  Program p;
+  Dsl dsl(&p);
+  auto seed = dsl.Relation("Seed", 2);
+  auto t = dsl.Relation("T", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  t(x, y) <<= seed(x, y);
+  t(x, z) <<= t(x, y) & t(y, z);  // Two recursive atoms -> two subqueries.
+
+  IRProgram irp;
+  ASSERT_TRUE(LowerProgram(&p, true, &irp).ok());
+  std::vector<IROp*> loops;
+  Collect(irp.root.get(), OpKind::kDoWhile, &loops);
+  ASSERT_EQ(loops.size(), 1u);
+  std::vector<IROp*> spjs;
+  Collect(loops[0], OpKind::kSpj, &spjs);
+  ASSERT_EQ(spjs.size(), 2u);
+  // Each subquery reads exactly one delta.
+  for (IROp* spj : spjs) {
+    int deltas = 0;
+    for (const AtomSpec& atom : spj->atoms) {
+      if (atom.is_relational() &&
+          atom.source == storage::DbKind::kDeltaKnown) {
+        ++deltas;
+      }
+    }
+    EXPECT_EQ(deltas, 1);
+  }
+  EXPECT_NE(spjs[0]->delta_pos, spjs[1]->delta_pos);
+}
+
+TEST(LoweringTest, LowerStratumAtomsReadDerived) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto blocked = dsl.Relation("Blocked", 2);
+  auto open_path = dsl.Relation("OpenPath", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  path(x, y) <<= edge(x, y);
+  path(x, z) <<= path(x, y) & edge(y, z);
+  open_path(x, y) <<= path(x, y) & !blocked(x, y);
+
+  IRProgram irp;
+  ASSERT_TRUE(LowerProgram(&p, true, &irp).ok());
+  ASSERT_EQ(irp.root->children.size(), 2u);  // Two strata.
+
+  // OpenPath's stratum: the path atom (lower stratum) reads Derived and
+  // there is no DoWhile (non-recursive).
+  IROp* second = irp.root->children[1].get();
+  std::vector<IROp*> loops;
+  Collect(second, OpKind::kDoWhile, &loops);
+  EXPECT_TRUE(loops.empty());
+  std::vector<IROp*> spjs;
+  Collect(second, OpKind::kSpj, &spjs);
+  ASSERT_EQ(spjs.size(), 1u);
+  for (const AtomSpec& atom : spjs[0]->atoms) {
+    if (atom.is_relational()) {
+      EXPECT_EQ(atom.source, storage::DbKind::kDerived);
+    }
+  }
+}
+
+TEST(LoweringTest, LocalVariableRemapIsDense) {
+  Program p;
+  Dsl dsl(&p);
+  auto a = dsl.Relation("A", 2);
+  auto b = dsl.Relation("B", 2);
+  auto r = dsl.Relation("R", 2);
+  // Use up some variable ids first so program ids aren't dense in rules.
+  dsl.Var("unused1");
+  dsl.Var("unused2");
+  auto [x, y, z] = dsl.Vars<3>();
+  r(x, z) <<= a(x, y) & b(y, z);
+
+  IRProgram irp;
+  ASSERT_TRUE(LowerProgram(&p, true, &irp).ok());
+  std::vector<IROp*> spjs;
+  Collect(irp.root.get(), OpKind::kSpj, &spjs);
+  ASSERT_FALSE(spjs.empty());
+  for (IROp* spj : spjs) {
+    EXPECT_EQ(spj->num_locals, 3);
+    for (const AtomSpec& atom : spj->atoms) {
+      for (const LocalTerm& t : atom.terms) {
+        if (t.is_var) {
+          EXPECT_GE(t.var, 0);
+          EXPECT_LT(t.var, spj->num_locals);
+        }
+      }
+    }
+  }
+}
+
+TEST(LoweringTest, IndexesDeclaredOnJoinAndFilterColumns) {
+  Program p;
+  Dsl dsl(&p);
+  auto a = dsl.Relation("A", 2);
+  auto b = dsl.Relation("B", 2);
+  auto r = dsl.Relation("R", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  r(x, z) <<= a(x, y) & b(y, z);  // Join key: y = A.$1 = B.$0.
+  IRProgram irp;
+  ASSERT_TRUE(LowerProgram(&p, true, &irp).ok());
+  EXPECT_TRUE(p.db().Get(a.id(), storage::DbKind::kDerived).HasIndex(1));
+  EXPECT_TRUE(p.db().Get(b.id(), storage::DbKind::kDerived).HasIndex(0));
+  // Non-join columns get no index.
+  EXPECT_FALSE(p.db().Get(a.id(), storage::DbKind::kDerived).HasIndex(0));
+}
+
+TEST(LoweringTest, ConstantColumnsGetIndexes) {
+  Program p;
+  Dsl dsl(&p);
+  auto a = dsl.Relation("A", 2);
+  auto r = dsl.Relation("R", 1);
+  auto x = dsl.Var("x");
+  r(x) <<= a(7, x);
+  IRProgram irp;
+  ASSERT_TRUE(LowerProgram(&p, true, &irp).ok());
+  EXPECT_TRUE(p.db().Get(a.id(), storage::DbKind::kDerived).HasIndex(0));
+}
+
+TEST(LoweringTest, ScheduleAtomsPlacesFloatersAfterBinders) {
+  // joins: A(l0, l1); floaters: l2 = l1 + 1 then l2 < 5.
+  AtomSpec join;
+  join.predicate = 0;
+  join.terms = {LocalTerm::Var(0), LocalTerm::Var(1)};
+
+  AtomSpec add;
+  add.builtin = datalog::BuiltinOp::kAdd;
+  add.terms = {LocalTerm::Var(1), LocalTerm::Const(1), LocalTerm::Var(2)};
+
+  AtomSpec cmp;
+  cmp.builtin = datalog::BuiltinOp::kLt;
+  cmp.terms = {LocalTerm::Var(2), LocalTerm::Const(5)};
+
+  // The comparison depends on the Add output: it must come last even when
+  // listed first.
+  const auto scheduled = ScheduleAtoms({join}, {cmp, add});
+  ASSERT_EQ(scheduled.size(), 3u);
+  EXPECT_TRUE(scheduled[0].is_relational());
+  EXPECT_EQ(scheduled[1].builtin, datalog::BuiltinOp::kAdd);
+  EXPECT_EQ(scheduled[2].builtin, datalog::BuiltinOp::kLt);
+}
+
+TEST(LoweringTest, NodeIdsAreUniqueAndIndexed) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  path(x, y) <<= edge(x, y);
+  path(x, z) <<= path(x, y) & edge(y, z);
+
+  IRProgram irp;
+  ASSERT_TRUE(LowerProgram(&p, true, &irp).ok());
+  std::vector<bool> seen(irp.num_nodes, false);
+  std::function<void(IROp*)> visit = [&](IROp* op) {
+    ASSERT_LT(op->node_id, irp.num_nodes);
+    EXPECT_FALSE(seen[op->node_id]);
+    seen[op->node_id] = true;
+    EXPECT_EQ(irp.by_id[op->node_id], op);
+    for (auto& c : op->children) visit(c.get());
+  };
+  visit(irp.root.get());
+}
+
+TEST(LoweringTest, CloneSharesNodeIdsDeepCopies) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  path(x, z) <<= path(x, y) & edge(y, z);
+  path(x, y) <<= edge(x, y);
+
+  IRProgram irp;
+  ASSERT_TRUE(LowerProgram(&p, true, &irp).ok());
+  auto clone = irp.root->Clone();
+  EXPECT_EQ(clone->node_id, irp.root->node_id);
+  ASSERT_EQ(clone->children.size(), irp.root->children.size());
+  EXPECT_NE(clone->children[0].get(), irp.root->children[0].get());
+}
+
+TEST(LoweringTest, ToStringMentionsOperators) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  path(x, y) <<= edge(x, y);
+  path(x, z) <<= path(x, y) & edge(y, z);
+  IRProgram irp;
+  ASSERT_TRUE(LowerProgram(&p, true, &irp).ok());
+  const std::string rendered = irp.ToString(p);
+  EXPECT_NE(rendered.find("ProgramOp"), std::string::npos);
+  EXPECT_NE(rendered.find("DoWhileOp"), std::string::npos);
+  EXPECT_NE(rendered.find("SwapClearOp"), std::string::npos);
+  EXPECT_NE(rendered.find("SPJOp"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace carac::ir

@@ -1,0 +1,226 @@
+// Property-based suites: every evaluation configuration must produce the
+// exact same model (set of derived facts) as the reference interpreter,
+// across a family of randomized programs; and the join order must never
+// affect results, only performance.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/factgen.h"
+#include "analysis/programs.h"
+#include "core/engine.h"
+#include "datalog/dsl.h"
+
+namespace carac {
+namespace {
+
+using analysis::Workload;
+using backends::BackendKind;
+using backends::CompileMode;
+using core::EngineConfig;
+using core::EvalMode;
+using core::Granularity;
+
+/// The randomized program family: transitive closure plus a secondary
+/// derived relation with negation and arithmetic, over a seeded graph.
+Workload MakeRandomWorkload(uint64_t seed) {
+  Workload w;
+  w.name = "random" + std::to_string(seed);
+  w.program = std::make_unique<datalog::Program>();
+  datalog::Dsl dsl(w.program.get());
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto spread = dsl.Relation("Spread", 2);
+  auto blocked = dsl.Relation("Blocked", 1);
+  auto [x, y, z, d] = dsl.Vars<4>();
+
+  path(x, y) <<= edge(x, y);
+  path(x, z) <<= path(x, y) & edge(y, z);
+  spread(x, d) <<= path(x, y) & !blocked(y) & dsl.Add(y, 100, d);
+  w.output = path.id();
+  w.relations["Path"] = path.id();
+  w.relations["Spread"] = spread.id();
+
+  const auto edges =
+      analysis::GenerateSparseGraph(seed, 20 + seed % 17, 40 + seed % 23);
+  for (const auto& e : edges) edge.Fact(e.first, e.second);
+  for (uint64_t b = 0; b < 5; ++b) {
+    blocked.Fact(static_cast<int64_t>((seed + b * 7) % 20));
+  }
+  return w;
+}
+
+/// Sorted model of every IDB relation, for whole-model comparison.
+std::vector<std::vector<storage::Tuple>> ModelOf(const Workload& w,
+                                                 core::Engine* engine) {
+  std::vector<std::vector<storage::Tuple>> model;
+  for (const auto& [name, id] : std::map<std::string, datalog::PredicateId>(
+           w.relations.begin(), w.relations.end())) {
+    model.push_back(engine->Results(id));
+  }
+  return model;
+}
+
+std::vector<std::vector<storage::Tuple>> RunWith(uint64_t seed,
+                                                 const EngineConfig& config) {
+  Workload w = MakeRandomWorkload(seed);
+  core::Engine engine(w.program.get(), config);
+  CARAC_CHECK_OK(engine.Prepare());
+  CARAC_CHECK_OK(engine.Run());
+  return ModelOf(w, &engine);
+}
+
+// ---- Cross-configuration equivalence (TEST_P sweep) ----
+
+struct ConfigCase {
+  BackendKind backend;
+  Granularity granularity;
+  bool async;
+  CompileMode mode;
+  bool indexes;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<ConfigCase>& info) {
+  const ConfigCase& c = info.param;
+  std::string name = backends::BackendKindName(c.backend);
+  name += "_";
+  name += core::GranularityName(c.granularity);
+  name += c.async ? "_async" : "_block";
+  name += c.mode == CompileMode::kSnippet ? "_snippet" : "_full";
+  name += c.indexes ? "_idx" : "_noidx";
+  return name;
+}
+
+class BackendEquivalence : public ::testing::TestWithParam<ConfigCase> {};
+
+TEST_P(BackendEquivalence, MatchesInterpreterModel) {
+  const ConfigCase& c = GetParam();
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    EngineConfig reference;
+    reference.use_indexes = c.indexes;
+    const auto expected = RunWith(seed, reference);
+
+    EngineConfig jit;
+    jit.mode = EvalMode::kJit;
+    jit.use_indexes = c.indexes;
+    jit.jit.backend = c.backend;
+    jit.jit.granularity = c.granularity;
+    jit.jit.async = c.async;
+    jit.jit.mode = c.mode;
+    EXPECT_EQ(RunWith(seed, jit), expected) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendEquivalence,
+    ::testing::Values(
+        // Lambda across granularities, both compile modes.
+        ConfigCase{BackendKind::kLambda, Granularity::kProgram, false,
+                   CompileMode::kFull, true},
+        ConfigCase{BackendKind::kLambda, Granularity::kDoWhile, false,
+                   CompileMode::kFull, true},
+        ConfigCase{BackendKind::kLambda, Granularity::kUnionAll, false,
+                   CompileMode::kFull, true},
+        ConfigCase{BackendKind::kLambda, Granularity::kUnion, false,
+                   CompileMode::kFull, true},
+        ConfigCase{BackendKind::kLambda, Granularity::kSpj, false,
+                   CompileMode::kFull, true},
+        ConfigCase{BackendKind::kLambda, Granularity::kUnionAll, false,
+                   CompileMode::kSnippet, true},
+        ConfigCase{BackendKind::kLambda, Granularity::kUnion, true,
+                   CompileMode::kFull, true},
+        // Bytecode.
+        ConfigCase{BackendKind::kBytecode, Granularity::kProgram, false,
+                   CompileMode::kFull, true},
+        ConfigCase{BackendKind::kBytecode, Granularity::kUnionAll, false,
+                   CompileMode::kFull, true},
+        ConfigCase{BackendKind::kBytecode, Granularity::kUnion, false,
+                   CompileMode::kSnippet, true},
+        ConfigCase{BackendKind::kBytecode, Granularity::kSpj, false,
+                   CompileMode::kFull, true},
+        ConfigCase{BackendKind::kBytecode, Granularity::kUnionAll, true,
+                   CompileMode::kFull, true},
+        // IRGenerator.
+        ConfigCase{BackendKind::kIRGenerator, Granularity::kUnionAll, false,
+                   CompileMode::kFull, true},
+        ConfigCase{BackendKind::kIRGenerator, Granularity::kSpj, false,
+                   CompileMode::kFull, true},
+        // Unindexed variants.
+        ConfigCase{BackendKind::kLambda, Granularity::kUnion, false,
+                   CompileMode::kFull, false},
+        ConfigCase{BackendKind::kBytecode, Granularity::kUnion, false,
+                   CompileMode::kFull, false}),
+    CaseName);
+
+// ---- Join-order invariance ----
+
+class OrderInvariance : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OrderInvariance, WorkloadOrderFormulationsAgree) {
+  const uint64_t seed = GetParam();
+  analysis::CspaConfig cspa;
+  cspa.seed = seed;
+  cspa.total_tuples = 200;
+  Workload a = analysis::MakeCspa(cspa, analysis::RuleOrder::kHandOptimized);
+  Workload b = analysis::MakeCspa(cspa, analysis::RuleOrder::kUnoptimized);
+
+  core::Engine ea(a.program.get(), EngineConfig{});
+  core::Engine eb(b.program.get(), EngineConfig{});
+  CARAC_CHECK_OK(ea.Prepare());
+  CARAC_CHECK_OK(ea.Run());
+  CARAC_CHECK_OK(eb.Prepare());
+  CARAC_CHECK_OK(eb.Run());
+  EXPECT_EQ(ea.Results(a.output), eb.Results(b.output));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderInvariance,
+                         ::testing::Values(1, 7, 13, 99, 12345));
+
+// ---- Semi-naive vs naive equivalence ----
+
+TEST(SemiNaiveProperty, MatchesNaiveFixpointOnRandomGraphs) {
+  for (uint64_t seed : {4u, 8u, 15u}) {
+    // Naive reference: repeatedly apply rules from scratch by brute force.
+    const auto edges = analysis::GenerateSparseGraph(seed, 15, 25);
+    std::set<std::pair<int64_t, int64_t>> closure(edges.begin(), edges.end());
+    for (;;) {
+      const size_t before = closure.size();
+      std::set<std::pair<int64_t, int64_t>> next = closure;
+      for (const auto& [a, b] : closure) {
+        for (const auto& [c, d] : edges) {
+          if (b == c) next.emplace(a, d);
+        }
+      }
+      closure = std::move(next);
+      if (closure.size() == before) break;
+    }
+
+    Workload w = analysis::MakeTransitiveClosure(
+        edges, analysis::RuleOrder::kHandOptimized);
+    core::Engine engine(w.program.get(), EngineConfig{});
+    CARAC_CHECK_OK(engine.Prepare());
+    CARAC_CHECK_OK(engine.Run());
+    EXPECT_EQ(engine.ResultSize(w.output), closure.size()) << "seed " << seed;
+    for (const auto& [a, b] : closure) {
+      EXPECT_TRUE(w.program->db()
+                      .Get(w.output, storage::DbKind::kDerived)
+                      .Contains({a, b}));
+    }
+  }
+}
+
+// ---- AOT planning never changes results ----
+
+TEST(AotProperty, PlannedAndUnplannedModelsAgree) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    EngineConfig plain;
+    EngineConfig planned;
+    planned.aot_reorder = true;
+    planned.aot.use_fact_cardinalities = (seed % 2) == 0;
+    EXPECT_EQ(RunWith(seed, planned), RunWith(seed, plain));
+  }
+}
+
+}  // namespace
+}  // namespace carac

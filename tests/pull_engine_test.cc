@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "analysis/factgen.h"
+#include "analysis/programs.h"
+#include "core/engine.h"
+#include "datalog/dsl.h"
+
+namespace carac::ir {
+namespace {
+
+using datalog::Dsl;
+using datalog::Program;
+
+core::EngineConfig StyleConfig(EngineStyle style, bool indexes = true) {
+  core::EngineConfig config;
+  config.engine_style = style;
+  config.use_indexes = indexes;
+  return config;
+}
+
+TEST(PullEngineTest, TransitiveClosureMatchesPush) {
+  auto run = [](EngineStyle style) {
+    const auto edges = analysis::GenerateSparseGraph(17, 30, 50);
+    analysis::Workload w = analysis::MakeTransitiveClosure(
+        edges, analysis::RuleOrder::kHandOptimized);
+    core::Engine engine(w.program.get(), StyleConfig(style));
+    CARAC_CHECK_OK(engine.Prepare());
+    CARAC_CHECK_OK(engine.Run());
+    return engine.Results(w.output);
+  };
+  EXPECT_EQ(run(EngineStyle::kPush), run(EngineStyle::kPull));
+}
+
+TEST(PullEngineTest, NegationAndBuiltins) {
+  auto run = [](EngineStyle style) {
+    Program p;
+    Dsl dsl(&p);
+    auto n = dsl.Relation("N", 1);
+    auto odd = dsl.Relation("Odd", 1);
+    auto even_sq = dsl.Relation("EvenSq", 2);
+    auto [x, r, s] = dsl.Vars<3>();
+    odd(x) <<= n(x) & dsl.Mod(x, 2, r) & dsl.Eq(r, 1);
+    even_sq(x, s) <<= n(x) & !odd(x) & dsl.Mul(x, x, s);
+    for (int i = 0; i < 12; ++i) n.Fact(i);
+    core::Engine engine(&p, StyleConfig(style));
+    CARAC_CHECK_OK(engine.Prepare());
+    CARAC_CHECK_OK(engine.Run());
+    return engine.Results(even_sq.id());
+  };
+  const auto push = run(EngineStyle::kPush);
+  EXPECT_EQ(push, run(EngineStyle::kPull));
+  EXPECT_EQ(push.size(), 6u);  // 0,2,4,6,8,10.
+}
+
+TEST(PullEngineTest, RepeatedVariableSelfJoin) {
+  auto run = [](EngineStyle style) {
+    Program p;
+    Dsl dsl(&p);
+    auto edge = dsl.Relation("Edge", 2);
+    auto loops = dsl.Relation("Loops", 1);
+    auto x = dsl.Var();
+    loops(x) <<= edge(x, x);
+    edge.Fact(1, 1);
+    edge.Fact(1, 2);
+    edge.Fact(3, 3);
+    core::Engine engine(&p, StyleConfig(style));
+    CARAC_CHECK_OK(engine.Prepare());
+    CARAC_CHECK_OK(engine.Run());
+    return engine.Results(loops.id());
+  };
+  const auto rows = run(EngineStyle::kPull);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows, run(EngineStyle::kPush));
+}
+
+TEST(PullEngineTest, UnindexedMatchesIndexed) {
+  auto run = [](bool indexes) {
+    const auto edges = analysis::GenerateSparseGraph(23, 25, 40);
+    analysis::Workload w = analysis::MakeTransitiveClosure(
+        edges, analysis::RuleOrder::kUnoptimized);
+    core::Engine engine(w.program.get(),
+                        StyleConfig(EngineStyle::kPull, indexes));
+    CARAC_CHECK_OK(engine.Prepare());
+    CARAC_CHECK_OK(engine.Run());
+    return engine.Results(w.output);
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(PullEngineTest, WorksUnderJit) {
+  // The pull engine must compose with the JIT: interpreter fallback and
+  // the lambda/irgen units all route through RunSubquery.
+  auto run = [](backends::BackendKind backend) {
+    analysis::CspaConfig config;
+    config.total_tuples = 150;
+    analysis::Workload w =
+        analysis::MakeCspa(config, analysis::RuleOrder::kUnoptimized);
+    core::EngineConfig ec;
+    ec.mode = core::EvalMode::kJit;
+    ec.engine_style = EngineStyle::kPull;
+    ec.jit.backend = backend;
+    core::Engine engine(w.program.get(), ec);
+    CARAC_CHECK_OK(engine.Prepare());
+    CARAC_CHECK_OK(engine.Run());
+    return engine.Results(w.output);
+  };
+  const auto lambda = run(backends::BackendKind::kLambda);
+  EXPECT_EQ(lambda, run(backends::BackendKind::kIRGenerator));
+  EXPECT_FALSE(lambda.empty());
+}
+
+TEST(PullEngineTest, CspaModelsAgreeAcrossStyles) {
+  auto run = [](EngineStyle style) {
+    analysis::CspaConfig config;
+    config.total_tuples = 250;
+    analysis::Workload w =
+        analysis::MakeCspa(config, analysis::RuleOrder::kHandOptimized);
+    core::Engine engine(w.program.get(), StyleConfig(style));
+    CARAC_CHECK_OK(engine.Prepare());
+    CARAC_CHECK_OK(engine.Run());
+    std::vector<std::vector<storage::Tuple>> model;
+    for (const char* rel : {"VFlow", "VAlias", "MAlias"}) {
+      model.push_back(engine.Results(w.relations.at(rel)));
+    }
+    return model;
+  };
+  EXPECT_EQ(run(EngineStyle::kPush), run(EngineStyle::kPull));
+}
+
+TEST(PullEngineTest, StyleNameAndDefault) {
+  EXPECT_STREQ(EngineStyleName(EngineStyle::kPush), "push");
+  EXPECT_STREQ(EngineStyleName(EngineStyle::kPull), "pull");
+  storage::DatabaseSet db;
+  ExecContext ctx(&db);
+  EXPECT_EQ(ctx.engine_style(), EngineStyle::kPush);
+}
+
+}  // namespace
+}  // namespace carac::ir

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "backends/quotes_backend.h"
+#include "backends/quotes_codegen.h"
+#include "datalog/dsl.h"
+#include "ir/interpreter.h"
+#include "ir/lowering.h"
+
+namespace carac::backends {
+namespace {
+
+using datalog::Dsl;
+using datalog::Program;
+
+struct Fixture {
+  Program program;
+  ir::IRProgram irp;
+  datalog::PredicateId output;
+
+  explicit Fixture(const std::function<datalog::PredicateId(Dsl*)>& build) {
+    Dsl dsl(&program);
+    output = build(&dsl);
+    CARAC_CHECK_OK(ir::LowerProgram(&program, true, &irp));
+  }
+};
+
+datalog::PredicateId BuildTc(Dsl* dsl) {
+  auto edge = dsl->Relation("Edge", 2);
+  auto path = dsl->Relation("Path", 2);
+  auto x = dsl->Var();
+  auto y = dsl->Var();
+  auto z = dsl->Var();
+  path(x, y) <<= edge(x, y);
+  path(x, z) <<= path(x, y) & edge(y, z);
+  for (int i = 0; i < 7; ++i) edge.Fact(i, i + 1);
+  return path.id();
+}
+
+TEST(QuotesCodegenTest, GeneratesSelfContainedSource) {
+  Fixture f(BuildTc);
+  QuotesPools pools;
+  const std::string source = GenerateQuotesSource(
+      *f.irp.root, optimizer::StatsSnapshot::Capture(f.program.db()),
+      CompileMode::kFull, &pools);
+  // Entry point, ABI struct and loop structure must all be present.
+  EXPECT_NE(source.find("carac_entry"), std::string::npos);
+  EXPECT_NE(source.find("struct CaracQuotesApi"), std::string::npos);
+  EXPECT_NE(source.find("iter_next"), std::string::npos);
+  EXPECT_NE(source.find("do {"), std::string::npos);
+  EXPECT_NE(source.find("swap_clear"), std::string::npos);
+  // No includes: the source must compile in isolation.
+  EXPECT_EQ(source.find("#include"), std::string::npos);
+  EXPECT_FALSE(pools.relation_sets.empty());
+}
+
+TEST(QuotesCodegenTest, SnippetSplicesContinuations) {
+  Fixture f(BuildTc);
+  QuotesPools pools;
+  const std::string source = GenerateQuotesSource(
+      *f.irp.root, optimizer::StatsSnapshot::Capture(f.program.db()),
+      CompileMode::kSnippet, &pools);
+  EXPECT_NE(source.find("call_node"), std::string::npos);
+  EXPECT_FALSE(pools.call_nodes.empty());
+}
+
+TEST(QuotesCodegenTest, ConstantsAreInlined) {
+  Fixture f([](Dsl* dsl) {
+    auto edge = dsl->Relation("Edge", 2);
+    auto out = dsl->Relation("Out", 1);
+    auto x = dsl->Var();
+    out(x) <<= edge(42, x);
+    edge.Fact(42, 1);
+    return out.id();
+  });
+  QuotesPools pools;
+  const std::string source = GenerateQuotesSource(
+      *f.irp.root, optimizer::StatsSnapshot::Capture(f.program.db()),
+      CompileMode::kFull, &pools);
+  EXPECT_NE(source.find("42"), std::string::npos);
+}
+
+// The remaining tests invoke the real compiler; they are skipped when the
+// environment has none (CARAC_CXX=/nonexistent disables them).
+
+bool CompilerAvailable() {
+  const char* cxx = std::getenv("CARAC_CXX");
+  std::string probe = std::string(cxx != nullptr ? cxx : "c++") +
+                      " --version > /dev/null 2>&1";
+  return std::system(probe.c_str()) == 0;
+}
+
+TEST(QuotesBackendTest, CompilesAndRunsTransitiveClosure) {
+  if (!CompilerAvailable()) GTEST_SKIP() << "no C++ compiler";
+  Fixture f(BuildTc);
+  QuotesBackend backend;
+  CompileRequest request;
+  request.subtree = f.irp.root->Clone();
+  request.stats = optimizer::StatsSnapshot::Capture(f.program.db());
+  std::unique_ptr<CompiledUnit> unit;
+  ASSERT_TRUE(backend.Compile(std::move(request), &unit).ok());
+
+  ir::ExecContext ctx(&f.program.db());
+  ir::Interpreter interp(&ctx);
+  unit->Run(ctx, interp, *f.irp.root);
+  EXPECT_EQ(f.program.db().Get(f.output, storage::DbKind::kDerived).size(),
+            28u);  // 8-chain: 7+6+...+1.
+}
+
+TEST(QuotesBackendTest, CacheHitsOnIdenticalSource) {
+  if (!CompilerAvailable()) GTEST_SKIP() << "no C++ compiler";
+  ClearQuotesCache();
+  Fixture f1(BuildTc);
+  QuotesBackend backend;
+
+  CompileRequest r1;
+  r1.subtree = f1.irp.root->Clone();
+  r1.stats = optimizer::StatsSnapshot::Capture(f1.program.db());
+  std::unique_ptr<CompiledUnit> u1;
+  ASSERT_TRUE(backend.Compile(std::move(r1), &u1).ok());
+  EXPECT_FALSE(backend.last_was_cache_hit());
+
+  Fixture f2(BuildTc);  // Identical program -> identical source.
+  CompileRequest r2;
+  r2.subtree = f2.irp.root->Clone();
+  r2.stats = optimizer::StatsSnapshot::Capture(f2.program.db());
+  std::unique_ptr<CompiledUnit> u2;
+  ASSERT_TRUE(backend.Compile(std::move(r2), &u2).ok());
+  EXPECT_TRUE(backend.last_was_cache_hit());
+}
+
+TEST(QuotesBackendTest, NegationAndBuiltins) {
+  if (!CompilerAvailable()) GTEST_SKIP() << "no C++ compiler";
+  Fixture f([](Dsl* dsl) {
+    auto n = dsl->Relation("N", 1);
+    auto odd = dsl->Relation("Odd", 1);
+    auto even = dsl->Relation("EvenSq", 2);
+    auto x = dsl->Var();
+    auto r = dsl->Var();
+    auto s = dsl->Var();
+    odd(x) <<= n(x) & dsl->Mod(x, 2, r) & dsl->Eq(r, 1);
+    even(x, s) <<= n(x) & !odd(x) & dsl->Mul(x, x, s);
+    for (int i = 0; i < 10; ++i) n.Fact(i);
+    return even.id();
+  });
+  QuotesBackend backend;
+  CompileRequest request;
+  request.subtree = f.irp.root->Clone();
+  request.stats = optimizer::StatsSnapshot::Capture(f.program.db());
+  std::unique_ptr<CompiledUnit> unit;
+  ASSERT_TRUE(backend.Compile(std::move(request), &unit).ok());
+  ir::ExecContext ctx(&f.program.db());
+  ir::Interpreter interp(&ctx);
+  unit->Run(ctx, interp, *f.irp.root);
+  // Even squares: 0,2,4,6,8.
+  EXPECT_EQ(f.program.db().Get(f.output, storage::DbKind::kDerived).size(),
+            5u);
+  EXPECT_TRUE(f.program.db()
+                  .Get(f.output, storage::DbKind::kDerived)
+                  .Contains({8, 64}));
+}
+
+TEST(QuotesBackendTest, FailsGracefullyWithoutCompiler) {
+  Fixture f(BuildTc);
+  setenv("CARAC_CXX", "/nonexistent/compiler", 1);
+  ClearQuotesCache();
+  QuotesBackend backend;
+  CompileRequest request;
+  request.subtree = f.irp.root->Clone();
+  request.stats = optimizer::StatsSnapshot::Capture(f.program.db());
+  std::unique_ptr<CompiledUnit> unit;
+  EXPECT_FALSE(backend.Compile(std::move(request), &unit).ok());
+  unsetenv("CARAC_CXX");
+  ClearQuotesCache();
+}
+
+}  // namespace
+}  // namespace carac::backends

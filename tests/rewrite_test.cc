@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "datalog/dsl.h"
+#include "datalog/rewrite.h"
+
+namespace carac::datalog {
+namespace {
+
+TEST(RewriteTest, EliminatesSimpleAlias) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto link = dsl.Relation("Link", 2);  // Alias of Edge.
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  link(x, y) <<= edge(x, y);
+  path(x, y) <<= link(x, y);
+  path(x, z) <<= path(x, y) & link(y, z);
+
+  EXPECT_EQ(EliminateAliases(&p), 1);
+  ASSERT_EQ(p.rules().size(), 2u);
+  EXPECT_FALSE(p.IsIdb(link.id()));
+  for (const Rule& rule : p.rules()) {
+    for (const Atom& atom : rule.body) {
+      if (atom.is_relational()) EXPECT_NE(atom.predicate, link.id());
+    }
+  }
+}
+
+TEST(RewriteTest, CollapsesAliasChains) {
+  Program p;
+  Dsl dsl(&p);
+  auto base = dsl.Relation("Base", 1);
+  auto a1 = dsl.Relation("A1", 1);
+  auto a2 = dsl.Relation("A2", 1);
+  auto out = dsl.Relation("Out", 1);
+  auto x = dsl.Var();
+  a1(x) <<= base(x);
+  a2(x) <<= a1(x);
+  out(x) <<= a2(x);
+
+  EXPECT_EQ(EliminateAliases(&p), 2);
+  ASSERT_EQ(p.rules().size(), 1u);
+  EXPECT_EQ(p.rules()[0].body[0].predicate, base.id());
+}
+
+TEST(RewriteTest, KeepsNonAliasShapes) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto swapped = dsl.Relation("Swapped", 2);
+  auto diag = dsl.Relation("Diag", 2);
+  auto filtered = dsl.Relation("Filtered", 2);
+  auto multi = dsl.Relation("Multi", 2);
+  auto other = dsl.Relation("Other", 2);
+  auto [x, y] = dsl.Vars<2>();
+  swapped(y, x) <<= edge(x, y);            // Column permutation.
+  diag(x, x) <<= edge(x, x);               // Repeated variable.
+  filtered(x, y) <<= edge(x, y) & dsl.Lt(x, y);  // Extra condition.
+  multi(x, y) <<= edge(x, y);              // Two definitions.
+  multi(x, y) <<= other(x, y);
+
+  EXPECT_EQ(EliminateAliases(&p), 0);
+  EXPECT_EQ(p.rules().size(), 5u);
+}
+
+TEST(RewriteTest, AliasWithOwnFactsKept) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto link = dsl.Relation("Link", 2);
+  auto [x, y] = dsl.Vars<2>();
+  link(x, y) <<= edge(x, y);
+  link.Fact(10, 20);  // Own facts: must stay materialized.
+  EXPECT_EQ(EliminateAliases(&p), 0);
+}
+
+TEST(RewriteTest, NegatedOccurrencesRewritten) {
+  Program p;
+  Dsl dsl(&p);
+  auto node = dsl.Relation("Node", 1);
+  auto bad = dsl.Relation("Bad", 1);
+  auto alias = dsl.Relation("BadAlias", 1);
+  auto good = dsl.Relation("Good", 1);
+  auto x = dsl.Var();
+  alias(x) <<= bad(x);
+  good(x) <<= node(x) & !alias(x);
+
+  EXPECT_EQ(EliminateAliases(&p), 1);
+  ASSERT_EQ(p.rules().size(), 1u);
+  const Atom& neg = p.rules()[0].body[1];
+  EXPECT_TRUE(neg.negated);
+  EXPECT_EQ(neg.predicate, bad.id());
+}
+
+TEST(RewriteTest, EngineResultsUnchangedModuloAlias) {
+  auto build = [](Program* p, bool with_rewrite) {
+    Dsl dsl(p);
+    auto edge = dsl.Relation("Edge", 2);
+    auto link = dsl.Relation("Link", 2);
+    auto path = dsl.Relation("Path", 2);
+    auto [x, y, z] = dsl.Vars<3>();
+    link(x, y) <<= edge(x, y);
+    path(x, y) <<= link(x, y);
+    path(x, z) <<= path(x, y) & link(y, z);
+    for (int i = 0; i < 8; ++i) edge.Fact(i, i + 1);
+    core::EngineConfig config;
+    config.eliminate_aliases = with_rewrite;
+    core::Engine engine(p, config);
+    CARAC_CHECK_OK(engine.Prepare());
+    CARAC_CHECK_OK(engine.Run());
+    return engine.Results(path.id());
+  };
+  Program a, b;
+  EXPECT_EQ(build(&a, false), build(&b, true));
+}
+
+TEST(RewriteTest, RewriteSavesMaterialization) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto link = dsl.Relation("Link", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  link(x, y) <<= edge(x, y);
+  path(x, y) <<= link(x, y);
+  path(x, z) <<= path(x, y) & link(y, z);
+  for (int i = 0; i < 8; ++i) edge.Fact(i, i + 1);
+
+  core::EngineConfig config;
+  config.eliminate_aliases = true;
+  core::Engine engine(&p, config);
+  CARAC_CHECK_OK(engine.Prepare());
+  CARAC_CHECK_OK(engine.Run());
+  // The alias is never materialized after the rewrite.
+  EXPECT_EQ(engine.ResultSize(link.id()), 0u);
+  EXPECT_EQ(engine.ResultSize(path.id()), 36u);
+}
+
+}  // namespace
+}  // namespace carac::datalog

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "storage/relation.h"
+#include "storage/symbol_table.h"
+#include "storage/tuple.h"
+
+namespace carac::storage {
+namespace {
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable table;
+  const Value a = table.Intern("serialize");
+  const Value b = table.Intern("serialize");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(SymbolTableTest, DistinctStringsDistinctIds) {
+  SymbolTable table;
+  EXPECT_NE(table.Intern("a"), table.Intern("b"));
+  EXPECT_EQ(table.Lookup(table.Intern("a")), "a");
+  EXPECT_EQ(table.Lookup(table.Intern("b")), "b");
+}
+
+TEST(SymbolTableTest, SymbolRangeDisjointFromSmallIntegers) {
+  SymbolTable table;
+  const Value id = table.Intern("x");
+  EXPECT_TRUE(SymbolTable::IsSymbol(id));
+  EXPECT_FALSE(SymbolTable::IsSymbol(0));
+  EXPECT_FALSE(SymbolTable::IsSymbol(123456789));
+  EXPECT_FALSE(SymbolTable::IsSymbol(-5));
+}
+
+TEST(TupleTest, HashEqualForEqualTuples) {
+  TupleHash hash;
+  EXPECT_EQ(hash({1, 2, 3}), hash({1, 2, 3}));
+  EXPECT_NE(hash({1, 2, 3}), hash({3, 2, 1}));
+  EXPECT_NE(hash({1}), hash({1, 0}));
+}
+
+TEST(TupleTest, ToString) {
+  EXPECT_EQ(TupleToString({1, 2}), "(1, 2)");
+  EXPECT_EQ(TupleToString({}), "()");
+}
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation rel("R", 2);
+  EXPECT_TRUE(rel.Insert({1, 2}));
+  EXPECT_FALSE(rel.Insert({1, 2}));
+  EXPECT_TRUE(rel.Insert({2, 1}));
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_TRUE(rel.Contains({1, 2}));
+  EXPECT_FALSE(rel.Contains({9, 9}));
+}
+
+TEST(RelationTest, IndexProbeFindsMatches) {
+  Relation rel("R", 2);
+  rel.DeclareIndex(0);
+  rel.Insert({1, 10});
+  rel.Insert({1, 11});
+  rel.Insert({2, 20});
+  EXPECT_TRUE(rel.HasIndex(0));
+  EXPECT_FALSE(rel.HasIndex(1));
+  EXPECT_EQ(rel.Probe(0, 1).size(), 2u);
+  EXPECT_EQ(rel.Probe(0, 2).size(), 1u);
+  EXPECT_TRUE(rel.Probe(0, 3).empty());
+}
+
+TEST(RelationTest, IndexBuiltOverExistingRows) {
+  Relation rel("R", 2);
+  rel.Insert({5, 6});
+  rel.Insert({5, 7});
+  rel.DeclareIndex(0);  // Declared after inserts.
+  EXPECT_EQ(rel.Probe(0, 5).size(), 2u);
+}
+
+TEST(RelationTest, IndexMaintainedAcrossInserts) {
+  Relation rel("R", 2);
+  rel.DeclareIndex(1);
+  rel.Insert({1, 9});
+  rel.Insert({2, 9});
+  rel.Insert({3, 8});
+  EXPECT_EQ(rel.Probe(1, 9).size(), 2u);
+  rel.Insert({4, 9});
+  EXPECT_EQ(rel.Probe(1, 9).size(), 3u);
+}
+
+TEST(RelationTest, DeclareIndexIdempotent) {
+  Relation rel("R", 2);
+  rel.DeclareIndex(0);
+  rel.DeclareIndex(0);
+  rel.Insert({1, 2});
+  EXPECT_EQ(rel.Probe(0, 1).size(), 1u);
+}
+
+TEST(RelationTest, ClearKeepsIndexDeclarations) {
+  Relation rel("R", 2);
+  rel.DeclareIndex(0);
+  rel.Insert({1, 2});
+  rel.Clear();
+  EXPECT_EQ(rel.size(), 0u);
+  EXPECT_TRUE(rel.HasIndex(0));
+  rel.Insert({3, 4});
+  EXPECT_EQ(rel.Probe(0, 3).size(), 1u);
+}
+
+TEST(RelationTest, AbsorbMovesAllTuples) {
+  Relation a("A", 2), b("B", 2);
+  a.Insert({1, 1});
+  b.Insert({1, 1});  // Duplicate of a's row.
+  b.Insert({2, 2});
+  a.Absorb(&b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(a.Contains({2, 2}));
+}
+
+TEST(RelationTest, SortedRowsIsSortedAndComplete) {
+  Relation rel("R", 2);
+  rel.Insert({3, 0});
+  rel.Insert({1, 0});
+  rel.Insert({2, 0});
+  const auto rows = rel.SortedRows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0], 1);
+  EXPECT_EQ(rows[1][0], 2);
+  EXPECT_EQ(rows[2][0], 3);
+}
+
+TEST(DatabaseSetTest, ThreeStoresPerRelation) {
+  DatabaseSet db;
+  const RelationId r = db.AddRelation("R", 2);
+  db.Get(r, DbKind::kDerived).Insert({1, 2});
+  db.Get(r, DbKind::kDeltaKnown).Insert({3, 4});
+  db.Get(r, DbKind::kDeltaNew).Insert({5, 6});
+  EXPECT_EQ(db.Get(r, DbKind::kDerived).size(), 1u);
+  EXPECT_EQ(db.Get(r, DbKind::kDeltaKnown).size(), 1u);
+  EXPECT_EQ(db.Get(r, DbKind::kDeltaNew).size(), 1u);
+  EXPECT_EQ(db.RelationName(r), "R");
+  EXPECT_EQ(db.RelationArity(r), 2u);
+}
+
+TEST(DatabaseSetTest, SwapClearMergeSemantics) {
+  DatabaseSet db;
+  const RelationId r = db.AddRelation("R", 2);
+  db.InsertFact(r, {1, 1});                        // Derived seed.
+  db.Get(r, DbKind::kDeltaKnown).Insert({9, 9});   // Stale delta.
+  db.Get(r, DbKind::kDeltaNew).Insert({2, 2});     // This iteration.
+
+  db.SwapClearMerge({r});
+
+  // New delta became known; old known is gone; derived gained the merge.
+  EXPECT_TRUE(db.Get(r, DbKind::kDeltaKnown).Contains({2, 2}));
+  EXPECT_FALSE(db.Get(r, DbKind::kDeltaKnown).Contains({9, 9}));
+  EXPECT_EQ(db.Get(r, DbKind::kDeltaNew).size(), 0u);
+  EXPECT_TRUE(db.Get(r, DbKind::kDerived).Contains({1, 1}));
+  EXPECT_TRUE(db.Get(r, DbKind::kDerived).Contains({2, 2}));
+}
+
+TEST(DatabaseSetTest, DeltaKnownSubsetOfDerivedAfterSwap) {
+  DatabaseSet db;
+  const RelationId r = db.AddRelation("R", 1);
+  db.Get(r, DbKind::kDeltaNew).Insert({7});
+  db.SwapClearMerge({r});
+  for (const Tuple& t : db.Get(r, DbKind::kDeltaKnown).rows()) {
+    EXPECT_TRUE(db.Get(r, DbKind::kDerived).Contains(t));
+  }
+}
+
+TEST(DatabaseSetTest, AnyDeltaKnownNonEmpty) {
+  DatabaseSet db;
+  const RelationId a = db.AddRelation("A", 1);
+  const RelationId b = db.AddRelation("B", 1);
+  EXPECT_FALSE(db.AnyDeltaKnownNonEmpty({a, b}));
+  db.Get(b, DbKind::kDeltaKnown).Insert({1});
+  EXPECT_TRUE(db.AnyDeltaKnownNonEmpty({a, b}));
+  EXPECT_FALSE(db.AnyDeltaKnownNonEmpty({a}));
+}
+
+TEST(DatabaseSetTest, IndexingDisabledMakesDeclareNoOp) {
+  DatabaseSet db;
+  const RelationId r = db.AddRelation("R", 2);
+  db.SetIndexingEnabled(false);
+  db.DeclareIndex(r, 0);
+  EXPECT_FALSE(db.Get(r, DbKind::kDerived).HasIndex(0));
+  db.SetIndexingEnabled(true);
+  db.DeclareIndex(r, 0);
+  EXPECT_TRUE(db.Get(r, DbKind::kDerived).HasIndex(0));
+}
+
+TEST(DatabaseSetTest, DeclareIndexCoversAllStores) {
+  DatabaseSet db;
+  const RelationId r = db.AddRelation("R", 2);
+  db.DeclareIndex(r, 1);
+  EXPECT_TRUE(db.Get(r, DbKind::kDerived).HasIndex(1));
+  EXPECT_TRUE(db.Get(r, DbKind::kDeltaKnown).HasIndex(1));
+  EXPECT_TRUE(db.Get(r, DbKind::kDeltaNew).HasIndex(1));
+}
+
+TEST(DatabaseSetTest, ClearAllEmptiesEverything) {
+  DatabaseSet db;
+  const RelationId r = db.AddRelation("R", 1);
+  db.InsertFact(r, {1});
+  db.Get(r, DbKind::kDeltaKnown).Insert({2});
+  db.ClearAll();
+  EXPECT_EQ(db.Get(r, DbKind::kDerived).size(), 0u);
+  EXPECT_EQ(db.Get(r, DbKind::kDeltaKnown).size(), 0u);
+}
+
+TEST(DatabaseSetTest, IndexesSurviveSwapClear) {
+  DatabaseSet db;
+  const RelationId r = db.AddRelation("R", 2);
+  db.DeclareIndex(r, 0);
+  db.Get(r, DbKind::kDeltaNew).Insert({4, 5});
+  db.SwapClearMerge({r});
+  // The swapped-in known store must still answer probes.
+  EXPECT_EQ(db.Get(r, DbKind::kDeltaKnown).Probe(0, 4).size(), 1u);
+  EXPECT_EQ(db.Get(r, DbKind::kDerived).Probe(0, 4).size(), 1u);
+}
+
+}  // namespace
+}  // namespace carac::storage

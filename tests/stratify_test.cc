@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "datalog/dsl.h"
+#include "datalog/stratify.h"
+
+namespace carac::datalog {
+namespace {
+
+TEST(StratifyTest, SingleRecursiveStratum) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  path(x, y) <<= edge(x, y);
+  path(x, z) <<= path(x, y) & edge(y, z);
+
+  Stratification s;
+  ASSERT_TRUE(Stratify(p, &s).ok());
+  ASSERT_EQ(s.strata.size(), 1u);
+  EXPECT_EQ(s.strata[0].predicates, std::vector<PredicateId>{path.id()});
+  ASSERT_EQ(s.strata[0].rule_indices.size(), 2u);
+  EXPECT_FALSE(s.strata[0].rule_is_recursive[0]);
+  EXPECT_TRUE(s.strata[0].rule_is_recursive[1]);
+  EXPECT_EQ(s.stratum_of[edge.id()], -1);  // Pure EDB.
+  EXPECT_EQ(s.stratum_of[path.id()], 0);
+}
+
+TEST(StratifyTest, DependenciesOrderStrata) {
+  Program p;
+  Dsl dsl(&p);
+  auto base = dsl.Relation("Base", 1);
+  auto mid = dsl.Relation("Mid", 1);
+  auto top = dsl.Relation("Top", 1);
+  auto x = dsl.Var("x");
+  // Declare rules top-first to make sure ordering comes from dependencies,
+  // not declaration order.
+  top(x) <<= mid(x);
+  mid(x) <<= base(x);
+
+  Stratification s;
+  ASSERT_TRUE(Stratify(p, &s).ok());
+  ASSERT_EQ(s.strata.size(), 2u);
+  EXPECT_LT(s.stratum_of[mid.id()], s.stratum_of[top.id()]);
+}
+
+TEST(StratifyTest, MutualRecursionSharesStratum) {
+  Program p;
+  Dsl dsl(&p);
+  auto a = dsl.Relation("A", 1);
+  auto b = dsl.Relation("B", 1);
+  auto seed = dsl.Relation("Seed", 1);
+  auto x = dsl.Var("x");
+  a(x) <<= seed(x);
+  b(x) <<= a(x);
+  a(x) <<= b(x);
+
+  Stratification s;
+  ASSERT_TRUE(Stratify(p, &s).ok());
+  EXPECT_EQ(s.stratum_of[a.id()], s.stratum_of[b.id()]);
+  // Both b(x) :- a(x) and a(x) :- b(x) are recursive in the shared SCC.
+  const Stratum& stratum = s.strata[s.stratum_of[a.id()]];
+  int recursive = 0;
+  for (bool r : stratum.rule_is_recursive) recursive += r;
+  EXPECT_EQ(recursive, 2);
+}
+
+TEST(StratifyTest, NegationForcesLowerStratum) {
+  Program p;
+  Dsl dsl(&p);
+  auto num = dsl.Relation("Num", 1);
+  auto comp = dsl.Relation("Comp", 1);
+  auto prime = dsl.Relation("Prime", 1);
+  auto [c, d, r, q] = dsl.Vars<4>();
+  comp(c) <<= num(c) & num(d) & dsl.Lt(d, c) & dsl.Mod(c, d, r) &
+              dsl.Eq(r, 0);
+  prime(q) <<= num(q) & !comp(q);
+
+  Stratification s;
+  ASSERT_TRUE(Stratify(p, &s).ok());
+  EXPECT_LT(s.stratum_of[comp.id()], s.stratum_of[prime.id()]);
+}
+
+TEST(StratifyTest, RejectsNegationThroughRecursion) {
+  Program p;
+  Dsl dsl(&p);
+  auto seed = dsl.Relation("Seed", 1);
+  auto a = dsl.Relation("A", 1);
+  auto b = dsl.Relation("B", 1);
+  auto x = dsl.Var("x");
+  a(x) <<= seed(x) & !b(x);
+  b(x) <<= a(x);
+
+  Stratification s;
+  EXPECT_FALSE(Stratify(p, &s).ok());
+}
+
+TEST(StratifyTest, RejectsAggregationThroughRecursion) {
+  Program p;
+  Dsl dsl(&p);
+  auto a = dsl.Relation("A", 2);
+  auto [x, y, c] = dsl.Vars<3>();
+  dsl.AggRule(a(x, c), BodyExpr({a(x, y).atom()}), AggFunc::kCount);
+
+  Stratification s;
+  EXPECT_FALSE(Stratify(p, &s).ok());
+}
+
+TEST(StratifyTest, CspaIsOneRecursiveStratum) {
+  Program p;
+  Dsl dsl(&p);
+  auto assign = dsl.Relation("Assign", 2);
+  auto deref = dsl.Relation("Deref", 2);
+  auto vflow = dsl.Relation("VFlow", 2);
+  auto valias = dsl.Relation("VAlias", 2);
+  auto malias = dsl.Relation("MAlias", 2);
+  auto [v0, v1, v2, v3] = dsl.Vars<4>();
+  vflow(v1, v2) <<= assign(v1, v3) & malias(v3, v2);
+  vflow(v1, v2) <<= vflow(v1, v3) & vflow(v3, v2);
+  malias(v1, v0) <<= valias(v2, v3) & deref(v3, v0) & deref(v2, v1);
+  valias(v1, v2) <<= vflow(v3, v1) & vflow(v3, v2);
+  vflow(v2, v1) <<= assign(v2, v1);
+
+  Stratification s;
+  ASSERT_TRUE(Stratify(p, &s).ok());
+  // VFlow, VAlias and MAlias are mutually recursive: one stratum.
+  ASSERT_EQ(s.strata.size(), 1u);
+  EXPECT_EQ(s.strata[0].predicates.size(), 3u);
+}
+
+TEST(StratifyTest, EmptyProgramHasNoStrata) {
+  Program p;
+  Dsl dsl(&p);
+  dsl.Relation("OnlyFacts", 1);
+  Stratification s;
+  ASSERT_TRUE(Stratify(p, &s).ok());
+  EXPECT_TRUE(s.strata.empty());
+}
+
+}  // namespace
+}  // namespace carac::datalog

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace carac::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad arity");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad arity");
+}
+
+TEST(StatusTest, FactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(HashTest, Mix64SpreadsValues) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 1000; ++i) seen.insert(Mix64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(HashTest, CombineIsOrderDependent) {
+  const uint64_t a = HashCombine(HashCombine(0, 1), 2);
+  const uint64_t b = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) any_diff |= a.Next() != b.Next();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBounded(17), 17u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // All values hit.
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewedTowardSmallIndices) {
+  Rng rng(13);
+  int64_t low = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextZipf(1000, 1.2) < 10) ++low;
+  }
+  // The first 1% of the range should receive far more than 1% of mass.
+  EXPECT_GT(low, n / 20);
+}
+
+TEST(RngTest, ZipfInRange) {
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.NextZipf(50, 1.1), 50u);
+  EXPECT_EQ(rng.NextZipf(1, 1.1), 0u);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  volatile uint64_t x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  EXPECT_GT(t.ElapsedNanos(), 0);
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace carac::util

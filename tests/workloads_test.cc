@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "analysis/factgen.h"
+#include "analysis/loader.h"
+#include "analysis/programs.h"
+#include "core/engine.h"
+
+namespace carac::analysis {
+namespace {
+
+size_t RunInterpreted(Workload* w) {
+  core::Engine engine(w->program.get(), core::EngineConfig{});
+  CARAC_CHECK_OK(engine.Prepare());
+  CARAC_CHECK_OK(engine.Run());
+  return engine.ResultSize(w->output);
+}
+
+TEST(FactgenTest, SparseGraphDeterministicAndSized) {
+  const auto a = GenerateSparseGraph(1, 100, 200);
+  const auto b = GenerateSparseGraph(1, 100, 200);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 200u);
+  const auto c = GenerateSparseGraph(2, 100, 200);
+  EXPECT_NE(a, c);
+  for (const Edge& e : a) {
+    EXPECT_GE(e.first, 0);
+    EXPECT_LT(e.first, 100);
+    EXPECT_GE(e.second, 0);
+    EXPECT_LT(e.second, 100);
+  }
+}
+
+TEST(FactgenTest, CfgEdgesFormChain) {
+  const auto edges = GenerateCfgEdges(3, 50, 0.0);
+  ASSERT_EQ(edges.size(), 49u);  // Pure chain, no branches.
+  for (size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(edges[i].first + 1, edges[i].second);
+  }
+  const auto branchy = GenerateCfgEdges(3, 50, 1.0);
+  EXPECT_GT(branchy.size(), 49u);
+}
+
+TEST(FactgenTest, CspaFactsSplit) {
+  const CspaFacts facts = GenerateCspaFacts(5, 1000);
+  EXPECT_NEAR(static_cast<double>(facts.assign.size()), 600, 50);
+  EXPECT_NEAR(static_cast<double>(facts.dereference.size()), 400, 50);
+}
+
+TEST(FactgenTest, SListLibHasInverseCallChains) {
+  const SListLibFacts facts = GenerateSListLibFacts(7, 2);
+  EXPECT_FALSE(facts.addr_of.empty());
+  EXPECT_FALSE(facts.store.empty());
+  bool any_serialize = false, any_deserialize = false;
+  for (const auto& cr : facts.call_ret) {
+    any_serialize |= cr[1] == facts.serialize_func;
+    any_deserialize |= cr[1] == facts.deserialize_func;
+  }
+  EXPECT_TRUE(any_serialize);
+  EXPECT_TRUE(any_deserialize);
+}
+
+TEST(WorkloadTest, OrderFormulationsAgreeTc) {
+  const auto edges = GenerateSparseGraph(11, 40, 60);
+  Workload a = MakeTransitiveClosure(edges, RuleOrder::kHandOptimized);
+  Workload b = MakeTransitiveClosure(edges, RuleOrder::kUnoptimized);
+  EXPECT_EQ(RunInterpreted(&a), RunInterpreted(&b));
+}
+
+TEST(WorkloadTest, CspaBothOrdersAgree) {
+  CspaConfig config;
+  config.total_tuples = 300;
+  Workload a = MakeCspa(config, RuleOrder::kHandOptimized);
+  Workload b = MakeCspa(config, RuleOrder::kUnoptimized);
+  const size_t ra = RunInterpreted(&a);
+  EXPECT_EQ(ra, RunInterpreted(&b));
+  EXPECT_GT(ra, 0u);
+}
+
+TEST(WorkloadTest, CsdaProducesFlow) {
+  CsdaConfig config;
+  config.length = 400;
+  Workload w = MakeCsda(config);
+  EXPECT_GT(RunInterpreted(&w), 0u);
+}
+
+TEST(WorkloadTest, AndersenBothOrdersAgree) {
+  SListConfig config;
+  config.scale = 2;
+  Workload a = MakeAndersen(config, RuleOrder::kHandOptimized);
+  Workload b = MakeAndersen(config, RuleOrder::kUnoptimized);
+  const size_t ra = RunInterpreted(&a);
+  EXPECT_EQ(ra, RunInterpreted(&b));
+  EXPECT_GT(ra, 0u);
+}
+
+TEST(WorkloadTest, InverseFunctionsFindsWastedWork) {
+  SListConfig config;
+  config.scale = 2;
+  Workload w = MakeInverseFunctions(config, RuleOrder::kHandOptimized);
+  EXPECT_GT(RunInterpreted(&w), 0u);
+
+  Workload u = MakeInverseFunctions(config, RuleOrder::kUnoptimized);
+  Workload h = MakeInverseFunctions(config, RuleOrder::kHandOptimized);
+  EXPECT_EQ(RunInterpreted(&u), RunInterpreted(&h));
+}
+
+TEST(WorkloadTest, AckermannComputesKnownValues) {
+  Workload w = MakeAckermann(61, RuleOrder::kHandOptimized);
+  RunInterpreted(&w);
+  const auto& derived =
+      w.program->db().Get(w.output, storage::DbKind::kDerived);
+  EXPECT_TRUE(derived.Contains({0, 0, 1}));    // ack(0,0) = 1
+  EXPECT_TRUE(derived.Contains({1, 1, 3}));    // ack(1,1) = 3
+  EXPECT_TRUE(derived.Contains({2, 2, 7}));    // ack(2,2) = 7
+  EXPECT_TRUE(derived.Contains({3, 3, 61}));   // ack(3,3) = 61
+}
+
+TEST(WorkloadTest, AckermannOrdersAgree) {
+  Workload a = MakeAckermann(29, RuleOrder::kHandOptimized);
+  Workload b = MakeAckermann(29, RuleOrder::kUnoptimized);
+  EXPECT_EQ(RunInterpreted(&a), RunInterpreted(&b));
+}
+
+TEST(WorkloadTest, FibonacciComputesKnownValues) {
+  Workload w = MakeFibonacci(25, RuleOrder::kHandOptimized);
+  RunInterpreted(&w);
+  const auto& derived =
+      w.program->db().Get(w.output, storage::DbKind::kDerived);
+  EXPECT_TRUE(derived.Contains({10, 55}));
+  EXPECT_TRUE(derived.Contains({25, 75025}));
+  EXPECT_EQ(derived.size(), 26u);  // fib(0)..fib(25), functional.
+}
+
+TEST(WorkloadTest, FibonacciOrdersAgree) {
+  Workload a = MakeFibonacci(18, RuleOrder::kHandOptimized);
+  Workload b = MakeFibonacci(18, RuleOrder::kUnoptimized);
+  EXPECT_EQ(RunInterpreted(&a), RunInterpreted(&b));
+}
+
+TEST(WorkloadTest, PrimesComputesKnownValues) {
+  Workload w = MakePrimes(100, RuleOrder::kHandOptimized);
+  EXPECT_EQ(RunInterpreted(&w), 25u);  // 25 primes below 100.
+  const auto& derived =
+      w.program->db().Get(w.output, storage::DbKind::kDerived);
+  EXPECT_TRUE(derived.Contains({97}));
+  EXPECT_FALSE(derived.Contains({91}));  // 7 * 13.
+}
+
+TEST(WorkloadTest, WorkloadsExposeRelationsByName) {
+  CspaConfig config;
+  config.total_tuples = 50;
+  Workload w = MakeCspa(config, RuleOrder::kHandOptimized);
+  EXPECT_TRUE(w.relations.count("Assign"));
+  EXPECT_TRUE(w.relations.count("VAlias"));
+  EXPECT_EQ(w.relations.at("VAlias"), w.output);
+}
+
+TEST(LoaderTest, CsvRoundTrip) {
+  datalog::Program p;
+  const auto r = p.AddRelation("R", 2);
+  p.AddFact(r, {1, 2});
+  p.AddFact(r, {3, p.Intern("hello")});
+  const std::string path = ::testing::TempDir() + "/carac_loader_test.csv";
+  ASSERT_TRUE(WriteFactsCsv(path, p, r).ok());
+
+  datalog::Program q;
+  const auto r2 = q.AddRelation("R", 2);
+  ASSERT_TRUE(LoadFactsCsv(path, &q, r2).ok());
+  const auto& rel = q.db().Get(r2, storage::DbKind::kDerived);
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_TRUE(rel.Contains({1, 2}));
+  EXPECT_TRUE(rel.Contains({3, q.Intern("hello")}));
+}
+
+TEST(LoaderTest, MissingFileIsNotFound) {
+  datalog::Program p;
+  const auto r = p.AddRelation("R", 1);
+  EXPECT_EQ(LoadFactsCsv("/nonexistent/facts.csv", &p, r).code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST(LoaderTest, ArityMismatchRejected) {
+  const std::string path = ::testing::TempDir() + "/carac_loader_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "1\t2\t3\n";
+  }
+  datalog::Program p;
+  const auto r = p.AddRelation("R", 2);
+  EXPECT_FALSE(LoadFactsCsv(path, &p, r).ok());
+}
+
+}  // namespace
+}  // namespace carac::analysis

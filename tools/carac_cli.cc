@@ -1,0 +1,274 @@
+// carac — command-line driver for the carac++ engine.
+//
+// Usage:
+//   carac run <workload> [options]     run a built-in benchmark workload
+//   carac dl <program.dl> [options]    run a textual Datalog program
+//   carac tc <facts.csv> [options]     transitive closure over a CSV edge list
+//   carac list                         list built-in workloads
+//
+// Workloads: cspa csda andersen invfuns ackermann fibonacci primes
+//
+// Options:
+//   --unoptimized          use the unlucky atom order (default: hand-tuned)
+//   --jit                  evaluate with the adaptive JIT (default: interpret)
+//   --backend=B            quotes | bytecode | lambda | irgen   (default lambda)
+//   --granularity=G        program | dowhile | unionall | union | spj
+//   --async                compile on the compiler thread
+//   --snippet              snippet compilation (default: full)
+//   --no-indexes           disable hash indexes
+//   --pull                 pull-based relational engine (default: push)
+//   --aot[=rules]          ahead-of-time planning (facts+rules, or rules only)
+//   --scale=N              workload size multiplier (default 1)
+//   --ir                   print the lowered IR before running
+//   --stats                print execution counters
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/loader.h"
+#include "analysis/programs.h"
+#include "datalog/parser.h"
+#include "core/engine.h"
+#include "harness/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace carac;
+
+struct Options {
+  std::string command;
+  std::string target;
+  analysis::RuleOrder order = analysis::RuleOrder::kHandOptimized;
+  core::EngineConfig config;
+  int64_t scale = 1;
+  bool print_ir = false;
+  bool print_stats = false;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: carac run <workload> [options]\n"
+               "       carac tc <facts.csv> [options]\n"
+               "       carac list\n"
+               "see the header of tools/carac_cli.cc for options\n");
+  return 2;
+}
+
+bool ParseFlag(const std::string& arg, Options* opts) {
+  auto value_of = [&](const char* prefix) -> const char* {
+    const size_t n = std::strlen(prefix);
+    return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+  };
+  if (arg == "--unoptimized") {
+    opts->order = analysis::RuleOrder::kUnoptimized;
+  } else if (arg == "--jit") {
+    opts->config.mode = core::EvalMode::kJit;
+  } else if (const char* b = value_of("--backend=")) {
+    opts->config.mode = core::EvalMode::kJit;
+    std::string backend = b;
+    if (backend == "quotes") {
+      opts->config.jit.backend = backends::BackendKind::kQuotes;
+    } else if (backend == "bytecode") {
+      opts->config.jit.backend = backends::BackendKind::kBytecode;
+    } else if (backend == "lambda") {
+      opts->config.jit.backend = backends::BackendKind::kLambda;
+    } else if (backend == "irgen") {
+      opts->config.jit.backend = backends::BackendKind::kIRGenerator;
+    } else {
+      return false;
+    }
+  } else if (const char* g = value_of("--granularity=")) {
+    std::string level = g;
+    if (level == "program") {
+      opts->config.jit.granularity = core::Granularity::kProgram;
+    } else if (level == "dowhile") {
+      opts->config.jit.granularity = core::Granularity::kDoWhile;
+    } else if (level == "unionall") {
+      opts->config.jit.granularity = core::Granularity::kUnionAll;
+    } else if (level == "union") {
+      opts->config.jit.granularity = core::Granularity::kUnion;
+    } else if (level == "spj") {
+      opts->config.jit.granularity = core::Granularity::kSpj;
+    } else {
+      return false;
+    }
+  } else if (arg == "--async") {
+    opts->config.jit.async = true;
+  } else if (arg == "--snippet") {
+    opts->config.jit.mode = backends::CompileMode::kSnippet;
+  } else if (arg == "--no-indexes") {
+    opts->config.use_indexes = false;
+  } else if (arg == "--pull") {
+    opts->config.engine_style = ir::EngineStyle::kPull;
+  } else if (arg == "--aot" || arg == "--aot=facts") {
+    opts->config.aot_reorder = true;
+    opts->config.aot.use_fact_cardinalities = true;
+  } else if (arg == "--aot=rules") {
+    opts->config.aot_reorder = true;
+    opts->config.aot.use_fact_cardinalities = false;
+  } else if (const char* s = value_of("--scale=")) {
+    opts->scale = std::atoll(s);
+  } else if (arg == "--ir") {
+    opts->print_ir = true;
+  } else if (arg == "--stats") {
+    opts->print_stats = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+analysis::Workload MakeNamedWorkload(const Options& opts, bool* ok) {
+  *ok = true;
+  const std::string& name = opts.target;
+  const int64_t scale = opts.scale;
+  if (name == "cspa") {
+    analysis::CspaConfig config;
+    config.total_tuples = 400 * scale;
+    return analysis::MakeCspa(config, opts.order);
+  }
+  if (name == "csda") {
+    analysis::CsdaConfig config;
+    config.length = 1500 * scale;
+    return analysis::MakeCsda(config);
+  }
+  if (name == "andersen") {
+    analysis::SListConfig config;
+    config.scale = scale;
+    return analysis::MakeAndersen(config, opts.order);
+  }
+  if (name == "invfuns") {
+    analysis::SListConfig config;
+    config.scale = scale;
+    return analysis::MakeInverseFunctions(config, opts.order);
+  }
+  if (name == "ackermann") return analysis::MakeAckermann(61, opts.order);
+  if (name == "fibonacci") {
+    return analysis::MakeFibonacci(25 * scale, opts.order);
+  }
+  if (name == "primes") return analysis::MakePrimes(500 * scale, opts.order);
+  *ok = false;
+  return {};
+}
+
+int RunWorkload(const Options& opts, analysis::Workload workload) {
+  core::Engine engine(workload.program.get(), opts.config);
+  util::Status status = engine.Prepare();
+  if (!status.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (opts.print_ir) {
+    std::fputs(engine.ir().ToString(*workload.program).c_str(), stdout);
+  }
+  util::Timer timer;
+  status = engine.Run();
+  const double seconds = timer.ElapsedSeconds();
+  if (!status.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu output tuples in %s s\n", workload.name.c_str(),
+              engine.ResultSize(workload.output),
+              harness::FormatSeconds(seconds).c_str());
+  if (opts.print_stats) {
+    std::printf("stats: %s\n", engine.stats().ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (argc < 2) return Usage();
+  opts.command = argv[1];
+
+  if (opts.command == "list") {
+    std::printf("cspa csda andersen invfuns ackermann fibonacci primes\n");
+    return 0;
+  }
+  if (argc < 3) return Usage();
+  opts.target = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    if (!ParseFlag(argv[i], &opts)) {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return Usage();
+    }
+  }
+
+  if (opts.command == "run") {
+    bool ok = false;
+    analysis::Workload workload = MakeNamedWorkload(opts, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "unknown workload: %s (try `carac list`)\n",
+                   opts.target.c_str());
+      return 2;
+    }
+    return RunWorkload(opts, std::move(workload));
+  }
+
+  if (opts.command == "dl") {
+    auto program = std::make_unique<datalog::Program>();
+    util::Status status =
+        datalog::ParseDatalogFile(opts.target, program.get());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    core::Engine engine(program.get(), opts.config);
+    status = engine.Prepare();
+    if (!status.ok()) {
+      std::fprintf(stderr, "prepare failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    if (opts.print_ir) {
+      std::fputs(engine.ir().ToString(*program).c_str(), stdout);
+    }
+    util::Timer timer;
+    status = engine.Run();
+    const double seconds = timer.ElapsedSeconds();
+    if (!status.ok()) {
+      std::fprintf(stderr, "run failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    harness::TablePrinter table({"relation", "derived tuples"});
+    for (datalog::PredicateId id = 0; id < program->NumPredicates(); ++id) {
+      if (!program->IsIdb(id)) continue;
+      table.AddRow({program->PredicateName(id),
+                    std::to_string(engine.ResultSize(id))});
+    }
+    table.Print();
+    std::printf("evaluated %s in %s s\n", opts.target.c_str(),
+                harness::FormatSeconds(seconds).c_str());
+    if (opts.print_stats) {
+      std::printf("stats: %s\n", engine.stats().ToString().c_str());
+    }
+    return 0;
+  }
+
+  if (opts.command == "tc") {
+    analysis::Workload workload;
+    workload.name = "TransitiveClosure(" + opts.target + ")";
+    workload.program = std::make_unique<datalog::Program>();
+    datalog::Dsl dsl(workload.program.get());
+    auto edge = dsl.Relation("Edge", 2);
+    auto path = dsl.Relation("Path", 2);
+    auto [x, y, z] = dsl.Vars<3>();
+    path(x, y) <<= edge(x, y);
+    path(x, z) <<= path(x, y) & edge(y, z);
+    workload.output = path.id();
+    util::Status status = analysis::LoadFactsCsv(
+        opts.target, workload.program.get(), edge.id());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    return RunWorkload(opts, std::move(workload));
+  }
+
+  return Usage();
+}
