@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Run the paper-reproduction bench binaries and aggregate wall-clock
+# timings into a BENCH_*.json perf-trajectory snapshot.
+#
+# Usage:
+#   scripts/run_benches.sh [--quick] [--large] [--build-dir DIR] [--out FILE]
+#
+#   --quick       skip the benches that take >20s at small scale
+#   --large       run with CARAC_BENCH_SCALE=large (paper-sized inputs)
+#   --build-dir   directory containing bench/ binaries
+#                 (default: autodetect build, build/release)
+#   --out         output JSON path (default: <repo>/BENCH_seed.json)
+#
+# Each bench binary's stdout is saved next to the JSON under bench_logs/.
+
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+mode=full
+scale=small
+build_dir=""
+out="$repo_root/BENCH_seed.json"
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) mode=quick ;;
+    --large) scale=large ;;
+    --build-dir)
+      [ $# -ge 2 ] || { echo "error: --build-dir needs a value" >&2; exit 2; }
+      build_dir="$2"; shift ;;
+    --out)
+      [ $# -ge 2 ] || { echo "error: --out needs a value" >&2; exit 2; }
+      out="$2"; shift ;;
+    -h|--help) sed -n '2,15p' "$0"; exit 0 ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [ -z "$build_dir" ]; then
+  for candidate in "$repo_root/build" "$repo_root/build/release"; do
+    if [ -d "$candidate/bench" ]; then build_dir="$candidate"; break; fi
+  done
+fi
+if [ -z "$build_dir" ] || [ ! -d "$build_dir/bench" ]; then
+  echo "error: no built bench/ directory found." >&2
+  echo "build first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+benches=(
+  bench_fig5_codegen
+  bench_fig6_macro_unopt
+  bench_fig7_micro_unopt
+  bench_fig8_macro_opt
+  bench_fig9_micro_opt
+  bench_fig10_aot
+  bench_table1_interpreted
+  bench_table2_sota
+  bench_ablation_freshness
+  bench_ablation_granularity
+  bench_ablation_storage
+  bench_storage_micro
+)
+# >20s each at small scale; dropped in --quick mode.
+slow_benches=" bench_fig6_macro_unopt bench_table1_interpreted bench_ablation_freshness "
+
+log_dir="$(dirname "$out")/bench_logs"
+mkdir -p "$log_dir"
+
+if [ "$scale" = large ]; then
+  export CARAC_BENCH_SCALE=large
+else
+  unset CARAC_BENCH_SCALE || true
+fi
+
+rows=""
+failures=0
+for bench in "${benches[@]}"; do
+  exe="$build_dir/bench/$bench"
+  skipped=false
+  if [ "$mode" = quick ] && [[ "$slow_benches" == *" $bench "* ]]; then
+    skipped=true
+  fi
+  if [ ! -x "$exe" ]; then
+    # bench_storage_micro is optional (needs google-benchmark).
+    echo "skip  $bench (not built)"
+    skipped=true
+  fi
+
+  if [ "$skipped" = true ]; then
+    rows="$rows    {\"name\": \"$bench\", \"skipped\": true},\n"
+    continue
+  fi
+
+  printf 'run   %s ... ' "$bench"
+  start_ns=$(date +%s%N)
+  if "$exe" > "$log_dir/$bench.txt" 2>&1; then
+    code=0
+  else
+    code=$?
+    failures=$((failures + 1))
+  fi
+  end_ns=$(date +%s%N)
+  seconds=$(awk -v d=$((end_ns - start_ns)) 'BEGIN{printf "%.3f", d/1e9}')
+  echo "${seconds}s (exit $code)"
+  rows="$rows    {\"name\": \"$bench\", \"skipped\": false,"
+  rows="$rows \"seconds\": $seconds, \"exit_code\": $code},\n"
+done
+rows="${rows%,\\n}"
+
+{
+  echo "{"
+  echo "  \"schema\": \"carac-bench/v1\","
+  echo "  \"timestamp_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+  echo "  \"mode\": \"$mode\","
+  echo "  \"scale\": \"$scale\","
+  echo "  \"host\": {"
+  echo "    \"uname\": \"$(uname -srm)\","
+  echo "    \"nproc\": $(nproc),"
+  echo "    \"compiler\": \"$(c++ --version | head -1 | sed 's/"/\\"/g')\""
+  echo "  },"
+  echo "  \"benches\": ["
+  printf '%b\n' "$rows"
+  echo "  ]"
+  echo "}"
+} > "$out"
+
+echo "wrote $out (logs in $log_dir/)"
+if [ "$failures" -gt 0 ]; then
+  echo "error: $failures bench(es) failed" >&2
+  exit 1
+fi

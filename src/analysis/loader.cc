@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "storage/symbol_table.h"
+#include "util/file.h"
+#include "util/parse.h"
 
 namespace carac::analysis {
 
@@ -40,6 +42,7 @@ std::vector<std::string> SplitLine(const std::string& line) {
 
 util::Status LoadFactsCsv(const std::string& path, datalog::Program* program,
                           datalog::PredicateId predicate) {
+  CARAC_RETURN_IF_ERROR(util::CheckNotDirectory(path));
   std::ifstream in(path);
   if (!in) return util::Status::NotFound("cannot open " + path);
   const size_t arity = program->PredicateArity(predicate);
@@ -58,8 +61,16 @@ util::Status LoadFactsCsv(const std::string& path, datalog::Program* program,
     storage::Tuple tuple;
     tuple.reserve(arity);
     for (const std::string& token : tokens) {
+      int64_t value = 0;
       if (IsInteger(token)) {
-        tuple.push_back(std::stoll(token));
+        // IsInteger admits only sign+digits, so a strict-parse failure
+        // here can only mean overflow.
+        if (!util::ParseInt64(token, &value)) {
+          return util::Status::InvalidArgument(
+              path + ":" + std::to_string(line_no) +
+              ": integer out of 64-bit range: " + token);
+        }
+        tuple.push_back(value);
       } else {
         tuple.push_back(program->Intern(token));
       }

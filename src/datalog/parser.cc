@@ -6,6 +6,9 @@
 #include <sstream>
 #include <vector>
 
+#include "util/file.h"
+#include "util/parse.h"
+
 namespace carac::datalog {
 
 namespace {
@@ -201,10 +204,17 @@ class Parser {
   util::Status ParseTerm(Term* out) {
     const Token& token = Current();
     switch (token.kind) {
-      case Token::Kind::kNumber:
-        *out = Term::MakeConst(std::stoll(token.text));
+      case Token::Kind::kNumber: {
+        // The lexer emits well-formed sign+digit tokens, so a
+        // strict-parse failure here can only mean overflow.
+        int64_t value = 0;
+        if (!util::ParseInt64(token.text, &value)) {
+          return Error("integer literal out of 64-bit range: " + token.text);
+        }
+        *out = Term::MakeConst(value);
         Advance();
         return util::Status::Ok();
+      }
       case Token::Kind::kString:
         *out = Term::MakeConst(program_->Intern(token.text));
         Advance();
@@ -226,7 +236,16 @@ class Parser {
     atom->negated = ConsumePunct("!");
     if (Current().kind != Token::Kind::kIdent ||
         !IsRelationName(Current().text)) {
-      return Error("expected a relation name");
+      std::string got = Current().kind == Token::Kind::kEnd
+                            ? "end of input"
+                            : "'" + Current().text + "'";
+      // A lowercase identifier is almost always a miscased relation —
+      // teach the convention; for stray punctuation the hint would only
+      // mislead.
+      if (Current().kind == Token::Kind::kIdent) {
+        got += " (relations start uppercase, variables start lowercase)";
+      }
+      return Error("expected a relation name, got " + got);
     }
     const std::string name = Current().text;
     Advance();
@@ -341,6 +360,7 @@ util::Status ParseDatalog(std::string_view source, Program* program) {
 }
 
 util::Status ParseDatalogFile(const std::string& path, Program* program) {
+  CARAC_RETURN_IF_ERROR(util::CheckNotDirectory(path));
   std::ifstream in(path);
   if (!in) return util::Status::NotFound("cannot open " + path);
   std::stringstream buffer;

@@ -1,0 +1,16 @@
+#include "util/file.h"
+
+#include <filesystem>
+#include <system_error>
+
+namespace carac::util {
+
+Status CheckNotDirectory(const std::string& path) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    return Status::InvalidArgument(path + " is a directory");
+  }
+  return Status::Ok();
+}
+
+}  // namespace carac::util

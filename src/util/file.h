@@ -1,0 +1,17 @@
+#ifndef CARAC_UTIL_FILE_H_
+#define CARAC_UTIL_FILE_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace carac::util {
+
+/// Rejects paths that name a directory. A directory opens successfully
+/// as an ifstream but reads as empty, which input loaders would otherwise
+/// treat as a valid empty file.
+Status CheckNotDirectory(const std::string& path);
+
+}  // namespace carac::util
+
+#endif  // CARAC_UTIL_FILE_H_

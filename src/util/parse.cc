@@ -1,0 +1,21 @@
+#include "util/parse.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace carac::util {
+
+bool ParseInt64(const std::string& text, int64_t* out) {
+  // strtoll skips leading whitespace, which a strict parse must not.
+  if (text.empty() || !(text[0] == '-' || (text[0] >= '0' && text[0] <= '9'))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace carac::util

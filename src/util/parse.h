@@ -1,0 +1,16 @@
+#ifndef CARAC_UTIL_PARSE_H_
+#define CARAC_UTIL_PARSE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace carac::util {
+
+/// Strict base-10 int64 parse: the entire string (optional sign, digits)
+/// must be consumed and the value must fit in 64 bits. Returns false on
+/// empty input, trailing junk, or overflow; *out is untouched on failure.
+bool ParseInt64(const std::string& text, int64_t* out);
+
+}  // namespace carac::util
+
+#endif  // CARAC_UTIL_PARSE_H_

@@ -1,0 +1,84 @@
+# End-to-end contract tests for the carac CLI: exit codes and diagnostics.
+# Invoked by CTest as:
+#   cmake -DCARAC_CLI=<path> -DWORK_DIR=<dir> -P cli_test.cmake
+# Each failed expectation records a SEND_ERROR; cmake keeps running the
+# remaining checks and exits nonzero at the end (test fails).
+
+if(NOT CARAC_CLI)
+  message(FATAL_ERROR "CARAC_CLI not set")
+endif()
+if(NOT WORK_DIR)
+  message(FATAL_ERROR "WORK_DIR not set")
+endif()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# expect_cli(<name> <expected-exit> <expected-substring-or-empty> <args...>)
+# Runs the CLI with <args...> and checks the exit code and that the
+# combined stdout+stderr contains the substring (when non-empty).
+function(expect_cli name expected_exit expected_substr)
+  execute_process(
+    COMMAND "${CARAC_CLI}" ${ARGN}
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE code
+    TIMEOUT 60)
+  set(all "${out}${err}")
+  if(NOT code STREQUAL "${expected_exit}")
+    message(SEND_ERROR
+      "[${name}] expected exit ${expected_exit}, got ${code}\n${all}")
+  endif()
+  if(expected_substr AND NOT all MATCHES "${expected_substr}")
+    message(SEND_ERROR
+      "[${name}] output missing '${expected_substr}':\n${all}")
+  endif()
+  message(STATUS "[${name}] ok (exit ${code})")
+endfunction()
+
+# No arguments: usage on stderr, exit 2, and the usage must document `dl`.
+expect_cli(no_args 2 "carac dl <program.dl>")
+
+# Unknown subcommand / workload / option / backend: exit 2 + diagnostic.
+expect_cli(unknown_command 2 "usage:" frobnicate x)
+expect_cli(unknown_workload 2 "unknown workload" run no_such_workload)
+expect_cli(unknown_option 2 "unknown option" run fibonacci --frobnicate)
+expect_cli(unknown_backend 2 "unknown option" run fibonacci --backend=cobol)
+expect_cli(unknown_granularity 2 "unknown option"
+  run fibonacci --granularity=bogus)
+
+# --scale must be an integer >= 1; 0, negatives, and garbage all exit 2.
+expect_cli(scale_zero 2 "scale must be" run fibonacci --scale=0)
+expect_cli(scale_negative 2 "scale must be" run fibonacci --scale=-3)
+expect_cli(scale_garbage 2 "scale must be" run fibonacci --scale=abc)
+expect_cli(scale_trailing_junk 2 "scale must be" run fibonacci --scale=2x)
+expect_cli(scale_empty 2 "scale must be" run fibonacci --scale=)
+expect_cli(scale_overflow 2 "scale must be"
+  run fibonacci --scale=99999999999999999999)
+
+# Missing input files: runtime failure, exit 1. A directory must also be
+# rejected rather than silently evaluating an empty program.
+expect_cli(missing_dl 1 "" dl "${WORK_DIR}/does_not_exist.dl")
+expect_cli(missing_csv 1 "" tc "${WORK_DIR}/does_not_exist.csv")
+expect_cli(dl_directory 1 "is a directory" dl "${WORK_DIR}")
+expect_cli(tc_directory 1 "is a directory" tc "${WORK_DIR}")
+
+# Over-int64 literals are a diagnostic, not an uncaught-exception abort.
+file(WRITE "${WORK_DIR}/huge.dl" "Edge(99999999999999999999, 1).\n")
+expect_cli(dl_huge_literal 1 "out of 64-bit range" dl "${WORK_DIR}/huge.dl")
+file(WRITE "${WORK_DIR}/huge.csv" "99999999999999999999,1\n")
+expect_cli(tc_huge_literal 1 "out of 64-bit range" tc "${WORK_DIR}/huge.csv")
+
+# A lowercase relation name is the first parse error every new user hits;
+# the diagnostic must teach the case convention.
+file(WRITE "${WORK_DIR}/lowercase.dl" "path(x,y) :- Edge(x,y).\n")
+expect_cli(lowercase_relation 1 "relations start uppercase"
+  dl "${WORK_DIR}/lowercase.dl")
+
+# Happy paths still work.
+expect_cli(list_ok 0 "fibonacci" list)
+expect_cli(run_ok 0 "Fibonacci" run fibonacci --scale=2)
+file(WRITE "${WORK_DIR}/tc.csv" "1,2\n2,3\n3,4\n")
+expect_cli(tc_ok 0 "TransitiveClosure" tc "${WORK_DIR}/tc.csv")
+file(WRITE "${WORK_DIR}/good.dl"
+  "Edge(1,2).\nEdge(2,3).\nPath(x,y) :- Edge(x,y).\n"
+  "Path(x,z) :- Path(x,y), Edge(y,z).\n")
+expect_cli(dl_ok 0 "Path" dl "${WORK_DIR}/good.dl")

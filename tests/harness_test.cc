@@ -20,7 +20,9 @@ TEST(TablePrinterTest, AlignsColumns) {
   while (pos < out.size()) {
     const size_t nl = out.find('\n', pos);
     const size_t len = nl - pos;
-    if (prev != std::string::npos) EXPECT_EQ(len, prev);
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
     prev = len;
     pos = nl + 1;
   }

@@ -147,7 +147,9 @@ TEST_F(JoinOrderTest, RulesOnlyModeIgnoresCardinalities) {
   // connected (no cartesian products).
   std::set<ir::LocalVar> bound;
   for (size_t i = 0; i < op->atoms.size(); ++i) {
-    if (i > 0) EXPECT_TRUE(IsConnected(op->atoms[i], bound));
+    if (i > 0) {
+      EXPECT_TRUE(IsConnected(op->atoms[i], bound));
+    }
     for (const LocalTerm& t : op->atoms[i].terms) {
       if (t.is_var) bound.insert(t.var);
     }

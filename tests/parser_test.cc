@@ -105,6 +105,14 @@ TEST(ParserTest, RejectsArityMismatch) {
   EXPECT_NE(s.message().find("arity"), std::string::npos);
 }
 
+TEST(ParserTest, LowercaseRelationDiagnosticTeachesCaseConvention) {
+  Program p;
+  util::Status s = ParseDatalog("path(x, y) :- Edge(x, y).", &p);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("'path'"), std::string::npos);
+  EXPECT_NE(s.message().find("relations start uppercase"), std::string::npos);
+}
+
 TEST(ParserTest, RejectsNonGroundFact) {
   Program p;
   EXPECT_FALSE(ParseDatalog("Edge(x, 2).", &p).ok());

@@ -23,7 +23,9 @@ TEST(RewriteTest, EliminatesSimpleAlias) {
   EXPECT_FALSE(p.IsIdb(link.id()));
   for (const Rule& rule : p.rules()) {
     for (const Atom& atom : rule.body) {
-      if (atom.is_relational()) EXPECT_NE(atom.predicate, link.id());
+      if (atom.is_relational()) {
+        EXPECT_NE(atom.predicate, link.id());
+      }
     }
   }
 }

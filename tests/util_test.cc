@@ -3,6 +3,7 @@
 #include <set>
 
 #include "util/hash.h"
+#include "util/parse.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -30,6 +31,33 @@ TEST(StatusTest, FactoryCodes) {
   EXPECT_EQ(Status::FailedPrecondition("x").code(),
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(ParseInt64Test, AcceptsStrictIntegers) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_TRUE(ParseInt64("9223372036854775807", &v));
+  EXPECT_EQ(v, INT64_MAX);
+  EXPECT_TRUE(ParseInt64("-9223372036854775808", &v));
+  EXPECT_EQ(v, INT64_MIN);
+}
+
+TEST(ParseInt64Test, RejectsGarbageAndOverflow) {
+  int64_t v = 123;
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+  EXPECT_FALSE(ParseInt64("2x", &v));
+  EXPECT_FALSE(ParseInt64("1 ", &v));
+  EXPECT_FALSE(ParseInt64(" 5", &v));
+  EXPECT_FALSE(ParseInt64("\t7", &v));
+  EXPECT_FALSE(ParseInt64("+5", &v));
+  EXPECT_FALSE(ParseInt64("-", &v));
+  EXPECT_FALSE(ParseInt64("9223372036854775808", &v));
+  EXPECT_FALSE(ParseInt64("-9223372036854775809", &v));
+  EXPECT_EQ(v, 123);  // untouched on failure
 }
 
 TEST(HashTest, Mix64SpreadsValues) {

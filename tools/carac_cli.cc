@@ -31,11 +31,14 @@
 #include "datalog/parser.h"
 #include "core/engine.h"
 #include "harness/table.h"
+#include "util/parse.h"
 #include "util/timer.h"
 
 namespace {
 
 using namespace carac;
+
+constexpr int64_t kMaxScale = 1'000'000'000'000;  // 1e12
 
 struct Options {
   std::string command;
@@ -43,6 +46,7 @@ struct Options {
   analysis::RuleOrder order = analysis::RuleOrder::kHandOptimized;
   core::EngineConfig config;
   int64_t scale = 1;
+  std::string scale_arg;  // raw --scale value, kept for diagnostics
   bool print_ir = false;
   bool print_stats = false;
 };
@@ -50,6 +54,7 @@ struct Options {
 int Usage() {
   std::fprintf(stderr,
                "usage: carac run <workload> [options]\n"
+               "       carac dl <program.dl> [options]\n"
                "       carac tc <facts.csv> [options]\n"
                "       carac list\n"
                "see the header of tools/carac_cli.cc for options\n");
@@ -109,7 +114,13 @@ bool ParseFlag(const std::string& arg, Options* opts) {
     opts->config.aot_reorder = true;
     opts->config.aot.use_fact_cardinalities = false;
   } else if (const char* s = value_of("--scale=")) {
-    opts->scale = std::atoll(s);
+    opts->scale_arg = s;
+    // Reject garbage, overflow, and anything whose per-workload tuple
+    // multiplication (up to 1500x) could overflow int64; main() turns
+    // scale 0 into a diagnostic + exit 2.
+    if (!util::ParseInt64(s, &opts->scale) || opts->scale > kMaxScale) {
+      opts->scale = 0;
+    }
   } else if (arg == "--ir") {
     opts->print_ir = true;
   } else if (arg == "--stats") {
@@ -197,6 +208,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
       return Usage();
     }
+  }
+  if (opts.scale < 1) {
+    std::fprintf(stderr,
+                 "invalid --scale=%s: scale must be an integer in "
+                 "[1, %lld]\n",
+                 opts.scale_arg.c_str(),
+                 static_cast<long long>(kMaxScale));
+    return 2;
   }
 
   if (opts.command == "run") {
