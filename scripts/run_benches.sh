@@ -4,12 +4,15 @@
 #
 # Usage:
 #   scripts/run_benches.sh [--quick] [--large] [--build-dir DIR] [--out FILE]
+#                          [--baseline FILE]
 #
 #   --quick       skip the benches that take >20s at small scale
 #   --large       run with CARAC_BENCH_SCALE=large (paper-sized inputs)
 #   --build-dir   directory containing bench/ binaries
 #                 (default: autodetect build, build/release)
-#   --out         output JSON path (default: <repo>/BENCH_seed.json)
+#   --out         output JSON path (default: <repo>/BENCH_pr2.json)
+#   --baseline    snapshot to diff against (default: <repo>/BENCH_seed.json;
+#                 a per-bench delta table is printed when it exists)
 #
 # Each bench binary's stdout is saved next to the JSON under bench_logs/.
 
@@ -19,7 +22,8 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 mode=full
 scale=small
 build_dir=""
-out="$repo_root/BENCH_seed.json"
+out="$repo_root/BENCH_pr2.json"
+baseline="$repo_root/BENCH_seed.json"
 
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -31,7 +35,10 @@ while [ $# -gt 0 ]; do
     --out)
       [ $# -ge 2 ] || { echo "error: --out needs a value" >&2; exit 2; }
       out="$2"; shift ;;
-    -h|--help) sed -n '2,15p' "$0"; exit 0 ;;
+    --baseline)
+      [ $# -ge 2 ] || { echo "error: --baseline needs a value" >&2; exit 2; }
+      baseline="$2"; shift ;;
+    -h|--help) sed -n '2,18p' "$0"; exit 0 ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
   shift
@@ -127,6 +134,43 @@ rows="${rows%,\\n}"
 } > "$out"
 
 echo "wrote $out (logs in $log_dir/)"
+
+# Per-bench delta table against the baseline snapshot, so a perf
+# regression (or win) is visible at the end of every run.
+if [ -f "$baseline" ] && [ "$baseline" != "$out" ] \
+    && command -v python3 >/dev/null 2>&1; then
+  python3 - "$baseline" "$out" <<'PYEOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    base = json.load(f)
+with open(sys.argv[2]) as f:
+    new = json.load(f)
+
+def seconds(snap):
+    return {b["name"]: b.get("seconds")
+            for b in snap.get("benches", []) if not b.get("skipped")}
+
+base_s, new_s = seconds(base), seconds(new)
+if base.get("mode") != new.get("mode") or base.get("scale") != new.get("scale"):
+    print("note: baseline mode/scale (%s/%s) differs from this run (%s/%s)" %
+          (base.get("mode"), base.get("scale"),
+           new.get("mode"), new.get("scale")))
+
+rows = [(n, base_s.get(n), t) for n, t in new_s.items()]
+width = max((len(n) for n, _, _ in rows), default=10)
+print()
+print("delta vs %s:" % sys.argv[1])
+print("%-*s  %9s  %9s  %8s" % (width, "bench", "base (s)", "new (s)", "delta"))
+for name, b, t in rows:
+    if b is None or b <= 0:
+        print("%-*s  %9s  %9.3f  %8s" % (width, name, "-", t, "-"))
+    else:
+        print("%-*s  %9.3f  %9.3f  %+7.1f%%" %
+              (width, name, b, t, 100.0 * (t - b) / b))
+PYEOF
+fi
+
 if [ "$failures" -gt 0 ]; then
   echo "error: $failures bench(es) failed" >&2
   exit 1

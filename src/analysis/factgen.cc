@@ -81,6 +81,16 @@ SListLibFacts GenerateSListLibFacts(uint64_t seed, int64_t scale) {
   int64_t next_obj = 0;
   std::vector<int64_t> all_vars;
 
+  // Exact (addr_of, store, load) and lower-bound (assign, call_ret)
+  // population counts, so neither these vectors nor the relations they
+  // bulk-load into grow mid-fill.
+  facts.addr_of.reserve(static_cast<size_t>(lists * (1 + cells)));
+  facts.store.reserve(static_cast<size_t>(lists * cells));
+  facts.load.reserve(static_cast<size_t>(lists * cells));
+  facts.assign.reserve(static_cast<size_t>(temps));
+  facts.call_ret.reserve(static_cast<size_t>(3 * scale * 2));
+  all_vars.reserve(static_cast<size_t>(lists * (1 + cells) + temps));
+
   for (int64_t l = 0; l < lists; ++l) {
     const int64_t head = next_var++;
     facts.addr_of.emplace_back(head, next_obj++);

@@ -47,6 +47,15 @@ util::Status LoadFactsCsv(const std::string& path, datalog::Program* program,
   if (!in) return util::Status::NotFound("cannot open " + path);
   const size_t arity = program->PredicateArity(predicate);
   std::string line;
+  // First pass: count data lines so the relation's arena and hash table
+  // are sized once up front (no growth/rehash churn during the load).
+  size_t data_lines = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') ++data_lines;
+  }
+  program->ReserveFacts(predicate, data_lines);
+  in.clear();
+  in.seekg(0);
   size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;

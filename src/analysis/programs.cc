@@ -76,6 +76,8 @@ Workload MakeCspa(const CspaConfig& config, RuleOrder order) {
 
   const CspaFacts facts =
       GenerateCspaFacts(config.seed, config.total_tuples);
+  assign.Reserve(facts.assign.size());
+  deref.Reserve(facts.dereference.size());
   for (const Edge& e : facts.assign) assign.Fact(e.first, e.second);
   for (const Edge& e : facts.dereference) deref.Fact(e.first, e.second);
   return w;
@@ -99,6 +101,7 @@ Workload MakeCsda(const CsdaConfig& config) {
   const std::vector<Edge> cfg =
       GenerateCfgEdges(config.seed, config.length, config.branch_prob);
   util::Rng rng(config.seed ^ 0x5eedULL);
+  flow_edge.Reserve(cfg.size());
   for (const Edge& e : cfg) {
     flow_edge.Fact(e.first, e.second);
     if (rng.NextBool(config.null_frac)) null_edge.Fact(e.first, e.second);
@@ -135,6 +138,10 @@ void LoadSListFacts(const SListLibFacts& facts, datalog::Program* program,
                     RelationRef addr_of, RelationRef assign, RelationRef load,
                     RelationRef store) {
   (void)program;
+  addr_of.Reserve(facts.addr_of.size());
+  assign.Reserve(facts.assign.size());
+  load.Reserve(facts.load.size());
+  store.Reserve(facts.store.size());
   for (const Edge& e : facts.addr_of) addr_of.Fact(e.first, e.second);
   for (const Edge& e : facts.assign) assign.Fact(e.first, e.second);
   for (const Edge& e : facts.load) load.Fact(e.first, e.second);
@@ -244,6 +251,7 @@ Workload MakeAckermann(int64_t bound, RuleOrder order) {
                      ack(m0, t, r);
   }
 
+  succ.Reserve(static_cast<size_t>(bound));
   for (int64_t i = 0; i < bound; ++i) succ.Fact(i, i + 1);
   return w;
 }
@@ -274,6 +282,7 @@ Workload MakeFibonacci(int64_t n, RuleOrder order) {
 
   fib.Fact(0, 0);
   fib.Fact(1, 1);
+  succ.Reserve(static_cast<size_t>(n));
   for (int64_t k = 0; k < n; ++k) succ.Fact(k, k + 1);
   return w;
 }
@@ -300,6 +309,7 @@ Workload MakePrimes(int64_t n, RuleOrder order) {
   }
   prime(p) <<= num(p) & !composite(p);
 
+  num.Reserve(n > 2 ? static_cast<size_t>(n - 2) : 0);
   for (int64_t v = 2; v < n; ++v) num.Fact(v);
   return w;
 }
@@ -316,6 +326,7 @@ Workload MakeTransitiveClosure(const std::vector<Edge>& edges,
   auto y = dsl.Var("y");
   auto z = dsl.Var("z");
 
+  edge.Reserve(edges.size());
   path(x, y) <<= edge(x, y);
   if (order == RuleOrder::kHandOptimized) {
     path(x, z) <<= path(x, y) & edge(y, z);

@@ -1,7 +1,5 @@
 #include "backends/bytecode.h"
 
-#include <unordered_set>
-
 #include "datalog/builtins.h"
 #include "util/status.h"
 
@@ -10,25 +8,25 @@ namespace carac::backends {
 namespace {
 
 using storage::Relation;
+using storage::RowId;
 using storage::Tuple;
 using storage::Value;
 
-/// Iterator state: either a whole-relation scan (hash-set iterators) or an
-/// index-probe result (bucket vector).
+/// Iterator state: either a whole-relation arena scan (dense RowId cursor)
+/// or an index-probe result (RowId bucket). `current` points at the
+/// row-major values of the current row inside the relation's arena.
 struct IterState {
   const Relation* rel = nullptr;
   bool probe = false;
-  const std::vector<const Tuple*>* bucket = nullptr;
+  const std::vector<RowId>* bucket = nullptr;
   size_t bucket_pos = 0;
-  std::unordered_set<Tuple, storage::TupleHash>::const_iterator it;
-  std::unordered_set<Tuple, storage::TupleHash>::const_iterator end;
-  const Tuple* current = nullptr;
+  RowId row = 0;
+  const Value* current = nullptr;
 
   void OpenScan(const Relation* relation) {
     rel = relation;
     probe = false;
-    it = relation->rows().begin();
-    end = relation->rows().end();
+    row = 0;
     current = nullptr;
   }
 
@@ -50,12 +48,11 @@ struct IterState {
   bool Next() {
     if (probe) {
       if (bucket_pos >= bucket->size()) return false;
-      current = (*bucket)[bucket_pos++];
+      current = rel->RowData((*bucket)[bucket_pos++]);
       return true;
     }
-    if (it == end) return false;
-    current = &*it;
-    ++it;
+    if (row >= rel->NumRows()) return false;
+    current = rel->RowData(row++);
     return true;
   }
 };
@@ -105,17 +102,17 @@ void RunBytecode(const BytecodeProgram& program, ir::ExecContext& ctx,
         }
         break;
       case Insn::Op::kCheckConst:
-        pc = ((*iters[insn.a].current)[insn.b] == insn.imm)
+        pc = (iters[insn.a].current[insn.b] == insn.imm)
                  ? pc + 1
                  : static_cast<size_t>(insn.d);
         break;
       case Insn::Op::kCheckReg:
-        pc = ((*iters[insn.a].current)[insn.b] == regs[insn.e])
+        pc = (iters[insn.a].current[insn.b] == regs[insn.e])
                  ? pc + 1
                  : static_cast<size_t>(insn.d);
         break;
       case Insn::Op::kBindCol:
-        regs[insn.e] = (*iters[insn.a].current)[insn.b];
+        regs[insn.e] = iters[insn.a].current[insn.b];
         ++pc;
         break;
       case Insn::Op::kCompare:

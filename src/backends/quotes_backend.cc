@@ -8,7 +8,6 @@
 #include <mutex>
 #include <sstream>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
 #include "util/hash.h"
@@ -19,7 +18,6 @@ namespace carac::backends {
 namespace {
 
 using storage::Relation;
-using storage::Tuple;
 using storage::Value;
 
 std::string QuotesScratchDir() {
@@ -56,11 +54,11 @@ SourceCache& Cache() {
 // ---- Runtime bridge: the rt pointer the generated code calls back on. ----
 
 struct IterState {
+  const Relation* rel = nullptr;
   bool probe = false;
-  const std::vector<const Tuple*>* bucket = nullptr;
+  const std::vector<storage::RowId>* bucket = nullptr;
   size_t bucket_pos = 0;
-  std::unordered_set<Tuple, storage::TupleHash>::const_iterator it;
-  std::unordered_set<Tuple, storage::TupleHash>::const_iterator end;
+  storage::RowId row = 0;
 };
 
 struct RtBridge {
@@ -68,7 +66,6 @@ struct RtBridge {
   ir::Interpreter* interp;
   const QuotesPools* pools;
   std::vector<IterState> iters;
-  Tuple scratch;
 };
 
 uint32_t RtScanOpen(void* rt, uint32_t pred, uint32_t db) {
@@ -77,9 +74,9 @@ uint32_t RtScanOpen(void* rt, uint32_t pred, uint32_t db) {
       static_cast<datalog::PredicateId>(pred),
       static_cast<storage::DbKind>(db));
   IterState state;
+  state.rel = &rel;
   state.probe = false;
-  state.it = rel.rows().begin();
-  state.end = rel.rows().end();
+  state.row = 0;
   bridge->iters.push_back(state);
   return static_cast<uint32_t>(bridge->iters.size() - 1);
 }
@@ -92,6 +89,7 @@ uint32_t RtProbeOpen(void* rt, uint32_t pred, uint32_t db, uint32_t col,
       static_cast<storage::DbKind>(db));
   if (!rel.HasIndex(col)) return RtScanOpen(rt, pred, db);
   IterState state;
+  state.rel = &rel;
   state.probe = true;
   state.bucket = &rel.Probe(col, value);
   state.bucket_pos = 0;
@@ -104,12 +102,10 @@ const int64_t* RtIterNext(void* rt, uint32_t iter) {
   IterState& state = bridge->iters[iter];
   if (state.probe) {
     if (state.bucket_pos >= state.bucket->size()) return nullptr;
-    return (*state.bucket)[state.bucket_pos++]->data();
+    return state.rel->RowData((*state.bucket)[state.bucket_pos++]);
   }
-  if (state.it == state.end) return nullptr;
-  const Tuple& t = *state.it;
-  ++state.it;
-  return t.data();
+  if (state.row >= state.rel->NumRows()) return nullptr;
+  return state.rel->RowData(state.row++);
 }
 
 void RtIterClose(void* rt, uint32_t iter) {
@@ -122,21 +118,20 @@ void RtIterClose(void* rt, uint32_t iter) {
 int RtContains(void* rt, uint32_t pred, uint32_t db, const int64_t* row,
                uint32_t n) {
   auto* bridge = static_cast<RtBridge*>(rt);
-  bridge->scratch.assign(row, row + n);
   return bridge->ctx->db()
       .Get(static_cast<datalog::PredicateId>(pred),
            static_cast<storage::DbKind>(db))
-      .Contains(bridge->scratch);
+      .Contains(storage::TupleView(row, n));
 }
 
 void RtInsert(void* rt, uint32_t pred, const int64_t* row, uint32_t n) {
   auto* bridge = static_cast<RtBridge*>(rt);
-  bridge->scratch.assign(row, row + n);
+  const storage::TupleView tuple(row, n);
   auto& db = bridge->ctx->db();
   bridge->ctx->stats().tuples_considered++;
   const auto id = static_cast<datalog::PredicateId>(pred);
-  if (db.Get(id, storage::DbKind::kDerived).Contains(bridge->scratch)) return;
-  if (db.Get(id, storage::DbKind::kDeltaNew).Insert(bridge->scratch)) {
+  if (db.Get(id, storage::DbKind::kDerived).Contains(tuple)) return;
+  if (db.Get(id, storage::DbKind::kDeltaNew).Insert(tuple)) {
     bridge->ctx->stats().tuples_inserted++;
   }
 }

@@ -91,6 +91,10 @@ void Program::AddFact(PredicateId predicate, storage::Tuple tuple) {
   db_.InsertFact(predicate, std::move(tuple));
 }
 
+void Program::ReserveFacts(PredicateId predicate, size_t rows) {
+  db_.Reserve(predicate, rows);
+}
+
 util::Status Program::AddRule(Rule rule) {
   CARAC_RETURN_IF_ERROR(ValidateRule(rule));
   is_idb_[rule.head.predicate] = true;

@@ -127,6 +127,10 @@ class Program {
   /// Inserts a fact into the relation's Derived store.
   void AddFact(PredicateId predicate, storage::Tuple tuple);
 
+  /// Pre-sizes the relation's Derived arena/hash table for `rows` facts
+  /// (call before a bulk AddFact loop of known size).
+  void ReserveFacts(PredicateId predicate, size_t rows);
+
   /// Interns a string constant, returning its Value.
   storage::Value Intern(std::string_view text) {
     return db_.symbols().Intern(text);

@@ -52,6 +52,10 @@ AtomExpr RelationRef::MakeAtom(std::vector<TermArg> args) const {
   return AtomExpr(dsl_, std::move(atom));
 }
 
+void RelationRef::Reserve(size_t rows) const {
+  dsl_->program()->ReserveFacts(id_, rows);
+}
+
 void RelationRef::InsertFact(std::vector<TermArg> args) const {
   storage::Tuple tuple;
   tuple.reserve(args.size());

@@ -113,6 +113,9 @@ class RelationRef {
     InsertFact({TermArg(args)...});
   }
 
+  /// Pre-sizes the relation for `rows` facts ahead of a bulk Fact() loop.
+  void Reserve(size_t rows) const;
+
  private:
   AtomExpr MakeAtom(std::vector<TermArg> args) const;
   void InsertFact(std::vector<TermArg> args) const;

@@ -17,7 +17,9 @@ namespace {
 using datalog::BuiltinBindsOutput;
 using datalog::BuiltinOp;
 using storage::Relation;
+using storage::RowId;
 using storage::Tuple;
+using storage::TupleView;
 using storage::Value;
 
 /// Per-column behaviour of one relational atom, precomputed per execution
@@ -169,7 +171,7 @@ class SubqueryRun {
       return;
     }
 
-    auto match = [&](const Tuple& t) {
+    auto match = [&](TupleView t) {
       for (const TermAction& action : p.actions) {
         const Value v = t[action.col];
         switch (action.kind) {
@@ -187,15 +189,17 @@ class SubqueryRun {
       Join(i + 1);
     };
 
+    const Relation& rel = *p.rel;
     if (p.probe_col >= 0) {
       const Value key =
           p.probe_is_const ? p.probe_const : binding_[p.probe_var];
-      for (const Tuple* t :
-           p.rel->Probe(static_cast<size_t>(p.probe_col), key)) {
-        match(*t);
+      for (RowId row : rel.Probe(static_cast<size_t>(p.probe_col), key)) {
+        match(rel.View(row));
       }
     } else {
-      for (const Tuple& t : p.rel->rows()) match(t);
+      for (RowId row = 0, n = rel.NumRows(); row < n; ++row) {
+        match(rel.View(row));
+      }
     }
   }
 

@@ -12,7 +12,9 @@ namespace {
 
 using datalog::BuiltinBindsOutput;
 using storage::Relation;
+using storage::RowId;
 using storage::Tuple;
+using storage::TupleView;
 using storage::Value;
 
 /// One Volcano operator: Reset() re-opens it under the current binding
@@ -29,14 +31,37 @@ class RowSource {
 class ScanSource : public RowSource {
  public:
   ScanSource(const Relation* rel, const AtomSpec* atom,
-             std::vector<bool> bound_before)
-      : rel_(rel), atom_(atom), bound_before_(std::move(bound_before)) {
-    for (size_t col = 0; col < atom_->terms.size(); ++col) {
-      const LocalTerm& t = atom_->terms[col];
-      const bool pre_bound = !t.is_var || bound_before_[t.var];
+             const std::vector<bool>& bound_before)
+      : rel_(rel), atom_(atom) {
+    // Boundness is static at pipeline-build time, so the per-column
+    // behaviour (check a constant, check an already-bound variable, or
+    // bind a fresh one) is precomputed once — the per-row match loop
+    // allocates nothing. A variable's first occurrence within the atom
+    // binds; later occurrences check (R(x, x) filters on its 2nd column).
+    std::vector<bool> bound = bound_before;
+    actions_.reserve(atom->terms.size());
+    for (size_t col = 0; col < atom->terms.size(); ++col) {
+      const LocalTerm& t = atom->terms[col];
+      ColAction action;
+      action.col = static_cast<uint32_t>(col);
+      if (!t.is_var) {
+        action.kind = ColAction::Kind::kCheckConst;
+        action.constant = t.constant;
+      } else if (bound[t.var]) {
+        action.kind = ColAction::Kind::kCheckVar;
+        action.var = t.var;
+      } else {
+        action.kind = ColAction::Kind::kBind;
+        action.var = t.var;
+        bound[t.var] = true;
+      }
+      // Probe keys must be available before the atom runs: only columns
+      // whose value is known from the *outer* binding qualify.
+      const bool pre_bound = !t.is_var || bound_before[t.var];
       if (probe_col_ < 0 && pre_bound && rel_->HasIndex(col)) {
         probe_col_ = static_cast<int32_t>(col);
       }
+      actions_.push_back(action);
     }
   }
 
@@ -47,39 +72,46 @@ class ScanSource : public RowSource {
                              key.is_var ? binding[key.var] : key.constant);
       bucket_pos_ = 0;
     } else {
-      it_ = rel_->rows().begin();
-      end_ = rel_->rows().end();
+      row_ = 0;
     }
   }
 
   bool Next(std::vector<Value>& binding) override {
     for (;;) {
-      const Tuple* row = nullptr;
+      TupleView row;
       if (probe_col_ >= 0) {
         if (bucket_pos_ >= bucket_->size()) return false;
-        row = (*bucket_)[bucket_pos_++];
+        row = rel_->View((*bucket_)[bucket_pos_++]);
       } else {
-        if (it_ == end_) return false;
-        row = &*it_;
-        ++it_;
+        if (row_ >= rel_->NumRows()) return false;
+        row = rel_->View(row_++);
       }
-      if (Matches(*row, binding)) return true;
+      if (Matches(row, binding)) return true;
     }
   }
 
  private:
-  bool Matches(const Tuple& row, std::vector<Value>& binding) const {
-    // Interleaved check/bind so R(x, x) filters on its second column.
-    std::vector<bool> bound = bound_before_;
-    for (size_t col = 0; col < atom_->terms.size(); ++col) {
-      const LocalTerm& t = atom_->terms[col];
-      if (!t.is_var) {
-        if (row[col] != t.constant) return false;
-      } else if (bound[t.var]) {
-        if (row[col] != binding[t.var]) return false;
-      } else {
-        binding[t.var] = row[col];
-        bound[t.var] = true;
+  struct ColAction {
+    enum class Kind : uint8_t { kCheckConst, kCheckVar, kBind };
+    Kind kind = Kind::kBind;
+    uint32_t col = 0;
+    Value constant = 0;
+    LocalVar var = -1;
+  };
+
+  bool Matches(TupleView row, std::vector<Value>& binding) const {
+    for (const ColAction& action : actions_) {
+      const Value v = row[action.col];
+      switch (action.kind) {
+        case ColAction::Kind::kCheckConst:
+          if (v != action.constant) return false;
+          break;
+        case ColAction::Kind::kCheckVar:
+          if (v != binding[action.var]) return false;
+          break;
+        case ColAction::Kind::kBind:
+          binding[action.var] = v;
+          break;
       }
     }
     return true;
@@ -87,11 +119,11 @@ class ScanSource : public RowSource {
 
   const Relation* rel_;
   const AtomSpec* atom_;
-  std::vector<bool> bound_before_;
+  std::vector<ColAction> actions_;
   int32_t probe_col_ = -1;
-  const std::vector<const Tuple*>* bucket_ = nullptr;
+  const std::vector<RowId>* bucket_ = nullptr;
   size_t bucket_pos_ = 0;
-  std::unordered_set<Tuple, storage::TupleHash>::const_iterator it_, end_;
+  RowId row_ = 0;
 };
 
 /// Builtin atom: a zero-or-one-row source (filter, or arithmetic binder).

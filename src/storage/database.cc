@@ -66,7 +66,11 @@ void DatabaseSet::DeclareIndex(RelationId id, size_t column) {
 }
 
 bool DatabaseSet::InsertFact(RelationId id, Tuple tuple) {
-  return Get(id, DbKind::kDerived).Insert(std::move(tuple));
+  return Get(id, DbKind::kDerived).Insert(tuple);
+}
+
+void DatabaseSet::Reserve(RelationId id, size_t rows) {
+  Get(id, DbKind::kDerived).Reserve(rows);
 }
 
 void DatabaseSet::SwapClearMerge(const std::vector<RelationId>& relations) {
@@ -76,8 +80,12 @@ void DatabaseSet::SwapClearMerge(const std::vector<RelationId>& relations) {
     std::swap(store.delta_known, store.delta_new);
     // Merge the freshly swapped-in DeltaKnown into Derived: every fact
     // readable from a delta must also be readable from Derived.
-    for (const Tuple& t : store.delta_known->rows()) {
-      store.derived->Insert(t);
+    const Relation& known = *store.delta_known;
+    if (!known.empty()) {
+      store.derived->Reserve(store.derived->size() + known.size());
+      for (RowId row = 0; row < known.NumRows(); ++row) {
+        store.derived->Insert(known.View(row));
+      }
     }
   }
 }

@@ -59,6 +59,10 @@ class DatabaseSet {
   /// Inserts an EDB (or precomputed) fact into Derived; returns true if new.
   bool InsertFact(RelationId id, Tuple tuple);
 
+  /// Pre-sizes the Derived arena and hash table of `id` for `rows` facts
+  /// (bulk-load support; see Relation::Reserve).
+  void Reserve(RelationId id, size_t rows);
+
   /// End-of-iteration maintenance for the relations of one stratum
   /// (SwapClearOp, §V-B1): clears the old DeltaKnown, swaps DeltaKnown and
   /// DeltaNew, then merges the new DeltaKnown into Derived so that during

@@ -1,6 +1,6 @@
 #include "storage/index.h"
 
-#include "util/status.h"
+#include <string>
 
 namespace carac::storage {
 
@@ -8,17 +8,16 @@ const char* IndexKindName(IndexKind kind) {
   return kind == IndexKind::kHash ? "hash" : "sorted";
 }
 
-void ColumnIndex::Add(const Tuple* tuple) {
-  const Value key = (*tuple)[column_];
+void ColumnIndex::Add(RowId row, Value key) {
   if (kind_ == IndexKind::kHash) {
-    hash_buckets_[key].push_back(tuple);
+    hash_buckets_[key].push_back(row);
   } else {
-    sorted_buckets_[key].push_back(tuple);
+    sorted_buckets_[key].push_back(row);
   }
 }
 
-const std::vector<const Tuple*>& ColumnIndex::Probe(Value value) const {
-  static const std::vector<const Tuple*> kEmpty;
+const std::vector<RowId>& ColumnIndex::Probe(Value value) const {
+  static const std::vector<RowId> kEmpty;
   if (kind_ == IndexKind::kHash) {
     auto it = hash_buckets_.find(value);
     return it == hash_buckets_.end() ? kEmpty : it->second;
@@ -27,13 +26,19 @@ const std::vector<const Tuple*>& ColumnIndex::Probe(Value value) const {
   return it == sorted_buckets_.end() ? kEmpty : it->second;
 }
 
-void ColumnIndex::ProbeRange(Value lo, Value hi,
-                             std::vector<const Tuple*>* out) const {
-  CARAC_CHECK(kind_ == IndexKind::kSorted);
+util::Status ColumnIndex::ProbeRange(Value lo, Value hi,
+                                     std::vector<RowId>* out) const {
+  if (kind_ != IndexKind::kSorted) {
+    return util::Status::FailedPrecondition(
+        "ProbeRange requires a sorted index, but column " +
+        std::to_string(column_) + " has a " + IndexKindName(kind_) +
+        " index; declare it with IndexKind::kSorted");
+  }
   for (auto it = sorted_buckets_.lower_bound(lo);
        it != sorted_buckets_.end() && it->first <= hi; ++it) {
     out->insert(out->end(), it->second.begin(), it->second.end());
   }
+  return util::Status::Ok();
 }
 
 void ColumnIndex::Clear() {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "storage/tuple.h"
+#include "util/status.h"
 
 namespace carac::storage {
 
@@ -19,9 +20,10 @@ enum class IndexKind : uint8_t { kHash = 0, kSorted = 1 };
 
 const char* IndexKindName(IndexKind kind);
 
-/// A per-column secondary index: value -> tuples with that value in the
-/// column. Tuples are referenced by stable pointers into the owning
-/// relation's node-based storage.
+/// A per-column secondary index: value -> RowIds of the tuples with that
+/// value in the column. RowIds address the owning relation's arena and are
+/// stable across arena growth and hash-table rehash, so the index never
+/// needs rebuilding — unlike the pointer-bucket design it replaced.
 class ColumnIndex {
  public:
   ColumnIndex(size_t column, IndexKind kind)
@@ -30,22 +32,26 @@ class ColumnIndex {
   size_t column() const { return column_; }
   IndexKind kind() const { return kind_; }
 
-  void Add(const Tuple* tuple);
+  /// Registers `row`, whose indexed column holds `key`.
+  void Add(RowId row, Value key);
 
-  /// Tuples whose column equals `value`; empty if none.
-  const std::vector<const Tuple*>& Probe(Value value) const;
+  /// Rows whose column equals `value`; empty if none.
+  const std::vector<RowId>& Probe(Value value) const;
 
-  /// Tuples whose column lies in [lo, hi], appended to `out` in ascending
-  /// column order. Requires kind() == kSorted.
-  void ProbeRange(Value lo, Value hi, std::vector<const Tuple*>* out) const;
+  /// Rows whose column lies in [lo, hi], appended to `out` in ascending
+  /// column order. Only a kSorted index keeps its buckets ordered, so a
+  /// range probe against a kHash index is a caller bug; it is reported as
+  /// a FailedPrecondition naming the offending kind instead of silently
+  /// returning garbage.
+  util::Status ProbeRange(Value lo, Value hi, std::vector<RowId>* out) const;
 
   void Clear();
 
  private:
   size_t column_;
   IndexKind kind_;
-  std::unordered_map<Value, std::vector<const Tuple*>> hash_buckets_;
-  std::map<Value, std::vector<const Tuple*>> sorted_buckets_;
+  std::unordered_map<Value, std::vector<RowId>> hash_buckets_;
+  std::map<Value, std::vector<RowId>> sorted_buckets_;
 };
 
 }  // namespace carac::storage

@@ -2,22 +2,75 @@
 
 #include <algorithm>
 
+#include "util/hash.h"
 #include "util/status.h"
 
 namespace carac::storage {
 
-bool Relation::Insert(const Tuple& tuple) {
-  CARAC_CHECK(tuple.size() == arity_);
-  auto [it, inserted] = rows_.insert(tuple);
-  if (inserted) IndexNewTuple(&*it);
-  return inserted;
+namespace {
+
+/// Smallest power of two >= n (and >= kMin).
+size_t NextPowerOfTwo(size_t n, size_t k_min) {
+  size_t p = k_min;
+  while (p < n) p <<= 1;
+  return p;
 }
 
-bool Relation::Insert(Tuple&& tuple) {
+}  // namespace
+
+void Relation::Reserve(size_t rows) {
+  arena_.reserve(rows * arity_);
+  // Size the table so `rows` entries stay under the 3/4 load ceiling.
+  const size_t wanted = NextPowerOfTwo(rows + rows / 3 + 1, kMinSlots);
+  if (wanted > slots_.size()) Rehash(wanted);
+}
+
+bool Relation::Insert(TupleView tuple) {
   CARAC_CHECK(tuple.size() == arity_);
-  auto [it, inserted] = rows_.insert(std::move(tuple));
-  if (inserted) IndexNewTuple(&*it);
-  return inserted;
+  // Grow at 3/4 load so linear-probe chains stay short.
+  if ((static_cast<size_t>(num_rows_) + 1) * 4 > slots_.size() * 3) {
+    Rehash(NextPowerOfTwo(slots_.size() * 2, kMinSlots));
+  }
+  const uint64_t hash = util::HashSpan(tuple.data(), arity_);
+  size_t slot = hash & slot_mask_;
+  while (slots_[slot] != kEmptySlot) {
+    if (RowEquals(slots_[slot], tuple)) return false;
+    slot = (slot + 1) & slot_mask_;
+  }
+  // New row: append to the arena and publish its RowId. 0xFFFFFFFF is the
+  // empty-slot sentinel, so it must never become a live RowId — fail
+  // loudly instead of silently corrupting dedup at 2^32-1 rows.
+  CARAC_CHECK(num_rows_ < kEmptySlot);
+  slots_[slot] = num_rows_;
+  arena_.insert(arena_.end(), tuple.begin(), tuple.end());
+  for (ColumnIndex& index : indexes_) {
+    index.Add(num_rows_, tuple[index.column()]);
+  }
+  ++num_rows_;
+  return true;
+}
+
+bool Relation::Contains(TupleView tuple) const {
+  CARAC_CHECK(tuple.size() == arity_);
+  if (num_rows_ == 0) return false;
+  const uint64_t hash = util::HashSpan(tuple.data(), arity_);
+  size_t slot = hash & slot_mask_;
+  while (slots_[slot] != kEmptySlot) {
+    if (RowEquals(slots_[slot], tuple)) return true;
+    slot = (slot + 1) & slot_mask_;
+  }
+  return false;
+}
+
+void Relation::Rehash(size_t new_slots) {
+  slots_.assign(new_slots, kEmptySlot);
+  slot_mask_ = new_slots - 1;
+  for (RowId row = 0; row < num_rows_; ++row) {
+    const uint64_t hash = util::HashSpan(RowData(row), arity_);
+    size_t slot = hash & slot_mask_;
+    while (slots_[slot] != kEmptySlot) slot = (slot + 1) & slot_mask_;
+    slots_[slot] = row;
+  }
 }
 
 void Relation::DeclareIndex(size_t column, IndexKind kind) {
@@ -29,11 +82,12 @@ void Relation::DeclareIndex(size_t column, IndexKind kind) {
   index_by_column_[column] = indexes_.size();
   indexes_.emplace_back(column, kind);
   ColumnIndex& index = indexes_.back();
-  for (const Tuple& t : rows_) index.Add(&t);
+  for (RowId row = 0; row < num_rows_; ++row) {
+    index.Add(row, RowData(row)[column]);
+  }
 }
 
-const std::vector<const Tuple*>& Relation::Probe(size_t column,
-                                                 Value value) const {
+const std::vector<RowId>& Relation::Probe(size_t column, Value value) const {
   CARAC_CHECK(HasIndex(column));
   return indexes_[index_by_column_[column]].Probe(value);
 }
@@ -43,23 +97,24 @@ IndexKind Relation::IndexKindOf(size_t column) const {
   return indexes_[index_by_column_[column]].kind();
 }
 
-void Relation::ProbeRange(size_t column, Value lo, Value hi,
-                          std::vector<const Tuple*>* out) const {
+util::Status Relation::ProbeRange(size_t column, Value lo, Value hi,
+                                  std::vector<RowId>* out) const {
   CARAC_CHECK(HasIndex(column));
-  indexes_[index_by_column_[column]].ProbeRange(lo, hi, out);
+  return indexes_[index_by_column_[column]].ProbeRange(lo, hi, out);
 }
 
 void Relation::Clear() {
-  rows_.clear();
+  num_rows_ = 0;
+  arena_.clear();
+  std::fill(slots_.begin(), slots_.end(), kEmptySlot);
   for (ColumnIndex& index : indexes_) index.Clear();
 }
 
 void Relation::Absorb(Relation* other) {
   CARAC_CHECK(other->arity_ == arity_);
-  for (auto it = other->rows_.begin(); it != other->rows_.end();) {
-    auto node = other->rows_.extract(it++);
-    auto [pos, inserted] = rows_.insert(std::move(node.value()));
-    if (inserted) IndexNewTuple(&*pos);
+  Reserve(num_rows_ + other->num_rows_);
+  for (RowId row = 0; row < other->num_rows_; ++row) {
+    Insert(other->View(row));
   }
   other->Clear();
 }
@@ -71,13 +126,13 @@ void Relation::CopyIndexDeclarations(const Relation& other) {
 }
 
 std::vector<Tuple> Relation::SortedRows() const {
-  std::vector<Tuple> out(rows_.begin(), rows_.end());
+  std::vector<Tuple> out;
+  out.reserve(num_rows_);
+  for (RowId row = 0; row < num_rows_; ++row) {
+    out.push_back(View(row).ToTuple());
+  }
   std::sort(out.begin(), out.end());
   return out;
-}
-
-void Relation::IndexNewTuple(const Tuple* tuple) {
-  for (ColumnIndex& index : indexes_) index.Add(tuple);
 }
 
 }  // namespace carac::storage

@@ -2,22 +2,34 @@
 #define CARAC_STORAGE_RELATION_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "storage/index.h"
 #include "storage/tuple.h"
+#include "util/status.h"
 
 namespace carac::storage {
 
-/// An in-memory set-semantics relation with optional per-column secondary
-/// indexes (hash by default, ordered optionally — see storage/index.h).
-/// Carac builds one index per join/filter predicate column (paper §IV,
-/// "Index selection"); incremental maintenance happens on insert. Tuples
-/// are stored in a node-based hash set, so `const Tuple*` handles remain
-/// stable across inserts (the indexes rely on this).
+/// An in-memory set-semantics relation backed by a columnar arena:
+///
+///   - Tuples live row-major in ONE contiguous std::vector<Value> arena
+///     (`arity` values per row), identified by a dense 32-bit RowId in
+///     insertion order. Inserting a tuple is an append — no per-tuple heap
+///     node, no pointer chasing on scans.
+///   - Set semantics comes from an open-addressing hash table (linear
+///     probing, power-of-two capacity, wyhash-style mixing — util/hash.h)
+///     mapping row hashes to RowIds. The table stores 4-byte RowIds, not
+///     nodes, so a rehash is a flat re-bucketing pass.
+///   - Per-column secondary indexes (storage/index.h) hold RowIds. RowIds
+///     never move, so neither arena growth nor rehash invalidates an
+///     index — incremental maintenance on insert is all that is needed.
+///
+/// Readers address rows through TupleView (pointer + arity span into the
+/// arena) and must not hold views across an insert into the *same*
+/// relation (arena growth may reallocate). The evaluator never does:
+/// rules read Derived/DeltaKnown and write DeltaNew.
 class Relation {
  public:
   Relation(std::string name, size_t arity)
@@ -28,14 +40,75 @@ class Relation {
 
   const std::string& name() const { return name_; }
   size_t arity() const { return arity_; }
-  size_t size() const { return rows_.size(); }
-  bool empty() const { return rows_.empty(); }
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
 
-  /// Inserts a tuple; returns true if it was new. Indexes are maintained.
-  bool Insert(const Tuple& tuple);
-  bool Insert(Tuple&& tuple);
+  /// Pre-sizes the arena and the hash table for `rows` tuples so bulk
+  /// loads do not pay growth/rehash churn. Never shrinks.
+  void Reserve(size_t rows);
 
-  bool Contains(const Tuple& tuple) const { return rows_.count(tuple) > 0; }
+  /// Inserts a tuple (copying it into the arena); returns true if it was
+  /// new. Indexes are maintained incrementally. Accepts Tuple or
+  /// TupleView; `tuple` may not alias this relation's own arena unless it
+  /// is already present (a self-view is by definition a duplicate, so
+  /// that case is safe).
+  bool Insert(TupleView tuple);
+  /// Overloads for Tuple lvalues and braced call sites (`Insert({1, 2})`),
+  /// which cannot reach the TupleView conversion on their own.
+  bool Insert(const Tuple& tuple) { return Insert(TupleView(tuple)); }
+  bool Insert(std::initializer_list<Value> values) {
+    return Insert(TupleView(values.begin(), values.size()));
+  }
+
+  bool Contains(TupleView tuple) const;
+  bool Contains(const Tuple& tuple) const {
+    return Contains(TupleView(tuple));
+  }
+  bool Contains(std::initializer_list<Value> values) const {
+    return Contains(TupleView(values.begin(), values.size()));
+  }
+
+  // ---- Row addressing ----
+
+  uint32_t NumRows() const { return num_rows_; }
+
+  /// Raw row-major pointer to row `row` (arity() values).
+  const Value* RowData(RowId row) const {
+    return arena_.data() + static_cast<size_t>(row) * arity_;
+  }
+
+  TupleView View(RowId row) const { return TupleView(RowData(row), arity_); }
+
+  /// Range-for support over all rows, in insertion (RowId) order:
+  ///   for (TupleView t : rel.rows()) ...
+  class RowIterator {
+   public:
+    RowIterator(const Relation* rel, RowId row) : rel_(rel), row_(row) {}
+    TupleView operator*() const { return rel_->View(row_); }
+    RowIterator& operator++() {
+      ++row_;
+      return *this;
+    }
+    bool operator!=(const RowIterator& other) const {
+      return row_ != other.row_;
+    }
+
+   private:
+    const Relation* rel_;
+    RowId row_;
+  };
+  class RowRange {
+   public:
+    explicit RowRange(const Relation* rel) : rel_(rel) {}
+    RowIterator begin() const { return RowIterator(rel_, 0); }
+    RowIterator end() const { return RowIterator(rel_, rel_->NumRows()); }
+
+   private:
+    const Relation* rel_;
+  };
+  RowRange rows() const { return RowRange(this); }
+
+  // ---- Indexes ----
 
   /// Declares an index on `column` (idempotent — the first declaration's
   /// kind wins) and builds it over the current contents.
@@ -46,25 +119,28 @@ class Relation {
            index_by_column_[column] != kNoIndex;
   }
 
-  /// Probes the index on `column` for `value`. Requires HasIndex(column).
-  const std::vector<const Tuple*>& Probe(size_t column, Value value) const;
+  /// Probes the index on `column` for `value`, returning the matching
+  /// RowIds. Requires HasIndex(column).
+  const std::vector<RowId>& Probe(size_t column, Value value) const;
 
   /// Kind of the index on `column`. Requires HasIndex(column).
   IndexKind IndexKindOf(size_t column) const;
 
-  /// Range probe [lo, hi] on a kSorted index (ascending column order).
-  void ProbeRange(size_t column, Value lo, Value hi,
-                  std::vector<const Tuple*>* out) const;
+  /// Range probe [lo, hi] in ascending column order. Requires
+  /// HasIndex(column); fails with FailedPrecondition (naming the kind) if
+  /// the index is not kSorted.
+  util::Status ProbeRange(size_t column, Value lo, Value hi,
+                          std::vector<RowId>* out) const;
 
-  /// Stable iteration over all rows (iterator order of the hash set; the
-  /// engine never depends on a particular order).
-  const std::unordered_set<Tuple, TupleHash>& rows() const { return rows_; }
+  // ---- Bulk maintenance ----
 
-  /// Removes all tuples, keeping index declarations.
+  /// Removes all tuples, keeping index declarations and storage capacity
+  /// (delta stores are cleared every iteration; dropping capacity would
+  /// re-pay growth each time).
   void Clear();
 
-  /// Moves all tuples of `other` into this relation (used by SwapClearOp to
-  /// merge DeltaKnown into Derived). `other` is cleared.
+  /// Moves all tuples of `other` into this relation (used by SwapClearOp
+  /// to merge DeltaKnown into Derived). `other` is cleared.
   void Absorb(Relation* other);
 
   /// Copies index *declarations* (not contents) from another relation.
@@ -75,12 +151,31 @@ class Relation {
 
  private:
   static constexpr size_t kNoIndex = static_cast<size_t>(-1);
+  static constexpr uint32_t kEmptySlot = 0xFFFFFFFFu;
+  static constexpr size_t kMinSlots = 16;
 
-  void IndexNewTuple(const Tuple* tuple);
+  /// True iff row `row` holds exactly the values of `tuple`.
+  bool RowEquals(RowId row, TupleView tuple) const {
+    const Value* stored = RowData(row);
+    for (size_t i = 0; i < arity_; ++i) {
+      if (stored[i] != tuple[i]) return false;
+    }
+    return true;
+  }
+
+  /// Grows the slot table to `new_slots` (a power of two) and re-buckets
+  /// every row. Indexes are untouched: they store RowIds.
+  void Rehash(size_t new_slots);
 
   std::string name_;
   size_t arity_;
-  std::unordered_set<Tuple, TupleHash> rows_;
+  /// Row-major tuple storage: row r occupies [r*arity, (r+1)*arity).
+  std::vector<Value> arena_;
+  uint32_t num_rows_ = 0;
+  /// Open-addressing dedup table: RowId per slot, kEmptySlot when free.
+  /// Power-of-two size; linear probing on HashSpan of the row.
+  std::vector<uint32_t> slots_;
+  size_t slot_mask_ = 0;
   std::vector<ColumnIndex> indexes_;
   // Maps column -> position in indexes_, or kNoIndex.
   std::vector<size_t> index_by_column_;

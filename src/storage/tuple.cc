@@ -4,7 +4,7 @@
 
 namespace carac::storage {
 
-std::string TupleToString(const Tuple& t) {
+std::string TupleToString(TupleView t) {
   std::string out = "(";
   for (size_t i = 0; i < t.size(); ++i) {
     if (i > 0) out += ", ";

@@ -2,6 +2,7 @@
 #define CARAC_STORAGE_TUPLE_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -13,20 +14,67 @@ namespace carac::storage {
 /// strings live above SymbolTable::kSymbolBase (see symbol_table.h).
 using Value = int64_t;
 
-/// A fixed-arity row. Arity is implied by the owning relation's schema.
+/// An owning fixed-arity row. Arity is implied by the owning relation's
+/// schema. Used at API boundaries (fact loading, SortedRows, goldens);
+/// the evaluation hot path never materializes one — rows live row-major
+/// in each relation's arena and are read through TupleView.
 using Tuple = std::vector<Value>;
 
-/// Hash functor for tuples (order dependent).
+/// Dense index of a row inside a relation's arena. RowIds are assigned in
+/// insertion order, never move, and survive arena growth and hash-table
+/// rehash — which is why the secondary indexes store RowIds, not pointers.
+using RowId = uint32_t;
+
+/// A non-owning view of one row (pointer + arity span into an arena).
+/// Implicitly constructible from Tuple so call sites can pass either.
+class TupleView {
+ public:
+  TupleView() = default;
+  TupleView(const Value* data, size_t size) : data_(data), size_(size) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): Tuple and TupleView are
+  // interchangeable at read-only call sites (Contains, Insert, hashing).
+  TupleView(const Tuple& t) : data_(t.data()), size_(t.size()) {}
+
+  const Value* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Value operator[](size_t i) const { return data_[i]; }
+  const Value* begin() const { return data_; }
+  const Value* end() const { return data_ + size_; }
+
+  /// Owning copy, for the cold paths that need one.
+  Tuple ToTuple() const { return Tuple(data_, data_ + size_); }
+
+  friend bool operator==(TupleView a, TupleView b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (a.data_[i] != b.data_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(TupleView a, TupleView b) { return !(a == b); }
+
+ private:
+  const Value* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Hash functor for rows (order dependent; wyhash-style span hash).
+/// Accepts both Tuple and TupleView through the implicit conversion.
 struct TupleHash {
-  size_t operator()(const Tuple& t) const {
-    uint64_t h = 0x42ULL;
-    for (Value v : t) h = util::HashCombine(h, static_cast<uint64_t>(v));
-    return static_cast<size_t>(h);
+  size_t operator()(TupleView t) const {
+    return static_cast<size_t>(util::HashSpan(t.data(), t.size()));
   }
 };
 
 /// Renders "(1, 2, 3)" for debugging and golden tests.
-std::string TupleToString(const Tuple& t);
+std::string TupleToString(TupleView t);
+inline std::string TupleToString(const Tuple& t) {
+  return TupleToString(TupleView(t));
+}
+inline std::string TupleToString(std::initializer_list<Value> values) {
+  return TupleToString(TupleView(values.begin(), values.size()));
+}
 
 }  // namespace carac::storage
 

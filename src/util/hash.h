@@ -21,6 +21,29 @@ inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
                  (seed >> 2));
 }
 
+/// wyhash-style 128-bit multiply-fold: the highest-throughput 64-bit mixing
+/// primitive on modern hardware (one mul, one xor).
+inline uint64_t WyMix(uint64_t a, uint64_t b) {
+  const auto product =
+      static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+  return static_cast<uint64_t>(product) ^
+         static_cast<uint64_t>(product >> 64);
+}
+
+/// Order-dependent hash of a row-major span of 64-bit values (wyhash-style
+/// multiply-fold chain). This is the hot hash of the storage engine: every
+/// relation insert/contains and every open-addressing probe goes through
+/// it, so it must be branch-light and length-seeded (distinct arities must
+/// not collide on shared prefixes).
+inline uint64_t HashSpan(const int64_t* data, size_t n) {
+  uint64_t h = 0xa0761d6478bd642fULL ^ (static_cast<uint64_t>(n) *
+                                        0xe7037ed1a0b428dbULL);
+  for (size_t i = 0; i < n; ++i) {
+    h = WyMix(h ^ static_cast<uint64_t>(data[i]), 0x8bb84b93962eacc9ULL);
+  }
+  return h;
+}
+
 }  // namespace carac::util
 
 #endif  // CARAC_UTIL_HASH_H_

@@ -9,48 +9,74 @@ namespace carac::storage {
 namespace {
 
 TEST(ColumnIndexTest, HashProbe) {
-  Tuple a{1, 10}, b{1, 11}, c{2, 20};
+  // Rows (RowIds 0..2) with column-0 keys 1, 1, 2.
   ColumnIndex index(0, IndexKind::kHash);
-  index.Add(&a);
-  index.Add(&b);
-  index.Add(&c);
+  index.Add(0, 1);
+  index.Add(1, 1);
+  index.Add(2, 2);
   EXPECT_EQ(index.Probe(1).size(), 2u);
   EXPECT_EQ(index.Probe(2).size(), 1u);
   EXPECT_TRUE(index.Probe(3).empty());
   EXPECT_EQ(index.kind(), IndexKind::kHash);
 }
 
+TEST(ColumnIndexTest, ProbeReturnsRowIdsInInsertionOrder) {
+  ColumnIndex index(0, IndexKind::kHash);
+  index.Add(4, 9);
+  index.Add(7, 9);
+  index.Add(2, 9);
+  const std::vector<RowId>& bucket = index.Probe(9);
+  ASSERT_EQ(bucket.size(), 3u);
+  EXPECT_EQ(bucket[0], 4u);
+  EXPECT_EQ(bucket[1], 7u);
+  EXPECT_EQ(bucket[2], 2u);
+}
+
 TEST(ColumnIndexTest, SortedProbe) {
-  Tuple a{5, 0}, b{7, 0}, c{5, 1};
   ColumnIndex index(0, IndexKind::kSorted);
-  index.Add(&a);
-  index.Add(&b);
-  index.Add(&c);
+  index.Add(0, 5);
+  index.Add(1, 7);
+  index.Add(2, 5);
   EXPECT_EQ(index.Probe(5).size(), 2u);
   EXPECT_EQ(index.Probe(7).size(), 1u);
   EXPECT_TRUE(index.Probe(6).empty());
 }
 
 TEST(ColumnIndexTest, RangeProbeAscending) {
-  Tuple rows[] = {{3, 0}, {1, 0}, {7, 0}, {5, 0}, {5, 1}};
+  const Value keys[] = {3, 1, 7, 5, 5};
   ColumnIndex index(0, IndexKind::kSorted);
-  for (Tuple& t : rows) index.Add(&t);
-  std::vector<const Tuple*> out;
-  index.ProbeRange(2, 6, &out);
-  ASSERT_EQ(out.size(), 3u);  // 3, 5, 5.
-  EXPECT_EQ((*out[0])[0], 3);
-  EXPECT_EQ((*out[1])[0], 5);
-  EXPECT_EQ((*out[2])[0], 5);
+  for (RowId row = 0; row < 5; ++row) index.Add(row, keys[row]);
+  std::vector<RowId> out;
+  ASSERT_TRUE(index.ProbeRange(2, 6, &out).ok());
+  ASSERT_EQ(out.size(), 3u);  // Keys 3, 5, 5 -> rows 0, 3, 4.
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 3u);
+  EXPECT_EQ(out[2], 4u);
   out.clear();
-  index.ProbeRange(100, 200, &out);
+  ASSERT_TRUE(index.ProbeRange(100, 200, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ColumnIndexTest, RangeProbeOnHashIndexFailsWithKindInMessage) {
+  ColumnIndex index(3, IndexKind::kHash);
+  index.Add(0, 1);
+  std::vector<RowId> out;
+  const util::Status status = index.ProbeRange(0, 10, &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+  // The diagnostic must name the offending kind and column so the caller
+  // can find the bad DeclareIndex call.
+  EXPECT_NE(status.message().find("hash"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("column 3"), std::string::npos)
+      << status.message();
   EXPECT_TRUE(out.empty());
 }
 
 TEST(ColumnIndexTest, ClearEmptiesBothOrganizations) {
-  Tuple a{1, 2};
   for (IndexKind kind : {IndexKind::kHash, IndexKind::kSorted}) {
     ColumnIndex index(0, kind);
-    index.Add(&a);
+    index.Add(0, 1);
     EXPECT_EQ(index.Probe(1).size(), 1u);
     index.Clear();
     EXPECT_TRUE(index.Probe(1).empty());
@@ -63,9 +89,25 @@ TEST(RelationIndexKindTest, SortedIndexOnRelation) {
   for (int64_t i = 0; i < 20; ++i) rel.Insert({i % 5, i});
   EXPECT_EQ(rel.IndexKindOf(0), IndexKind::kSorted);
   EXPECT_EQ(rel.Probe(0, 3).size(), 4u);
-  std::vector<const Tuple*> out;
-  rel.ProbeRange(0, 1, 3, &out);
+  std::vector<RowId> out;
+  ASSERT_TRUE(rel.ProbeRange(0, 1, 3, &out).ok());
   EXPECT_EQ(out.size(), 12u);  // Keys 1,2,3 with 4 rows each.
+  for (RowId row : out) {
+    const Value key = rel.View(row)[0];
+    EXPECT_GE(key, 1);
+    EXPECT_LE(key, 3);
+  }
+}
+
+TEST(RelationIndexKindTest, RangeProbeOnHashRelationIndexFails) {
+  Relation rel("R", 2);
+  rel.DeclareIndex(1);  // Default kind: hash.
+  rel.Insert({1, 2});
+  std::vector<RowId> out;
+  const util::Status status = rel.ProbeRange(1, 0, 10, &out);
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("hash"), std::string::npos)
+      << status.message();
 }
 
 TEST(RelationIndexKindTest, FirstDeclarationWins) {

@@ -1,0 +1,116 @@
+// Storage-equivalence golden test: the observable output of evaluation —
+// SortedRows() of the headline relation — must be bit-identical across
+// every execution backend AND across storage-engine rewrites. The goldens
+// under tests/goldens/ were committed when the relations were node-based
+// hash sets; the columnar arena engine (and any future layout) must keep
+// reproducing them exactly.
+//
+// To regenerate after an *intentional* semantic change:
+//   CARAC_UPDATE_GOLDENS=1 ./storage_golden_test
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "analysis/factgen.h"
+#include "analysis/programs.h"
+#include "core/engine.h"
+#include "harness/runner.h"
+
+#ifndef CARAC_GOLDEN_DIR
+#error "CARAC_GOLDEN_DIR must point at tests/goldens"
+#endif
+
+namespace carac {
+namespace {
+
+using WorkloadFn = std::function<analysis::Workload()>;
+
+analysis::Workload MakeTcWorkload() {
+  const auto edges = analysis::GenerateSparseGraph(
+      /*seed=*/11, /*num_vertices=*/300, /*num_edges=*/900, /*zipf_s=*/1.1);
+  return analysis::MakeTransitiveClosure(edges,
+                                         analysis::RuleOrder::kHandOptimized);
+}
+
+analysis::Workload MakeAndersenWorkload() {
+  analysis::SListConfig config;
+  config.scale = 2;
+  return analysis::MakeAndersen(config, analysis::RuleOrder::kHandOptimized);
+}
+
+/// One line per tuple, tab-separated raw values, trailing newline.
+/// (Symbols render as their interned ids: construction order is
+/// deterministic, so the ids are stable.)
+std::string Render(const std::vector<storage::Tuple>& rows) {
+  std::ostringstream out;
+  for (const storage::Tuple& t : rows) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out << '\t';
+      out << t[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string RunBackend(const WorkloadFn& make, const core::EngineConfig& ec) {
+  analysis::Workload w = make();
+  core::Engine engine(w.program.get(), ec);
+  CARAC_CHECK_OK(engine.Prepare());
+  CARAC_CHECK_OK(engine.Run());
+  return Render(engine.Results(w.output));
+}
+
+void CheckAgainstGolden(const std::string& golden_name,
+                        const WorkloadFn& make) {
+  const std::string interpreted =
+      RunBackend(make, harness::InterpretedConfig(true));
+
+  core::EngineConfig bytecode;
+  bytecode.mode = core::EvalMode::kJit;
+  bytecode.jit.backend = backends::BackendKind::kBytecode;
+  const std::string via_bytecode = RunBackend(make, bytecode);
+
+  core::EngineConfig quotes;
+  quotes.mode = core::EvalMode::kJit;
+  quotes.jit.backend = backends::BackendKind::kQuotes;
+  const std::string via_quotes = RunBackend(make, quotes);
+
+  // All three execution paths agree with each other...
+  EXPECT_EQ(interpreted, via_bytecode) << golden_name;
+  EXPECT_EQ(interpreted, via_quotes) << golden_name;
+
+  const std::string path =
+      std::string(CARAC_GOLDEN_DIR) + "/" + golden_name + ".golden";
+  if (std::getenv("CARAC_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << interpreted;
+    return;
+  }
+
+  // ...and with the committed snapshot.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " (regenerate with CARAC_UPDATE_GOLDENS=1)";
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), interpreted) << golden_name;
+  EXPECT_FALSE(interpreted.empty()) << golden_name;
+}
+
+TEST(StorageGoldenTest, TransitiveClosureAllBackends) {
+  CheckAgainstGolden("tc", MakeTcWorkload);
+}
+
+TEST(StorageGoldenTest, AndersenAllBackends) {
+  CheckAgainstGolden("andersen", MakeAndersenWorkload);
+}
+
+}  // namespace
+}  // namespace carac

@@ -34,14 +34,25 @@ TEST(SymbolTableTest, SymbolRangeDisjointFromSmallIntegers) {
 
 TEST(TupleTest, HashEqualForEqualTuples) {
   TupleHash hash;
-  EXPECT_EQ(hash({1, 2, 3}), hash({1, 2, 3}));
-  EXPECT_NE(hash({1, 2, 3}), hash({3, 2, 1}));
-  EXPECT_NE(hash({1}), hash({1, 0}));
+  EXPECT_EQ(hash(Tuple{1, 2, 3}), hash(Tuple{1, 2, 3}));
+  EXPECT_NE(hash(Tuple{1, 2, 3}), hash(Tuple{3, 2, 1}));
+  EXPECT_NE(hash(Tuple{1}), hash(Tuple{1, 0}));
 }
 
 TEST(TupleTest, ToString) {
   EXPECT_EQ(TupleToString({1, 2}), "(1, 2)");
   EXPECT_EQ(TupleToString({}), "()");
+}
+
+TEST(TupleViewTest, ViewsCompareByContents) {
+  const Tuple a{1, 2, 3};
+  const Tuple b{1, 2, 3};
+  const Tuple c{1, 2, 4};
+  EXPECT_EQ(TupleView(a), TupleView(b));
+  EXPECT_NE(TupleView(a), TupleView(c));
+  EXPECT_NE(TupleView(a), TupleView(a.data(), 2));
+  EXPECT_EQ(TupleView(a).ToTuple(), a);
+  EXPECT_EQ(TupleHash()(a), TupleHash()(TupleView(b)));
 }
 
 TEST(RelationTest, InsertDeduplicates) {
@@ -128,6 +139,68 @@ TEST(RelationTest, SortedRowsIsSortedAndComplete) {
   EXPECT_EQ(rows[2][0], 3);
 }
 
+TEST(RelationTest, RowIdsFollowInsertionOrderAndViewsReadThem) {
+  Relation rel("R", 3);
+  rel.Insert({7, 8, 9});
+  rel.Insert({1, 2, 3});
+  ASSERT_EQ(rel.NumRows(), 2u);
+  EXPECT_EQ(rel.View(0), TupleView(Tuple{7, 8, 9}));
+  EXPECT_EQ(rel.View(1), TupleView(Tuple{1, 2, 3}));
+  EXPECT_EQ(rel.RowData(1)[2], 3);
+  // Range-for yields the same rows in RowId order.
+  RowId expected = 0;
+  for (TupleView t : rel.rows()) {
+    EXPECT_EQ(t, rel.View(expected));
+    ++expected;
+  }
+  EXPECT_EQ(expected, 2u);
+}
+
+TEST(RelationTest, SurvivesRehashAndArenaGrowth) {
+  // Far past the initial table size, forcing several rehashes and arena
+  // reallocations; dedup, membership and index probes must all hold.
+  Relation rel("R", 2);
+  rel.DeclareIndex(0);
+  constexpr int64_t kRows = 10000;
+  for (int64_t i = 0; i < kRows; ++i) {
+    EXPECT_TRUE(rel.Insert({i, i * 31}));
+  }
+  for (int64_t i = 0; i < kRows; ++i) {
+    EXPECT_FALSE(rel.Insert({i, i * 31}));  // All duplicates.
+  }
+  EXPECT_EQ(rel.size(), static_cast<size_t>(kRows));
+  EXPECT_TRUE(rel.Contains({4321, 4321 * 31}));
+  EXPECT_FALSE(rel.Contains({4321, 0}));
+  ASSERT_EQ(rel.Probe(0, 777).size(), 1u);
+  EXPECT_EQ(rel.View(rel.Probe(0, 777)[0])[1], 777 * 31);
+}
+
+TEST(RelationTest, ReserveDoesNotChangeContents) {
+  Relation rel("R", 2);
+  rel.Insert({1, 2});
+  rel.Reserve(5000);
+  EXPECT_EQ(rel.size(), 1u);
+  EXPECT_TRUE(rel.Contains({1, 2}));
+  EXPECT_FALSE(rel.Insert({1, 2}));
+  for (int64_t i = 0; i < 100; ++i) rel.Insert({i, i});
+  EXPECT_EQ(rel.size(), 101u);
+}
+
+TEST(RelationTest, NullaryRelationHoldsAtMostOneRow) {
+  Relation rel("Unit", 0);
+  EXPECT_FALSE(rel.Contains(Tuple{}));
+  EXPECT_TRUE(rel.Insert(Tuple{}));
+  EXPECT_FALSE(rel.Insert(Tuple{}));
+  EXPECT_EQ(rel.size(), 1u);
+  EXPECT_TRUE(rel.Contains(Tuple{}));
+  size_t rows_seen = 0;
+  for (TupleView t : rel.rows()) {
+    EXPECT_TRUE(t.empty());
+    ++rows_seen;
+  }
+  EXPECT_EQ(rows_seen, 1u);
+}
+
 TEST(DatabaseSetTest, ThreeStoresPerRelation) {
   DatabaseSet db;
   const RelationId r = db.AddRelation("R", 2);
@@ -163,7 +236,7 @@ TEST(DatabaseSetTest, DeltaKnownSubsetOfDerivedAfterSwap) {
   const RelationId r = db.AddRelation("R", 1);
   db.Get(r, DbKind::kDeltaNew).Insert({7});
   db.SwapClearMerge({r});
-  for (const Tuple& t : db.Get(r, DbKind::kDeltaKnown).rows()) {
+  for (TupleView t : db.Get(r, DbKind::kDeltaKnown).rows()) {
     EXPECT_TRUE(db.Get(r, DbKind::kDerived).Contains(t));
   }
 }
