@@ -15,12 +15,38 @@
 #include "analysis/programs.h"
 #include "harness/runner.h"
 #include "harness/table.h"
+#include "util/parse.h"
 
 namespace carac::bench {
 
 inline bool LargeScale() {
   const char* scale = std::getenv("CARAC_BENCH_SCALE");
   return scale != nullptr && std::string(scale) == "large";
+}
+
+/// Parses the one flag the bench mains accept, `--threads N` (evaluation
+/// threads for the Carac engine configurations; 1 = the single-threaded
+/// runs every earlier BENCH_*.json was recorded with). Exits 2 on
+/// malformed input so scripts/run_benches.sh surfaces the mistake.
+inline int ThreadsFromArgs(int argc, char** argv) {
+  int64_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
+      if (!util::ParseInt64(argv[i + 1], &threads) || threads < 1 ||
+          threads > 256) {
+        std::fprintf(stderr,
+                     "error: --threads wants an integer in [1, 256], got "
+                     "\"%s\"\n",
+                     argv[i + 1]);
+        std::exit(2);
+      }
+      ++i;
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return static_cast<int>(threads);
 }
 
 struct Sizes {
@@ -108,8 +134,29 @@ struct FigureBenchmark {
 inline void PrintSpeedupFigure(const std::string& title,
                                const std::vector<FigureBenchmark>& benchmarks,
                                analysis::RuleOrder input_order,
-                               bool include_hand_row, const Sizes& sizes) {
-  std::printf("%s\n\n", title.c_str());
+                               bool include_hand_row, const Sizes& sizes,
+                               int num_threads = 1) {
+  // The --threads dimension: every configuration gets the same
+  // EngineConfig::num_threads, but only interpreted execution and
+  // lambda-backend subqueries consume the pool — the bytecode, quotes
+  // and IRGenerator compiled loops are single-threaded. At threads > 1
+  // the figure therefore answers "what does enabling an N-thread pool do
+  // to each configuration as-is", NOT "how does each backend scale"; the
+  // printed note keeps recorded snapshots from being misread.
+  auto with_threads = [num_threads](core::EngineConfig config) {
+    config.num_threads = num_threads;
+    return config;
+  };
+  if (num_threads > 1) {
+    std::printf("%s (threads=%d)\n\n", title.c_str(), num_threads);
+    std::printf("note: num_threads parallelizes interpreted and "
+                "lambda-backend subqueries only;\nbytecode/quotes/irgen "
+                "compiled loops stay single-threaded, so JIT rows are\n"
+                "NOT thread-scaled — compare against the equally-threaded "
+                "interpreted baseline\nwith that in mind.\n\n");
+  } else {
+    std::printf("%s\n\n", title.c_str());
+  }
 
   std::vector<std::string> headers = {"configuration"};
   for (const FigureBenchmark& b : benchmarks) {
@@ -126,15 +173,17 @@ inline void PrintSpeedupFigure(const std::string& title,
   for (const FigureBenchmark& b : benchmarks) {
     Baseline base;
     auto factory = Factory(b.name, input_order, sizes);
-    base.indexed = harness::MeasureMedian(factory,
-                                          harness::InterpretedConfig(true),
-                                          sizes.reps)
-                       .seconds;
+    base.indexed =
+        harness::MeasureMedian(factory,
+                               with_threads(harness::InterpretedConfig(true)),
+                               sizes.reps)
+            .seconds;
     if (!b.indexed_only) {
-      base.unindexed = harness::MeasureMedian(
-                           factory, harness::InterpretedConfig(false),
-                           sizes.reps)
-                           .seconds;
+      base.unindexed =
+          harness::MeasureMedian(
+              factory, with_threads(harness::InterpretedConfig(false)),
+              sizes.reps)
+              .seconds;
     }
     baselines.push_back(base);
   }
@@ -149,18 +198,20 @@ inline void PrintSpeedupFigure(const std::string& title,
     for (size_t i = 0; i < benchmarks.size(); ++i) {
       auto factory = Factory(benchmarks[i].name,
                              analysis::RuleOrder::kHandOptimized, sizes);
-      const double idx = harness::MeasureMedian(
-                             factory, harness::InterpretedConfig(true),
-                             sizes.reps)
-                             .seconds;
+      const double idx =
+          harness::MeasureMedian(
+              factory, with_threads(harness::InterpretedConfig(true)),
+              sizes.reps)
+              .seconds;
       row.push_back(speedup_cell(baselines[i].indexed, idx));
       if (benchmarks[i].indexed_only) {
         row.push_back("-");
       } else {
-        const double unidx = harness::MeasureMedian(
-                                 factory, harness::InterpretedConfig(false),
-                                 sizes.reps)
-                                 .seconds;
+        const double unidx =
+            harness::MeasureMedian(
+                factory, with_threads(harness::InterpretedConfig(false)),
+                sizes.reps)
+                .seconds;
         row.push_back(speedup_cell(baselines[i].unindexed, unidx));
       }
     }
@@ -174,9 +225,10 @@ inline void PrintSpeedupFigure(const std::string& title,
       auto run = [&](bool indexes) {
         return harness::MeasureMedian(
                    factory,
-                   harness::JitConfigOf(spec.backend, spec.async, indexes,
-                                        core::Granularity::kUnion,
-                                        backends::CompileMode::kFull),
+                   with_threads(harness::JitConfigOf(
+                       spec.backend, spec.async, indexes,
+                       core::Granularity::kUnion,
+                       backends::CompileMode::kFull)),
                    sizes.reps)
             .seconds;
       };

@@ -5,14 +5,15 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace carac;
+  const int threads = bench::ThreadsFromArgs(argc, argv);
   const bench::Sizes sizes = bench::Sizes::Get();
   bench::PrintSpeedupFigure(
       "Fig. 6: macrobenchmarks — speedup over \"unoptimized\"",
       {{"Andersen", false}, {"InvFuns", false}, {"CSPA", true}},
       analysis::RuleOrder::kUnoptimized,
-      /*include_hand_row=*/true, sizes);
+      /*include_hand_row=*/true, sizes, threads);
   std::printf("\nExpected shape: JIT rows recover (and can exceed) the "
               "hand-optimized speedup;\nquotes pays the largest compile "
               "overhead, async beats blocking for quotes.\n");

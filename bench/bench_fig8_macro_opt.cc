@@ -4,8 +4,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace carac;
+  const int threads = bench::ThreadsFromArgs(argc, argv);
   const bench::Sizes sizes = bench::Sizes::Get();
   bench::PrintSpeedupFigure(
       "Fig. 8: macrobenchmarks — speedup over \"hand-optimized\"",
@@ -14,7 +15,7 @@ int main() {
        {"CSPA", true},
        {"CSDA", true}},
       analysis::RuleOrder::kHandOptimized,
-      /*include_hand_row=*/false, sizes);
+      /*include_hand_row=*/false, sizes, threads);
   std::printf("\nExpected shape: values cluster around 1x (the JIT must "
               "not wreck good plans);\nIRGenerator can exceed 1x on CSDA "
               "(cheap per-iteration build/probe swap, §VI-B2).\n");

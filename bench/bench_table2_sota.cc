@@ -11,13 +11,18 @@
 #include "baselines/souffle_like.h"
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace carac;
+  const int threads = bench::ThreadsFromArgs(argc, argv);
   const bench::Sizes sizes = bench::Sizes::Get();
   const double dlx_timeout = bench::LargeScale() ? 300.0 : 60.0;
 
   std::printf("Table II: execution time (s) of DLX-like, Souffle-like and "
-              "Carac JIT\n\n");
+              "Carac JIT%s\n\n",
+              threads > 1
+                  ? (" (Carac threads=" + std::to_string(threads) + ")")
+                        .c_str()
+                  : "");
   harness::TablePrinter table({"benchmark", "DLX", "Souffle interp",
                                "Souffle compiler", "Souffle auto-tuned",
                                "Carac JIT"});
@@ -34,13 +39,16 @@ int main() {
       return r.ok ? harness::FormatSeconds(r.seconds) : "err";
     };
     // Carac JIT: full mode, blocking, at the sigma-pi-join granularity
-    // that sees delta relations (the configuration Table II names).
-    harness::Measurement carac = harness::MeasureMedian(
-        factory,
-        harness::JitConfigOf(backends::BackendKind::kLambda, /*async=*/false,
-                             /*use_indexes=*/true, core::Granularity::kSpj,
-                             backends::CompileMode::kFull),
-        sizes.reps);
+    // that sees delta relations (the configuration Table II names). The
+    // comparator engines have no worker pool, so --threads widens only
+    // the Carac column.
+    core::EngineConfig carac_config = harness::JitConfigOf(
+        backends::BackendKind::kLambda, /*async=*/false,
+        /*use_indexes=*/true, core::Granularity::kSpj,
+        backends::CompileMode::kFull);
+    carac_config.num_threads = threads;
+    harness::Measurement carac =
+        harness::MeasureMedian(factory, carac_config, sizes.reps);
 
     table.AddRow({name,
                   dlx.dnf ? "DNF" : harness::FormatSeconds(dlx.seconds),

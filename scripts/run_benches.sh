@@ -4,15 +4,25 @@
 #
 # Usage:
 #   scripts/run_benches.sh [--quick] [--large] [--build-dir DIR] [--out FILE]
-#                          [--baseline FILE]
+#                          [--baseline FILE] [--threads N] [--sweeps N]
 #
 #   --quick       skip the benches that take >20s at small scale
 #   --large       run with CARAC_BENCH_SCALE=large (paper-sized inputs)
 #   --build-dir   directory containing bench/ binaries
 #                 (default: autodetect build, build/release)
-#   --out         output JSON path (default: <repo>/BENCH_pr2.json)
-#   --baseline    snapshot to diff against (default: <repo>/BENCH_seed.json;
+#   --out         output JSON path (default: <repo>/BENCH_pr3.json)
+#   --baseline    snapshot to diff against (default: <repo>/BENCH_pr2.json;
 #                 a per-bench delta table is printed when it exists)
+#   --threads N   evaluation threads passed to the benches that accept the
+#                 flag (fig6/fig8/table2); recorded as "threads" in the
+#                 JSON. Default 1 keeps snapshots comparable to earlier
+#                 BENCH_*.json files. bench_parallel_scaling always sweeps
+#                 1/2/4/8 threads; its measurements land in the JSON's
+#                 "parallel_scaling" section.
+#   --sweeps N    run each bench N times back-to-back and record the
+#                 median wall-clock (default 1). Use on noisy/shared
+#                 hosts, where single draws swing ±10-20%; the chosen N
+#                 is recorded as "sweeps" in the JSON.
 #
 # Each bench binary's stdout is saved next to the JSON under bench_logs/.
 
@@ -22,13 +32,37 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 mode=full
 scale=small
 build_dir=""
-out="$repo_root/BENCH_pr2.json"
-baseline="$repo_root/BENCH_seed.json"
+out="$repo_root/BENCH_pr3.json"
+baseline="$repo_root/BENCH_pr2.json"
+threads=1
+sweeps=1
 
 while [ $# -gt 0 ]; do
   case "$1" in
     --quick) mode=quick ;;
     --large) scale=large ;;
+    --threads)
+      [ $# -ge 2 ] || { echo "error: --threads needs a value" >&2; exit 2; }
+      threads="$2"
+      case "$threads" in
+        ''|*[!0-9]*) threads=-1 ;;
+      esac
+      if [ "$threads" -lt 1 ] || [ "$threads" -gt 256 ]; then
+        echo "error: --threads wants an integer in [1, 256], got: $2" >&2
+        exit 2
+      fi
+      shift ;;
+    --sweeps)
+      [ $# -ge 2 ] || { echo "error: --sweeps needs a value" >&2; exit 2; }
+      sweeps="$2"
+      case "$sweeps" in
+        ''|*[!0-9]*) sweeps=-1 ;;
+      esac
+      if [ "$sweeps" -lt 1 ] || [ "$sweeps" -gt 100 ]; then
+        echo "error: --sweeps wants an integer in [1, 100], got: $2" >&2
+        exit 2
+      fi
+      shift ;;
     --build-dir)
       [ $# -ge 2 ] || { echo "error: --build-dir needs a value" >&2; exit 2; }
       build_dir="$2"; shift ;;
@@ -38,7 +72,7 @@ while [ $# -gt 0 ]; do
     --baseline)
       [ $# -ge 2 ] || { echo "error: --baseline needs a value" >&2; exit 2; }
       baseline="$2"; shift ;;
-    -h|--help) sed -n '2,18p' "$0"; exit 0 ;;
+    -h|--help) sed -n '2,27p' "$0"; exit 0 ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
   shift
@@ -68,9 +102,12 @@ benches=(
   bench_ablation_granularity
   bench_ablation_storage
   bench_storage_micro
+  bench_parallel_scaling
 )
 # >20s each at small scale; dropped in --quick mode.
 slow_benches=" bench_fig6_macro_unopt bench_table1_interpreted bench_ablation_freshness "
+# Benches that accept --threads (the Carac-side thread dimension).
+threaded_benches=" bench_fig6_macro_unopt bench_fig8_macro_opt bench_table2_sota "
 
 log_dir="$(dirname "$out")/bench_logs"
 mkdir -p "$log_dir"
@@ -83,6 +120,7 @@ fi
 
 rows=""
 failures=0
+scaling_ran=false
 for bench in "${benches[@]}"; do
   exe="$build_dir/bench/$bench"
   skipped=false
@@ -100,28 +138,70 @@ for bench in "${benches[@]}"; do
     continue
   fi
 
+  # Expanded as ${bench_args[@]+...} below: plain "${bench_args[@]}" on an
+  # empty array trips `set -u` on bash < 4.4.
+  bench_args=()
+  if [ "$threads" != 1 ] && [[ "$threaded_benches" == *" $bench "* ]]; then
+    bench_args=(--threads "$threads")
+  fi
+
   printf 'run   %s ... ' "$bench"
-  start_ns=$(date +%s%N)
-  if "$exe" > "$log_dir/$bench.txt" 2>&1; then
-    code=0
-  else
-    code=$?
+  # Median wall-clock of --sweeps back-to-back runs (worst exit code
+  # wins; the log keeps the last run's stdout). Same principle the
+  # harness's MeasureMedian applies inside a bench, applied to whole
+  # binaries so one noisy draw on a shared host cannot skew a snapshot.
+  sweep_times=""
+  code=0
+  for _sweep in $(seq 1 "$sweeps"); do
+    start_ns=$(date +%s%N)
+    if "$exe" ${bench_args[@]+"${bench_args[@]}"} \
+        > "$log_dir/$bench.txt" 2>&1; then
+      sweep_code=0
+    else
+      sweep_code=$?
+    fi
+    end_ns=$(date +%s%N)
+    sweep_times="$sweep_times $(awk -v d=$((end_ns - start_ns)) \
+      'BEGIN{printf "%.3f", d/1e9}')"
+    [ "$sweep_code" -ne 0 ] && code=$sweep_code
+  done
+  if [ "$code" -ne 0 ]; then
     failures=$((failures + 1))
   fi
-  end_ns=$(date +%s%N)
-  seconds=$(awk -v d=$((end_ns - start_ns)) 'BEGIN{printf "%.3f", d/1e9}')
-  echo "${seconds}s (exit $code)"
+  if [ "$bench" = bench_parallel_scaling ] && [ "$code" = 0 ]; then
+    scaling_ran=true
+  fi
+  # shellcheck disable=SC2086
+  seconds=$(printf '%s\n' $sweep_times | sort -n |
+    awk '{a[NR]=$1} END{print a[int((NR+1)/2)]}')
+  echo "${seconds}s (exit $code, median of $sweeps)"
   rows="$rows    {\"name\": \"$bench\", \"skipped\": false,"
   rows="$rows \"seconds\": $seconds, \"exit_code\": $code},\n"
 done
 rows="${rows%,\\n}"
 
+# The thread-scaling measurements, lifted from bench_parallel_scaling's
+# machine-readable SCALING lines. Gated on the bench having run (and
+# succeeded) in THIS invocation: a stale log from an earlier sweep must
+# not lend its numbers to a snapshot that skipped the bench.
+scaling_rows=""
+scaling_log="$log_dir/bench_parallel_scaling.txt"
+if [ "$scaling_ran" = true ] && [ -f "$scaling_log" ]; then
+  scaling_rows=$(awk '/^SCALING /{
+    printf "    {\"workload\": \"%s\", \"threads\": %s, \"seconds\": %s, \"speedup\": %s},\n", \
+      $2, substr($3, 9), substr($4, 9), substr($5, 9)
+  }' "$scaling_log")
+  scaling_rows="${scaling_rows%,}"
+fi
+
 {
   echo "{"
-  echo "  \"schema\": \"carac-bench/v1\","
+  echo "  \"schema\": \"carac-bench/v2\","
   echo "  \"timestamp_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
   echo "  \"mode\": \"$mode\","
   echo "  \"scale\": \"$scale\","
+  echo "  \"threads\": $threads,"
+  echo "  \"sweeps\": $sweeps,"
   echo "  \"host\": {"
   echo "    \"uname\": \"$(uname -srm)\","
   echo "    \"nproc\": $(nproc),"
@@ -129,6 +209,9 @@ rows="${rows%,\\n}"
   echo "  },"
   echo "  \"benches\": ["
   printf '%b\n' "$rows"
+  echo "  ],"
+  echo "  \"parallel_scaling\": ["
+  if [ -n "$scaling_rows" ]; then printf '%s\n' "$scaling_rows"; fi
   echo "  ]"
   echo "}"
 } > "$out"
@@ -156,6 +239,9 @@ if base.get("mode") != new.get("mode") or base.get("scale") != new.get("scale"):
     print("note: baseline mode/scale (%s/%s) differs from this run (%s/%s)" %
           (base.get("mode"), base.get("scale"),
            new.get("mode"), new.get("scale")))
+if base.get("threads", 1) != new.get("threads", 1):
+    print("note: baseline threads=%s differs from this run's threads=%s" %
+          (base.get("threads", 1), new.get("threads", 1)))
 
 rows = [(n, base_s.get(n), t) for n, t in new_s.items()]
 width = max((len(n) for n, _, _ in rows), default=10)

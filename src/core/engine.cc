@@ -25,6 +25,11 @@ util::Status Engine::Prepare() {
   if (config_.mode == EvalMode::kJit) {
     jit_ = std::make_unique<Jit>(config_.jit);
   }
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<WorkerPool>(config_.num_threads);
+    ctx_->set_worker_pool(pool_.get());
+    ctx_->set_parallel_min_rows(config_.parallel_min_outer_rows);
+  }
   prepared_ = true;
   return util::Status::Ok();
 }

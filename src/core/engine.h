@@ -6,6 +6,7 @@
 
 #include "core/aot_planner.h"
 #include "core/jit.h"
+#include "core/worker_pool.h"
 #include "datalog/ast.h"
 #include "ir/exec_context.h"
 #include "ir/interpreter.h"
@@ -40,6 +41,16 @@ struct EngineConfig {
   /// default: eliminated alias relations stop being materialized, so
   /// callers must query the alias target instead.
   bool eliminate_aliases = false;
+  /// Evaluation threads for the semi-naive fixpoint. 1 (the default)
+  /// keeps today's exact single-threaded execution; larger values shard
+  /// each rule's outer scan by RowId range across a persistent worker
+  /// pool. Results are byte-identical for every value: workers stage
+  /// into per-thread buffers that the main thread merges in fixed order.
+  int num_threads = 1;
+  /// Outer scans below this row count stay single-threaded (sharding a
+  /// near-empty delta costs more in dispatch than it saves). Tests lower
+  /// it to force the parallel path onto small programs.
+  uint32_t parallel_min_outer_rows = 128;
 };
 
 /// The public entry point: owns the lowered IR and the evaluation
@@ -80,6 +91,7 @@ class Engine {
   ir::IRProgram irp_;
   std::unique_ptr<ir::ExecContext> ctx_;
   std::unique_ptr<Jit> jit_;
+  std::unique_ptr<WorkerPool> pool_;
   bool prepared_ = false;
 };
 

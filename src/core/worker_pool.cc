@@ -1,0 +1,69 @@
+#include "core/worker_pool.h"
+
+#include "util/status.h"
+
+namespace carac::core {
+
+WorkerPool::WorkerPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  threads_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::Run(int shards, const std::function<void(int)>& fn) {
+  CARAC_CHECK(shards >= 1 && shards <= num_threads_);
+  if (shards == 1 || threads_.empty()) {
+    for (int i = 0; i < shards; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_shards_ = shards;
+    active_ = shards - 1;  // Shard 0 runs on the calling thread.
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::WorkerLoop(int worker_index) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      // Jobs narrower than the pool leave the high-index workers idle;
+      // they must not touch the completion count.
+      if (worker_index >= job_shards_) continue;
+      job = job_;
+    }
+    (*job)(worker_index);
+    bool all_done;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      all_done = (--active_ == 0);
+    }
+    if (all_done) done_cv_.notify_one();
+  }
+}
+
+}  // namespace carac::core

@@ -1,0 +1,55 @@
+#ifndef CARAC_CORE_WORKER_POOL_H_
+#define CARAC_CORE_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace carac::core {
+
+/// A persistent fork-join pool for parallel evaluation
+/// (EngineConfig::num_threads). Run(shards, fn) invokes fn(shard) for
+/// every shard in [0, shards): the calling thread executes shard 0 while
+/// the pool threads execute the rest, and Run returns only after every
+/// shard finished. Threads are spawned once and parked between jobs, so
+/// the per-subquery dispatch cost is a lock/notify pair, not thread
+/// creation.
+///
+/// The pool runs one job at a time — the evaluator is single-issue
+/// (rules execute in program order) — so Run must not be called
+/// concurrently or reentrantly.
+class WorkerPool {
+ public:
+  /// Spawns `num_threads - 1` worker threads (the caller is the Nth).
+  explicit WorkerPool(int num_threads);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(0) .. fn(shards - 1) across the pool and the calling thread;
+  /// blocks until all have returned. Requires 1 <= shards <= num_threads().
+  void Run(int shards, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop(int worker_index);
+
+  const int num_threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< Workers wait here for a new job.
+  std::condition_variable done_cv_;  ///< Run waits here for completion.
+  const std::function<void(int)>* job_ = nullptr;
+  int job_shards_ = 0;
+  uint64_t generation_ = 0;
+  int active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace carac::core
+
+#endif  // CARAC_CORE_WORKER_POOL_H_

@@ -1,9 +1,60 @@
 #include "ir/exec_context.h"
 
+#include <algorithm>
+
+#include "core/worker_pool.h"
+
 namespace carac::ir {
 
 const char* EngineStyleName(EngineStyle style) {
   return style == EngineStyle::kPush ? "push" : "pull";
+}
+
+std::vector<storage::StagingBuffer>& ExecContext::StagingFor(int shards,
+                                                             size_t arity) {
+  if (staging_.size() < static_cast<size_t>(shards)) {
+    staging_.resize(static_cast<size_t>(shards));
+  }
+  for (int i = 0; i < shards; ++i) staging_[i].Reset(arity);
+  return staging_;
+}
+
+void MergeStagedDelta(ExecContext& ctx, storage::RelationId target,
+                      std::vector<storage::StagingBuffer>& buffers,
+                      int shards, const uint64_t* considered) {
+  storage::DatabaseSet& db = ctx.db();
+  const storage::Relation& derived =
+      db.Get(target, storage::DbKind::kDerived);
+  storage::Relation& delta_new = db.Get(target, storage::DbKind::kDeltaNew);
+  uint64_t inserted = 0;
+  uint64_t emitted = 0;
+  for (int shard = 0; shard < shards; ++shard) {
+    inserted += delta_new.InsertStaged(buffers[shard], &derived);
+    emitted += considered[shard];
+  }
+  ctx.stats().tuples_considered += emitted;
+  ctx.stats().tuples_inserted += inserted;
+}
+
+bool ShardSubqueryAcrossPool(ExecContext& ctx, storage::RelationId target,
+                             size_t outer_rows, size_t arity,
+                             const SubqueryShardFn& shard_fn) {
+  core::WorkerPool* pool = ctx.worker_pool();
+  if (pool == nullptr || pool->num_threads() <= 1) return false;
+  if (outer_rows < ctx.parallel_min_rows()) return false;
+  const int shards = pool->num_threads();
+  std::vector<storage::StagingBuffer>& staging = ctx.StagingFor(shards, arity);
+  std::vector<uint64_t> considered(static_cast<size_t>(shards), 0);
+  const size_t chunk =
+      (outer_rows + static_cast<size_t>(shards) - 1) / shards;
+  pool->Run(shards, [&](int shard) {
+    const size_t begin = chunk * static_cast<size_t>(shard);
+    const size_t end = std::min(begin + chunk, outer_rows);
+    if (begin >= end) return;
+    shard_fn(shard, begin, end, &staging[shard], &considered[shard]);
+  });
+  MergeStagedDelta(ctx, target, staging, shards, considered.data());
+  return true;
 }
 
 std::string ExecStats::ToString() const {

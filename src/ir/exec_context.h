@@ -2,9 +2,16 @@
 #define CARAC_IR_EXEC_CONTEXT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "storage/database.h"
+#include "storage/staging_buffer.h"
+
+namespace carac::core {
+class WorkerPool;
+}  // namespace carac::core
 
 namespace carac::ir {
 
@@ -51,11 +58,70 @@ class ExecContext {
   EngineStyle engine_style() const { return engine_style_; }
   void set_engine_style(EngineStyle style) { engine_style_ = style; }
 
+  // ---- Parallel evaluation (EngineConfig::num_threads > 1) ----
+
+  /// The engine's persistent worker pool, or nullptr when evaluation is
+  /// single-threaded. Subquery evaluators shard their outer scan across
+  /// it; everything they touch concurrently is read-only.
+  core::WorkerPool* worker_pool() const { return worker_pool_; }
+  void set_worker_pool(core::WorkerPool* pool) { worker_pool_ = pool; }
+
+  /// Outer scans below this row count run single-threaded: sharding a
+  /// near-empty delta costs more in dispatch than it saves. Tests lower
+  /// it to force the parallel path onto small programs; results are
+  /// identical for every value (the merge order fixes determinism).
+  uint32_t parallel_min_rows() const { return parallel_min_rows_; }
+  void set_parallel_min_rows(uint32_t rows) { parallel_min_rows_ = rows; }
+
+  /// Per-worker staging buffers, lazily sized to `shards` and re-armed
+  /// for `arity`-wide rows. Capacity persists across subqueries, so
+  /// steady-state parallel evaluation allocates nothing here.
+  std::vector<storage::StagingBuffer>& StagingFor(int shards, size_t arity);
+
  private:
   storage::DatabaseSet* db_;
   ExecStats stats_;
   EngineStyle engine_style_ = EngineStyle::kPush;
+  core::WorkerPool* worker_pool_ = nullptr;
+  uint32_t parallel_min_rows_ = 128;
+  std::vector<storage::StagingBuffer> staging_;
 };
+
+/// Merges the first `shards` staging buffers into `target`'s DeltaNew in
+/// worker order, skipping tuples already in Derived, and folds the
+/// workers' emission counts into the stats. Shared by the push and pull
+/// evaluators; the fixed merge order is what makes parallel evaluation
+/// byte-identical to single-threaded runs.
+void MergeStagedDelta(ExecContext& ctx, storage::RelationId target,
+                      std::vector<storage::StagingBuffer>& buffers,
+                      int shards, const uint64_t* considered);
+
+/// One shard of a parallel subquery: evaluate outer positions
+/// [begin, end), staging emissions into `staging` and the local emission
+/// count into `considered`.
+using SubqueryShardFn =
+    std::function<void(int shard, size_t begin, size_t end,
+                       storage::StagingBuffer* staging,
+                       uint64_t* considered)>;
+
+/// The pull engine's shard-dispatch scaffolding: gates on the dispatch
+/// threshold, re-arms one staging buffer per pool thread, fans
+/// `shard_fn` out over contiguous position ranges of [0, outer_rows),
+/// then merges the staged results in shard order (MergeStagedDelta).
+/// Returns false — nothing dispatched — when the subquery should run
+/// single-threaded. Callers check worker_pool() themselves first so the
+/// single-threaded path never pays for computing `outer_rows`.
+///
+/// The push interpreter repeats this chunking inline
+/// (interpreter.cc SubqueryRun::RunSharded) rather than calling it:
+/// funnelling its dispatch through this std::function signature
+/// perturbed GCC 12's inlining of the recursive join and cost ~15% on
+/// single-threaded interpreted macrobenchmarks. Keep the two copies of
+/// the chunk math identical — the fuzz matrix (push == pull at every
+/// thread count) catches a divergence.
+bool ShardSubqueryAcrossPool(ExecContext& ctx, storage::RelationId target,
+                             size_t outer_rows, size_t arity,
+                             const SubqueryShardFn& shard_fn);
 
 }  // namespace carac::ir
 

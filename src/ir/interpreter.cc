@@ -2,11 +2,13 @@
 
 #include "ir/pull_evaluator.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <utility>
 #include <vector>
 
+#include "core/worker_pool.h"
 #include "datalog/builtins.h"
 #include "util/status.h"
 
@@ -58,14 +60,79 @@ class SubqueryRun {
     binding_.assign(op_.num_locals, 0);
     BuildPlan();
     if (op_.kind == OpKind::kAggregate) {
-      Join(0);
+      Join<false>(0);
       FlushAggregates();
-    } else {
-      Join(0);
+      return;
     }
+    if (RunSharded()) return;
+    Join<false>(0);
+  }
+
+  /// Pool-worker entry: evaluates outer positions [begin, end), staging
+  /// emissions into `out` (behind a read-only Derived/DeltaNew
+  /// pre-filter) instead of inserting. Safe to run concurrently with the
+  /// other shards — everything shared is read-only until the main thread
+  /// merges the buffers.
+  void RunShard(size_t begin, size_t end, storage::StagingBuffer* out,
+                uint64_t* considered) {
+    binding_.assign(op_.num_locals, 0);
+    BuildPlan();
+    staging_ = out;
+    JoinOuterWindow(begin, end);
+    *considered = staged_considered_;
   }
 
  private:
+  /// Shards the outer atom's row sequence by contiguous position ranges
+  /// across the worker pool, then merges the staged results in shard
+  /// order — which replays exactly the single-threaded emission sequence,
+  /// so DeltaNew ends up byte-identical (contents, insertion order and
+  /// RowIds) for every thread count. Returns false when the subquery
+  /// must (or should) run single-threaded: no pool, a leading builtin or
+  /// negation, or an outer scan too small to amortize dispatch.
+  ///
+  /// The dispatch math here deliberately DUPLICATES ShardSubqueryAcrossPool
+  /// (exec_context.cc, used by the pull engine) instead of calling it:
+  /// routing this body through the std::function-taking helper perturbed
+  /// GCC 12's inlining of the recursive Join<> enough to cost ~15% on the
+  /// single-threaded interpreted macrobenchmarks (measured by interleaved
+  /// A/B on CSPA-unoptimized). Any change to the chunking below must be
+  /// mirrored there — the fuzz matrix (push == pull at every thread
+  /// count) is the net that catches a divergence.
+  bool RunSharded() {
+    core::WorkerPool* pool = ctx_.worker_pool();
+    if (pool == nullptr || pool->num_threads() <= 1) return false;
+    if (plan_.empty()) return false;
+    const AtomPlan& outer = plan_[0];
+    if (outer.rel == nullptr || outer.atom->negated) return false;
+    // The outer sequence: an index bucket when the first atom probes (no
+    // variable is bound before atom 0, so the key is always a constant),
+    // the full RowId range otherwise.
+    const size_t outer_rows =
+        outer.probe_col >= 0
+            ? outer.rel
+                  ->Probe(static_cast<size_t>(outer.probe_col),
+                          outer.probe_const)
+                  .size()
+            : outer.rel->NumRows();
+    if (outer_rows < ctx_.parallel_min_rows()) return false;
+    const int shards = pool->num_threads();
+    std::vector<storage::StagingBuffer>& staging =
+        ctx_.StagingFor(shards, op_.head_terms.size());
+    std::vector<uint64_t> considered(static_cast<size_t>(shards), 0);
+    const size_t chunk =
+        (outer_rows + static_cast<size_t>(shards) - 1) / shards;
+    pool->Run(shards, [&](int shard) {
+      const size_t begin = chunk * static_cast<size_t>(shard);
+      const size_t end = std::min(begin + chunk, outer_rows);
+      if (begin >= end) return;
+      SubqueryRun worker(ctx_, op_);
+      worker.RunShard(begin, end, &staging[shard], &considered[shard]);
+    });
+    MergeStagedDelta(ctx_, op_.target, staging, shards, considered.data());
+    return true;
+  }
+
   void BuildPlan() {
     std::vector<bool> bound(op_.num_locals, false);
     plan_.clear();
@@ -132,9 +199,14 @@ class SubqueryRun {
     return t.is_var ? binding_[t.var] : t.constant;
   }
 
+  /// kStaged selects the emission sink at compile time (false: insert
+  /// into DeltaNew; true: stage into the worker's buffer), so the
+  /// single-threaded instantiation's machine code is exactly the
+  /// pre-parallel interpreter.
+  template <bool kStaged>
   void Join(size_t i) {
     if (i == plan_.size()) {
-      Emit();
+      Emit<kStaged>();
       return;
     }
     const AtomPlan& p = plan_[i];
@@ -144,7 +216,7 @@ class SubqueryRun {
       const Value x = Resolve(atom.terms[0]);
       const Value y = Resolve(atom.terms[1]);
       if (!BuiltinBindsOutput(atom.builtin)) {
-        if (datalog::EvalComparison(atom.builtin, x, y)) Join(i + 1);
+        if (datalog::EvalComparison(atom.builtin, x, y)) Join<kStaged>(i + 1);
         return;
       }
       Value z;
@@ -152,13 +224,13 @@ class SubqueryRun {
       switch (p.out_mode) {
         case OutMode::kBind:
           binding_[atom.terms[2].var] = z;
-          Join(i + 1);
+          Join<kStaged>(i + 1);
           return;
         case OutMode::kCheckVar:
-          if (binding_[atom.terms[2].var] == z) Join(i + 1);
+          if (binding_[atom.terms[2].var] == z) Join<kStaged>(i + 1);
           return;
         case OutMode::kCheckConst:
-          if (atom.terms[2].constant == z) Join(i + 1);
+          if (atom.terms[2].constant == z) Join<kStaged>(i + 1);
           return;
       }
       return;
@@ -167,7 +239,7 @@ class SubqueryRun {
     if (atom.negated) {
       scratch_.clear();
       for (const LocalTerm& t : atom.terms) scratch_.push_back(Resolve(t));
-      if (!p.rel->Contains(scratch_)) Join(i + 1);
+      if (!p.rel->Contains(scratch_)) Join<kStaged>(i + 1);
       return;
     }
 
@@ -186,7 +258,7 @@ class SubqueryRun {
             break;
         }
       }
-      Join(i + 1);
+      Join<kStaged>(i + 1);
     };
 
     const Relation& rel = *p.rel;
@@ -203,7 +275,73 @@ class SubqueryRun {
     }
   }
 
+  /// The shard workers' outer loop: drives plan_[0] (a positive
+  /// relational atom, guaranteed by RunSharded) over positions
+  /// [begin, end) of its row sequence, then hands each match to
+  /// Join(1). Kept out of Join() itself so the single-threaded hot
+  /// loop's codegen stays exactly as it was before parallel evaluation
+  /// existed.
+  void JoinOuterWindow(size_t begin, size_t end) {
+    const AtomPlan& p = plan_[0];
+    const Relation& rel = *p.rel;
+
+    auto match = [&](TupleView t) {
+      for (const TermAction& action : p.actions) {
+        const Value v = t[action.col];
+        switch (action.kind) {
+          case TermAction::Kind::kCheckConst:
+            if (v != action.constant) return;
+            break;
+          case TermAction::Kind::kCheckVar:
+            if (v != binding_[action.var]) return;
+            break;
+          case TermAction::Kind::kBind:
+            binding_[action.var] = v;
+            break;
+        }
+      }
+      Join<true>(1);
+    };
+
+    if (p.probe_col >= 0) {
+      // No variable is bound before atom 0, so the probe key is a const.
+      const std::vector<RowId>& bucket =
+          rel.Probe(static_cast<size_t>(p.probe_col), p.probe_const);
+      const size_t limit = std::min(end, bucket.size());
+      for (size_t pos = std::min(begin, limit); pos < limit; ++pos) {
+        match(rel.View(bucket[pos]));
+      }
+    } else {
+      const size_t limit = std::min(end, static_cast<size_t>(rel.NumRows()));
+      for (size_t row = std::min(begin, limit); row < limit; ++row) {
+        match(rel.View(static_cast<RowId>(row)));
+      }
+    }
+  }
+
+  template <bool kStaged>
   void Emit() {
+    if constexpr (kStaged) {
+      // Shard mode (plain SPJs only — aggregates never shard): stats and
+      // DeltaNew belong to the main thread, so count locally and stage.
+      // Derived and DeltaNew are frozen while shards run (the merge
+      // happens afterwards), making the pre-filter a safe concurrent
+      // read that keeps the staging sets small.
+      ++staged_considered_;
+      scratch_.clear();
+      for (const LocalTerm& t : op_.head_terms) {
+        scratch_.push_back(Resolve(t));
+      }
+      storage::DatabaseSet& db = ctx_.db();
+      if (db.Get(op_.target, storage::DbKind::kDerived).Contains(scratch_)) {
+        return;
+      }
+      if (db.Get(op_.target, storage::DbKind::kDeltaNew).Contains(scratch_)) {
+        return;
+      }
+      staging_->Insert(scratch_);
+      return;
+    }
     ctx_.stats().tuples_considered++;
     if (op_.kind == OpKind::kAggregate) {
       scratch_.clear();
@@ -269,6 +407,11 @@ class SubqueryRun {
   Tuple scratch_;
   // Aggregation state: distinct (group key, witness) pairs.
   std::set<std::pair<Tuple, Tuple>> witnesses_;
+  // Shard-execution state (parallel evaluation): the staging destination
+  // and a local emission count (pool workers must not touch the shared
+  // stats). Null/unused on the single-threaded path.
+  storage::StagingBuffer* staging_ = nullptr;
+  uint64_t staged_considered_ = 0;
 };
 
 }  // namespace

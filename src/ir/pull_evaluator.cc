@@ -1,5 +1,6 @@
 #include "ir/pull_evaluator.h"
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -65,14 +66,43 @@ class ScanSource : public RowSource {
     }
   }
 
+  /// Parallel evaluation: restricts this source — always the pipeline's
+  /// outer stage — to positions [begin, end) of its row sequence (bucket
+  /// positions when probing, RowIds when scanning). The defaults cover
+  /// the whole sequence.
+  void RestrictOuter(size_t begin, size_t end) {
+    outer_begin_ = begin;
+    outer_end_ = end;
+  }
+
+  /// Length of the row sequence this source iterates under `binding`,
+  /// taken from the same access path Reset() will choose. The sharder
+  /// sizes its outer windows with this so it can never disagree with
+  /// what the workers actually scan.
+  size_t SequenceSize(const std::vector<Value>& binding) const {
+    if (probe_col_ < 0) return rel_->NumRows();
+    const LocalTerm& key = atom_->terms[probe_col_];
+    return rel_
+        ->Probe(static_cast<size_t>(probe_col_),
+                key.is_var ? binding[key.var] : key.constant)
+        .size();
+  }
+
   void Reset(std::vector<Value>& binding) override {
+    // The position window is clamped here, once per re-open, so Next()'s
+    // per-row bound check costs exactly what it did before parallel
+    // evaluation existed.
     if (probe_col_ >= 0) {
       const LocalTerm& key = atom_->terms[probe_col_];
       bucket_ = &rel_->Probe(static_cast<size_t>(probe_col_),
                              key.is_var ? binding[key.var] : key.constant);
-      bucket_pos_ = 0;
+      bucket_limit_ = std::min(outer_end_, bucket_->size());
+      bucket_pos_ = std::min(outer_begin_, bucket_limit_);
     } else {
-      row_ = 0;
+      const size_t num_rows = rel_->NumRows();
+      row_limit_ = static_cast<RowId>(std::min(outer_end_, num_rows));
+      row_ = static_cast<RowId>(std::min(outer_begin_,
+                                         static_cast<size_t>(row_limit_)));
     }
   }
 
@@ -80,10 +110,10 @@ class ScanSource : public RowSource {
     for (;;) {
       TupleView row;
       if (probe_col_ >= 0) {
-        if (bucket_pos_ >= bucket_->size()) return false;
+        if (bucket_pos_ >= bucket_limit_) return false;
         row = rel_->View((*bucket_)[bucket_pos_++]);
       } else {
-        if (row_ >= rel_->NumRows()) return false;
+        if (row_ >= row_limit_) return false;
         row = rel_->View(row_++);
       }
       if (Matches(row, binding)) return true;
@@ -123,7 +153,11 @@ class ScanSource : public RowSource {
   int32_t probe_col_ = -1;
   const std::vector<RowId>* bucket_ = nullptr;
   size_t bucket_pos_ = 0;
+  size_t bucket_limit_ = 0;
   RowId row_ = 0;
+  RowId row_limit_ = 0;
+  size_t outer_begin_ = 0;
+  size_t outer_end_ = static_cast<size_t>(-1);
 };
 
 /// Builtin atom: a zero-or-one-row source (filter, or arithmetic binder).
@@ -185,13 +219,9 @@ class NegationSource : public RowSource {
   bool produced_ = false;
 };
 
-}  // namespace
-
-void RunSubqueryPull(ExecContext& ctx, const IROp& op) {
-  CARAC_CHECK(op.kind == OpKind::kSpj);
-  ctx.stats().spj_executions++;
-
-  // Build the iterator pipeline, tracking static boundness per stage.
+/// Builds the iterator pipeline, tracking static boundness per stage.
+std::vector<std::unique_ptr<RowSource>> BuildPipeline(ExecContext& ctx,
+                                                      const IROp& op) {
   std::vector<std::unique_ptr<RowSource>> pipeline;
   pipeline.reserve(op.atoms.size());
   std::vector<bool> bound(op.num_locals, false);
@@ -216,6 +246,88 @@ void RunSubqueryPull(ExecContext& ctx, const IROp& op) {
       }
     }
   }
+  return pipeline;
+}
+
+/// The Volcano get-next loop over the pipeline's cursor stack, calling
+/// `emit` for every full match. Requires a non-empty pipeline.
+template <typename EmitFn>
+void RunVolcano(std::vector<std::unique_ptr<RowSource>>& pipeline,
+                std::vector<Value>& binding, EmitFn&& emit) {
+  const int n = static_cast<int>(pipeline.size());
+  int depth = 0;
+  pipeline[0]->Reset(binding);
+  while (depth >= 0) {
+    if (!pipeline[depth]->Next(binding)) {
+      --depth;
+      continue;
+    }
+    if (depth == n - 1) {
+      emit();
+    } else {
+      ++depth;
+      pipeline[depth]->Reset(binding);
+    }
+  }
+}
+
+/// The pull engine's parallel path: shards the outer stage's row sequence
+/// by contiguous position ranges, each worker running a private pipeline
+/// that stages into its own buffer; the in-order merge then replays the
+/// single-threaded insertion sequence exactly. Returns false when the
+/// subquery must (or should) run single-threaded.
+bool TryRunPullSharded(ExecContext& ctx, const IROp& op,
+                       const std::vector<std::unique_ptr<RowSource>>&
+                           pipeline) {
+  if (ctx.worker_pool() == nullptr) return false;
+  if (op.atoms.empty()) return false;
+  const AtomSpec& outer = op.atoms[0];
+  if (outer.is_builtin() || outer.negated) return false;
+  // atoms[0] is a positive relational atom, so BuildPipeline made
+  // pipeline[0] a ScanSource; its own access path (not a re-derivation
+  // of it) sizes the shard windows. No variable is bound before stage 0,
+  // so the all-zero binding below can never be consulted for a probe key.
+  const std::vector<Value> binding_zero(op.num_locals, 0);
+  const size_t outer_rows =
+      static_cast<const ScanSource*>(pipeline[0].get())
+          ->SequenceSize(binding_zero);
+
+  const Relation& derived = ctx.db().Get(op.target, storage::DbKind::kDerived);
+  const Relation& delta_new =
+      ctx.db().Get(op.target, storage::DbKind::kDeltaNew);
+  return ShardSubqueryAcrossPool(
+      ctx, op.target, outer_rows, op.head_terms.size(),
+      [&](int /*shard*/, size_t begin, size_t end,
+          storage::StagingBuffer* staging, uint64_t* considered) {
+        auto pipeline = BuildPipeline(ctx, op);
+        static_cast<ScanSource*>(pipeline[0].get())
+            ->RestrictOuter(begin, end);
+        std::vector<Value> binding(op.num_locals, 0);
+        uint64_t emitted = 0;
+        Tuple head;
+        RunVolcano(pipeline, binding, [&] {
+          ++emitted;
+          head.clear();
+          for (const LocalTerm& t : op.head_terms) {
+            head.push_back(t.is_var ? binding[t.var] : t.constant);
+          }
+          // Derived and DeltaNew are frozen until the merge, so these
+          // are safe concurrent reads that keep the staging sets small.
+          if (derived.Contains(head) || delta_new.Contains(head)) return;
+          staging->Insert(head);
+        });
+        *considered = emitted;
+      });
+}
+
+}  // namespace
+
+void RunSubqueryPull(ExecContext& ctx, const IROp& op) {
+  CARAC_CHECK(op.kind == OpKind::kSpj);
+  ctx.stats().spj_executions++;
+
+  std::vector<std::unique_ptr<RowSource>> pipeline = BuildPipeline(ctx, op);
+  if (TryRunPullSharded(ctx, op, pipeline)) return;
 
   storage::DatabaseSet& db = ctx.db();
   Relation& derived = db.Get(op.target, storage::DbKind::kDerived);
@@ -237,23 +349,7 @@ void RunSubqueryPull(ExecContext& ctx, const IROp& op) {
     emit();
     return;
   }
-
-  // The Volcano get-next loop over the pipeline's cursor stack.
-  const int n = static_cast<int>(pipeline.size());
-  int depth = 0;
-  pipeline[0]->Reset(binding);
-  while (depth >= 0) {
-    if (!pipeline[depth]->Next(binding)) {
-      --depth;
-      continue;
-    }
-    if (depth == n - 1) {
-      emit();
-    } else {
-      ++depth;
-      pipeline[depth]->Reset(binding);
-    }
-  }
+  RunVolcano(pipeline, binding, emit);
 }
 
 }  // namespace carac::ir

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "storage/staging_buffer.h"
 #include "util/hash.h"
 #include "util/status.h"
 
@@ -117,6 +118,20 @@ void Relation::Absorb(Relation* other) {
     Insert(other->View(row));
   }
   other->Clear();
+}
+
+size_t Relation::InsertStaged(const StagingBuffer& staged,
+                              const Relation* unless_in) {
+  CARAC_CHECK(staged.arity() == arity_);
+  if (staged.empty()) return 0;
+  Reserve(static_cast<size_t>(num_rows_) + staged.NumRows());
+  size_t inserted = 0;
+  for (uint32_t row = 0; row < staged.NumRows(); ++row) {
+    const TupleView tuple = staged.View(row);
+    if (unless_in != nullptr && unless_in->Contains(tuple)) continue;
+    if (Insert(tuple)) ++inserted;
+  }
+  return inserted;
 }
 
 void Relation::CopyIndexDeclarations(const Relation& other) {

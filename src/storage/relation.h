@@ -12,6 +12,8 @@
 
 namespace carac::storage {
 
+class StagingBuffer;
+
 /// An in-memory set-semantics relation backed by a columnar arena:
 ///
 ///   - Tuples live row-major in ONE contiguous std::vector<Value> arena
@@ -142,6 +144,14 @@ class Relation {
   /// Moves all tuples of `other` into this relation (used by SwapClearOp
   /// to merge DeltaKnown into Derived). `other` is cleared.
   void Absorb(Relation* other);
+
+  /// Bulk-merges one worker's staging buffer into this relation in staged
+  /// order, skipping rows present in `unless_in` (the Derived store, when
+  /// this relation is a DeltaNew). Returns the number of rows actually
+  /// inserted. Merging each worker's buffer in fixed worker order is the
+  /// parallel evaluator's determinism step: the resulting insertion
+  /// sequence is identical to the single-threaded one.
+  size_t InsertStaged(const StagingBuffer& staged, const Relation* unless_in);
 
   /// Copies index *declarations* (not contents) from another relation.
   void CopyIndexDeclarations(const Relation& other);

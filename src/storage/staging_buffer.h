@@ -1,0 +1,70 @@
+#ifndef CARAC_STORAGE_STAGING_BUFFER_H_
+#define CARAC_STORAGE_STAGING_BUFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace carac::storage {
+
+/// One worker's spill set during parallel subquery evaluation: newly
+/// derived tuples staged row-major in a private arena, deduplicated with
+/// the same open-addressing linear-probe table (power-of-two capacity,
+/// HashSpan mixing — util/hash.h) the arena Relation uses. It is a
+/// Relation stripped of everything staging never needs: no name, no
+/// secondary indexes, no cross-thread visibility.
+///
+/// Protocol: the main thread re-arms one buffer per worker (Reset keeps
+/// capacity, so steady-state parallel evaluation allocates nothing),
+/// workers fill their own buffer while probing the shared relations
+/// read-only, and the main thread merges the buffers in fixed worker
+/// order (Relation::InsertStaged) — which is what makes parallel
+/// evaluation insert tuples in exactly the single-threaded order.
+class StagingBuffer {
+ public:
+  StagingBuffer() = default;
+  StagingBuffer(StagingBuffer&&) = default;
+  StagingBuffer& operator=(StagingBuffer&&) = default;
+  StagingBuffer(const StagingBuffer&) = delete;
+  StagingBuffer& operator=(const StagingBuffer&) = delete;
+
+  /// Re-arms the buffer for rows of `arity` values, keeping capacity.
+  void Reset(size_t arity);
+
+  size_t arity() const { return arity_; }
+  uint32_t NumRows() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  /// Stages a copy of `tuple`; returns true if it was not already staged.
+  /// `tuple` may not alias this buffer's own arena.
+  bool Insert(TupleView tuple);
+
+  bool Contains(TupleView tuple) const;
+
+  TupleView View(uint32_t row) const {
+    return TupleView(arena_.data() + static_cast<size_t>(row) * arity_,
+                     arity_);
+  }
+
+ private:
+  static constexpr uint32_t kEmptySlot = 0xFFFFFFFFu;
+  static constexpr size_t kMinSlots = 16;
+
+  bool RowEquals(uint32_t row, TupleView tuple) const;
+  /// Grows the slot table to `new_slots` (a power of two) and re-buckets
+  /// every staged row.
+  void Rehash(size_t new_slots);
+
+  size_t arity_ = 0;
+  /// Row-major staged tuples: row r occupies [r*arity, (r+1)*arity).
+  std::vector<Value> arena_;
+  uint32_t num_rows_ = 0;
+  /// Open-addressing dedup table: row id per slot, kEmptySlot when free.
+  std::vector<uint32_t> slots_;
+  size_t slot_mask_ = 0;
+};
+
+}  // namespace carac::storage
+
+#endif  // CARAC_STORAGE_STAGING_BUFFER_H_

@@ -197,6 +197,27 @@ TEST_P(FuzzDifferential, AllConfigurationsAgree) {
     config.jit.mode = backends::CompileMode::kSnippet;
     EXPECT_EQ(Evaluate(seed, config), reference) << "lambda snippet";
   }
+  // Parallel evaluation, crossed with both relational engines and both
+  // index organizations. The random programs are tiny, so the dispatch
+  // threshold is dropped to 1 — every subquery with a relational outer
+  // atom runs through the shard/stage/merge path, which must stay
+  // indistinguishable from single-threaded evaluation.
+  for (int threads : {1, 2, 4}) {
+    for (ir::EngineStyle style :
+         {ir::EngineStyle::kPush, ir::EngineStyle::kPull}) {
+      for (storage::IndexKind kind :
+           {storage::IndexKind::kHash, storage::IndexKind::kSorted}) {
+        core::EngineConfig config;
+        config.num_threads = threads;
+        config.parallel_min_outer_rows = 1;
+        config.engine_style = style;
+        config.index_kind = kind;
+        EXPECT_EQ(Evaluate(seed, config), reference)
+            << threads << " threads, " << ir::EngineStyleName(style)
+            << " engine, " << storage::IndexKindName(kind) << " index";
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential,

@@ -1,0 +1,136 @@
+// Parallel-evaluation determinism: the rendered SortedRows of the tc and
+// Andersen workloads at 2/4/8 threads must be byte-identical to the
+// committed goldens under tests/goldens/ — the same snapshots the storage
+// golden test pins — for both relational engines, with the parallel path
+// both at its default dispatch threshold and forced onto every subquery.
+// The goldens predate the worker pool, so passing here proves that
+// num_threads changes nothing observable, only wall-clock.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "analysis/factgen.h"
+#include "analysis/programs.h"
+#include "core/engine.h"
+#include "harness/runner.h"
+
+#ifndef CARAC_GOLDEN_DIR
+#error "CARAC_GOLDEN_DIR must point at tests/goldens"
+#endif
+
+namespace carac {
+namespace {
+
+using WorkloadFn = std::function<analysis::Workload()>;
+
+analysis::Workload MakeTcWorkload() {
+  const auto edges = analysis::GenerateSparseGraph(
+      /*seed=*/11, /*num_vertices=*/300, /*num_edges=*/900, /*zipf_s=*/1.1);
+  return analysis::MakeTransitiveClosure(edges,
+                                         analysis::RuleOrder::kHandOptimized);
+}
+
+analysis::Workload MakeAndersenWorkload() {
+  analysis::SListConfig config;
+  config.scale = 2;
+  return analysis::MakeAndersen(config, analysis::RuleOrder::kHandOptimized);
+}
+
+/// One line per tuple, tab-separated raw values, trailing newline —
+/// the same rendering storage_golden_test committed the goldens with.
+std::string Render(const std::vector<storage::Tuple>& rows) {
+  std::ostringstream out;
+  for (const storage::Tuple& t : rows) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out << '\t';
+      out << t[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string ReadGolden(const std::string& name) {
+  const std::string path =
+      std::string(CARAC_GOLDEN_DIR) + "/" + name + ".golden";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden " << path;
+  std::stringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+std::string RunThreads(const WorkloadFn& make, int num_threads,
+                       ir::EngineStyle style, uint32_t min_outer_rows) {
+  analysis::Workload w = make();
+  core::EngineConfig config = harness::InterpretedConfig(true);
+  config.num_threads = num_threads;
+  config.engine_style = style;
+  config.parallel_min_outer_rows = min_outer_rows;
+  core::Engine engine(w.program.get(), config);
+  CARAC_CHECK_OK(engine.Prepare());
+  CARAC_CHECK_OK(engine.Run());
+  return Render(engine.Results(w.output));
+}
+
+void CheckThreadCounts(const std::string& golden_name,
+                       const WorkloadFn& make) {
+  const std::string golden = ReadGolden(golden_name);
+  ASSERT_FALSE(golden.empty()) << golden_name;
+  for (ir::EngineStyle style :
+       {ir::EngineStyle::kPush, ir::EngineStyle::kPull}) {
+    // num_threads=1 must be bit-identical to pre-parallel behaviour.
+    EXPECT_EQ(RunThreads(make, 1, style, 128), golden)
+        << golden_name << " 1 thread " << ir::EngineStyleName(style);
+    for (int threads : {2, 4, 8}) {
+      for (uint32_t min_rows : {128u, 1u}) {
+        EXPECT_EQ(RunThreads(make, threads, style, min_rows), golden)
+            << golden_name << " " << threads << " threads "
+            << ir::EngineStyleName(style) << " min_rows=" << min_rows;
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, TransitiveClosure) {
+  CheckThreadCounts("tc", MakeTcWorkload);
+}
+
+TEST(ParallelDeterminismTest, Andersen) {
+  CheckThreadCounts("andersen", MakeAndersenWorkload);
+}
+
+// Beyond SortedRows: with staged merges the *insertion order* (and hence
+// every RowId) must also match single-threaded evaluation. ExecStats are a
+// cheap proxy with real teeth — tuples_considered/inserted and the
+// iteration count would all drift if sharding reordered or lost work.
+TEST(ParallelDeterminismTest, StatsMatchSingleThreaded) {
+  for (ir::EngineStyle style :
+       {ir::EngineStyle::kPush, ir::EngineStyle::kPull}) {
+    analysis::Workload reference_workload = MakeTcWorkload();
+    core::EngineConfig config = harness::InterpretedConfig(true);
+    config.engine_style = style;
+    core::Engine reference(reference_workload.program.get(), config);
+    CARAC_CHECK_OK(reference.Prepare());
+    CARAC_CHECK_OK(reference.Run());
+
+    for (int threads : {2, 8}) {
+      analysis::Workload w = MakeTcWorkload();
+      core::EngineConfig parallel = config;
+      parallel.num_threads = threads;
+      parallel.parallel_min_outer_rows = 1;
+      core::Engine engine(w.program.get(), parallel);
+      CARAC_CHECK_OK(engine.Prepare());
+      CARAC_CHECK_OK(engine.Run());
+      EXPECT_EQ(engine.stats().ToString(), reference.stats().ToString())
+          << threads << " threads " << ir::EngineStyleName(style);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace carac

@@ -5,12 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <tuple>
+#include <vector>
 
 #include "analysis/factgen.h"
 #include "analysis/programs.h"
 #include "core/engine.h"
 #include "datalog/dsl.h"
+#include "storage/staging_buffer.h"
+#include "util/rng.h"
 
 namespace carac {
 namespace {
@@ -219,6 +223,108 @@ TEST(AotProperty, PlannedAndUnplannedModelsAgree) {
     planned.aot_reorder = true;
     planned.aot.use_fact_cardinalities = (seed % 2) == 0;
     EXPECT_EQ(RunWith(seed, planned), RunWith(seed, plain));
+  }
+}
+
+// ---- Open-addressing dedup table vs std::set reference model ----
+//
+// The arena Relation's set semantics live in a hand-rolled linear-probe
+// table over util::HashSpan (power-of-two capacity, 3/4 load growth).
+// Randomized insert/contains/reserve sequences must agree with a
+// std::set model at every step; StagingBuffer shares the same design
+// (and the parallel evaluator's dedup correctness), so it is driven by
+// the same oracle.
+
+TEST(HashTableProperty, RelationMatchesSetModel) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    util::Rng rng(seed);
+    const size_t arity = 1 + rng.NextBounded(3);
+    storage::Relation rel("prop", arity);
+    std::set<storage::Tuple> model;
+    // A small domain makes duplicate inserts common; enough operations to
+    // cross several power-of-two growth boundaries from kMinSlots up.
+    for (int i = 0; i < 4000; ++i) {
+      storage::Tuple t;
+      for (size_t c = 0; c < arity; ++c) {
+        t.push_back(static_cast<int64_t>(rng.NextBounded(40)) - 20);
+      }
+      switch (rng.NextBounded(5)) {
+        case 0:
+        case 1:
+        case 2: {
+          const bool was_new = model.insert(t).second;
+          ASSERT_EQ(rel.Insert(t), was_new) << "seed " << seed;
+          break;
+        }
+        case 3:
+          ASSERT_EQ(rel.Contains(t), model.count(t) > 0) << "seed " << seed;
+          break;
+        case 4:
+          // Reserve triggers an off-schedule rehash; contents must ride
+          // through the re-bucketing pass untouched.
+          rel.Reserve(rel.size() + rng.NextBounded(64));
+          break;
+      }
+    }
+    ASSERT_EQ(rel.size(), model.size()) << "seed " << seed;
+    // Duplicate-insert idempotence over the whole model.
+    for (const storage::Tuple& t : model) {
+      ASSERT_FALSE(rel.Insert(t)) << "seed " << seed;
+    }
+    ASSERT_EQ(rel.size(), model.size()) << "seed " << seed;
+    const std::vector<storage::Tuple> expected(model.begin(), model.end());
+    ASSERT_EQ(rel.SortedRows(), expected) << "seed " << seed;
+  }
+}
+
+TEST(HashTableProperty, GrowthBoundaryExact) {
+  // The table grows when (rows + 1) * 4 > slots * 3: walk insert counts
+  // across the first boundaries and check set semantics stays exact on
+  // either side of each rehash.
+  storage::Relation rel("boundary", 1);
+  std::set<storage::Tuple> model;
+  for (int64_t v = 0; v < 200; ++v) {
+    ASSERT_TRUE(rel.Insert({v}));
+    ASSERT_FALSE(rel.Insert({v}));  // Immediately re-probe post-growth.
+    model.insert({v});
+    for (int64_t probe = 0; probe <= v; ++probe) {
+      ASSERT_TRUE(rel.Contains({probe})) << "after " << v;
+    }
+    ASSERT_FALSE(rel.Contains({v + 1}));
+    ASSERT_EQ(rel.size(), model.size());
+  }
+}
+
+TEST(HashTableProperty, StagingBufferMatchesSetModel) {
+  for (uint64_t seed = 31; seed <= 36; ++seed) {
+    util::Rng rng(seed);
+    const size_t arity = 1 + rng.NextBounded(3);
+    storage::StagingBuffer buffer;
+    buffer.Reset(arity);
+    std::set<storage::Tuple> model;
+    for (int i = 0; i < 3000; ++i) {
+      storage::Tuple t;
+      for (size_t c = 0; c < arity; ++c) {
+        t.push_back(static_cast<int64_t>(rng.NextBounded(40)));
+      }
+      if (rng.NextBool(0.7)) {
+        ASSERT_EQ(buffer.Insert(t), model.insert(t).second) << "seed "
+                                                            << seed;
+      } else {
+        ASSERT_EQ(buffer.Contains(t), model.count(t) > 0) << "seed " << seed;
+      }
+    }
+    ASSERT_EQ(buffer.NumRows(), model.size()) << "seed " << seed;
+    // Staged rows keep insertion order; every staged row is in the model.
+    for (uint32_t row = 0; row < buffer.NumRows(); ++row) {
+      ASSERT_TRUE(model.count(buffer.View(row).ToTuple()) > 0);
+    }
+    // Reset re-arms without leaking previous contents.
+    buffer.Reset(arity);
+    ASSERT_TRUE(buffer.empty());
+    for (const storage::Tuple& t : model) {
+      ASSERT_FALSE(buffer.Contains(t));
+    }
   }
 }
 
