@@ -10,8 +10,8 @@
 #   --large       run with CARAC_BENCH_SCALE=large (paper-sized inputs)
 #   --build-dir   directory containing bench/ binaries
 #                 (default: autodetect build, build/release)
-#   --out         output JSON path (default: <repo>/BENCH_pr3.json)
-#   --baseline    snapshot to diff against (default: <repo>/BENCH_pr2.json;
+#   --out         output JSON path (default: <repo>/BENCH_pr4.json)
+#   --baseline    snapshot to diff against (default: <repo>/BENCH_pr3.json;
 #                 a per-bench delta table is printed when it exists)
 #   --threads N   evaluation threads passed to the benches that accept the
 #                 flag (fig6/fig8/table2); recorded as "threads" in the
@@ -25,6 +25,10 @@
 #                 is recorded as "sweeps" in the JSON.
 #
 # Each bench binary's stdout is saved next to the JSON under bench_logs/.
+#
+# Schema carac-bench/v3 adds an "incremental" section: per workload and
+# delta size, bench_incremental's epoch latency vs full re-evaluation
+# (full/epoch seconds + speedup), lifted from its INCREMENTAL lines.
 
 set -u -o pipefail
 
@@ -32,8 +36,8 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 mode=full
 scale=small
 build_dir=""
-out="$repo_root/BENCH_pr3.json"
-baseline="$repo_root/BENCH_pr2.json"
+out="$repo_root/BENCH_pr4.json"
+baseline="$repo_root/BENCH_pr3.json"
 threads=1
 sweeps=1
 
@@ -102,12 +106,13 @@ benches=(
   bench_ablation_granularity
   bench_ablation_storage
   bench_storage_micro
+  bench_incremental
   bench_parallel_scaling
 )
 # >20s each at small scale; dropped in --quick mode.
 slow_benches=" bench_fig6_macro_unopt bench_table1_interpreted bench_ablation_freshness "
 # Benches that accept --threads (the Carac-side thread dimension).
-threaded_benches=" bench_fig6_macro_unopt bench_fig8_macro_opt bench_table2_sota "
+threaded_benches=" bench_fig6_macro_unopt bench_fig8_macro_opt bench_table2_sota bench_incremental "
 
 log_dir="$(dirname "$out")/bench_logs"
 mkdir -p "$log_dir"
@@ -121,6 +126,7 @@ fi
 rows=""
 failures=0
 scaling_ran=false
+incremental_ran=false
 for bench in "${benches[@]}"; do
   exe="$build_dir/bench/$bench"
   skipped=false
@@ -171,6 +177,9 @@ for bench in "${benches[@]}"; do
   if [ "$bench" = bench_parallel_scaling ] && [ "$code" = 0 ]; then
     scaling_ran=true
   fi
+  if [ "$bench" = bench_incremental ] && [ "$code" = 0 ]; then
+    incremental_ran=true
+  fi
   # shellcheck disable=SC2086
   seconds=$(printf '%s\n' $sweep_times | sort -n |
     awk '{a[NR]=$1} END{print a[int((NR+1)/2)]}')
@@ -194,9 +203,22 @@ if [ "$scaling_ran" = true ] && [ -f "$scaling_log" ]; then
   scaling_rows="${scaling_rows%,}"
 fi
 
+# Epoch-latency measurements, lifted from bench_incremental's
+# machine-readable INCREMENTAL lines. Same staleness gate as the scaling
+# section: only a run from THIS invocation contributes.
+incremental_rows=""
+incremental_log="$log_dir/bench_incremental.txt"
+if [ "$incremental_ran" = true ] && [ -f "$incremental_log" ]; then
+  incremental_rows=$(awk '/^INCREMENTAL /{
+    printf "    {\"workload\": \"%s\", \"delta_pct\": %s, \"full_seconds\": %s, \"epoch_seconds\": %s, \"speedup\": %s},\n", \
+      $2, substr($3, 11), substr($4, 6), substr($5, 7), substr($6, 9)
+  }' "$incremental_log")
+  incremental_rows="${incremental_rows%,}"
+fi
+
 {
   echo "{"
-  echo "  \"schema\": \"carac-bench/v2\","
+  echo "  \"schema\": \"carac-bench/v3\","
   echo "  \"timestamp_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
   echo "  \"mode\": \"$mode\","
   echo "  \"scale\": \"$scale\","
@@ -212,6 +234,9 @@ fi
   echo "  ],"
   echo "  \"parallel_scaling\": ["
   if [ -n "$scaling_rows" ]; then printf '%s\n' "$scaling_rows"; fi
+  echo "  ],"
+  echo "  \"incremental\": ["
+  if [ -n "$incremental_rows" ]; then printf '%s\n' "$incremental_rows"; fi
   echo "  ]"
   echo "}"
 } > "$out"

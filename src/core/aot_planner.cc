@@ -9,7 +9,15 @@ int ApplyAotPlan(const AotPlan& plan, const storage::DatabaseSet& db,
   optimizer::StatsSnapshot stats = optimizer::StatsSnapshot::Capture(db);
   optimizer::JoinOrderConfig config = plan.join_config;
   config.use_cardinalities = plan.use_fact_cardinalities;
-  return optimizer::ReorderSubtree(stats, config, irp->root.get());
+  int changed = optimizer::ReorderSubtree(stats, config, irp->root.get());
+  if (irp->update_root != nullptr) {
+    // Update epochs deserve the plan too (they are the steady-state
+    // serving path). ReorderSubquery itself keeps every pinned delta
+    // atom outermost, here and under JIT replanning alike.
+    changed +=
+        optimizer::ReorderSubtree(stats, config, irp->update_root.get());
+  }
+  return changed;
 }
 
 }  // namespace carac::core

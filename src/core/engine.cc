@@ -30,6 +30,7 @@ util::Status Engine::Prepare() {
     ctx_->set_worker_pool(pool_.get());
     ctx_->set_parallel_min_rows(config_.parallel_min_outer_rows);
   }
+  driver_ = std::make_unique<FixpointDriver>(&irp_, ctx_.get(), jit_.get());
   prepared_ = true;
   return util::Status::Ok();
 }
@@ -38,18 +39,47 @@ util::Status Engine::Run() {
   if (!prepared_) {
     return util::Status::FailedPrecondition("call Prepare() before Run()");
   }
-  ir::Interpreter interp(ctx_.get(), jit_.get());
-  interp.Execute(*irp_.root);
-  if (jit_ != nullptr) {
-    // Surface asynchronous compilation failures observed so far
-    // (evaluation itself is unaffected — it keeps interpreting). Pending
-    // compilations are simply abandoned, as in the paper: "asynchronous
-    // compilations may never be used if the interpreted subtrees finish
-    // before compilation is ready".
-    util::Status status = jit_->manager().first_error();
-    if (!status.ok()) return status;
+  // Note on async JIT errors surfaced here and in Update(): pending
+  // compilations are simply abandoned, as in the paper — "asynchronous
+  // compilations may never be used if the interpreted subtrees finish
+  // before compilation is ready".
+  util::Status status = driver_->RunFull(&last_epoch_);
+  evaluated_ = true;
+  return status;
+}
+
+util::Status Engine::AddFacts(datalog::PredicateId predicate,
+                              const std::vector<storage::Tuple>& facts) {
+  storage::DatabaseSet& db = program_->db();
+  if (predicate >= db.NumRelations()) {
+    return util::Status::InvalidArgument(
+        "AddFacts: unknown predicate id " + std::to_string(predicate) +
+        " (program declares " + std::to_string(db.NumRelations()) +
+        " relations)");
+  }
+  const size_t arity = db.RelationArity(predicate);
+  for (const storage::Tuple& fact : facts) {
+    if (fact.size() != arity) {
+      return util::Status::InvalidArgument(
+          "AddFacts: tuple of arity " + std::to_string(fact.size()) +
+          " for relation " + db.RelationName(predicate) + "/" +
+          std::to_string(arity));
+    }
+    db.InsertFact(predicate, fact);
   }
   return util::Status::Ok();
+}
+
+util::Status Engine::Update(EpochReport* report) {
+  if (!prepared_) {
+    return util::Status::FailedPrecondition("call Prepare() before Update()");
+  }
+  // The first evaluation has no prior fixpoint to extend: run full.
+  util::Status status = evaluated_ ? driver_->RunUpdateEpoch(&last_epoch_)
+                                   : driver_->RunFull(&last_epoch_);
+  evaluated_ = true;
+  if (report != nullptr) *report = last_epoch_;
+  return status;
 }
 
 std::vector<storage::Tuple> Engine::Results(

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/aot_planner.h"
+#include "core/fixpoint_driver.h"
 #include "core/jit.h"
 #include "core/worker_pool.h"
 #include "datalog/ast.h"
@@ -54,7 +55,9 @@ struct EngineConfig {
 };
 
 /// The public entry point: owns the lowered IR and the evaluation
-/// machinery for one Datalog program.
+/// machinery for one Datalog program. Evaluation is re-enterable: after
+/// the initial Run(), batches of new facts can be applied as update
+/// epochs whose cost is proportional to the delta, not the database.
 ///
 ///   datalog::Program program;
 ///   datalog::Dsl dsl(&program);
@@ -63,6 +66,9 @@ struct EngineConfig {
 ///   CARAC_CHECK_OK(engine.Prepare());
 ///   CARAC_CHECK_OK(engine.Run());
 ///   auto rows = engine.Results(path.id());
+///   // Later: apply a fact batch and bring the fixpoint up to date.
+///   CARAC_CHECK_OK(engine.AddFacts(edge.id(), {{7, 8}, {8, 9}}));
+///   CARAC_CHECK_OK(engine.Update());
 class Engine {
  public:
   Engine(datalog::Program* program, EngineConfig config);
@@ -70,14 +76,38 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Stratifies, lowers and (optionally) AOT-plans. Fails on invalid or
-  /// unstratifiable programs.
+  /// unstratifiable programs. Must precede Run()/Update().
   util::Status Prepare();
 
-  /// Evaluates to fixpoint. Call once per engine; results accumulate in
-  /// the program's Derived stores.
+  /// Full evaluation to fixpoint; results land in the program's Derived
+  /// stores and the epoch watermarks advance. Re-running is sound but
+  /// pays full price: a re-entered Run() resets every IDB relation to
+  /// its EDB facts and re-derives from scratch, so results always match
+  /// the current fact set exactly (stale conclusions of negation or
+  /// aggregate rules do not survive). Use AddFacts() + Update() to
+  /// absorb new fact batches at delta-proportional cost instead.
   util::Status Run();
 
+  /// Appends a batch of facts to `predicate`'s Derived store, to be
+  /// picked up by the next Update() (or Run()). Fails with
+  /// InvalidArgument on an unknown predicate or a tuple whose arity does
+  /// not match the relation; on failure nothing past the offending tuple
+  /// is inserted. Callable before or after Prepare().
+  util::Status AddFacts(datalog::PredicateId predicate,
+                        const std::vector<storage::Tuple>& facts);
+
+  /// Brings the fixpoint up to date with the facts appended since the
+  /// last epoch boundary. The first call (before any Run()) is a full
+  /// evaluation; later calls run an incremental epoch: positive strata
+  /// propagate only the delta, strata with negation or aggregates whose
+  /// inputs changed are recomputed stratum-locally (see FixpointDriver).
+  /// `report`, when non-null, receives what the epoch did.
+  util::Status Update(EpochReport* report = nullptr);
+
+  /// Cumulative counters across all epochs; last_epoch() holds the most
+  /// recent evaluation's share.
   const ir::ExecStats& stats() const { return ctx_->stats(); }
+  const EpochReport& last_epoch() const { return last_epoch_; }
   ir::IRProgram& ir() { return irp_; }
   Jit* jit() { return jit_.get(); }
 
@@ -92,7 +122,10 @@ class Engine {
   std::unique_ptr<ir::ExecContext> ctx_;
   std::unique_ptr<Jit> jit_;
   std::unique_ptr<WorkerPool> pool_;
+  std::unique_ptr<FixpointDriver> driver_;
+  EpochReport last_epoch_;
   bool prepared_ = false;
+  bool evaluated_ = false;
 };
 
 }  // namespace carac::core

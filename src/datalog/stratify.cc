@@ -114,13 +114,27 @@ util::Status Stratify(const Program& program, Stratification* out) {
     stratum.rule_indices.push_back(r);
     bool recursive = false;
     for (const Atom& atom : rule.body) {
-      if (atom.is_relational() && !atom.negated &&
-          scc.component[atom.predicate] == comp) {
+      if (!atom.is_relational()) continue;
+      if (!atom.negated && scc.component[atom.predicate] == comp) {
         recursive = true;
-        break;
+      }
+      stratum.body_inputs.push_back(atom.predicate);
+      // Growth of a negated predicate, or of ANY input of an aggregate
+      // rule, can retract facts derived earlier — incremental reuse of
+      // this stratum's Derived store becomes unsound.
+      if (atom.negated || rule.agg != AggFunc::kNone) {
+        stratum.recompute_triggers.push_back(atom.predicate);
       }
     }
     stratum.rule_is_recursive.push_back(recursive);
+  }
+  for (Stratum& stratum : out->strata) {
+    auto dedup = [](std::vector<PredicateId>* v) {
+      std::sort(v->begin(), v->end());
+      v->erase(std::unique(v->begin(), v->end()), v->end());
+    };
+    dedup(&stratum.body_inputs);
+    dedup(&stratum.recompute_triggers);
   }
 
   // Drop empty strata (pure-EDB singleton components), fixing stratum_of.

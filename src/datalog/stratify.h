@@ -20,6 +20,22 @@ struct Stratum {
   /// a predicate of this same stratum? Recursive rules get semi-naive
   /// delta-splitting; non-recursive rules only need the initial pass.
   std::vector<bool> rule_is_recursive;
+
+  // ---- Change propagation (incremental update epochs) ----
+
+  /// Every predicate read by this stratum's rule bodies (positively or
+  /// under negation), deduplicated and sorted. An update epoch seeds
+  /// delta stores from these: if none of them (nor the stratum's own
+  /// predicates) changed, the stratum is skipped outright.
+  std::vector<PredicateId> body_inputs;
+
+  /// Predicates whose growth can RETRACT previously derived facts of this
+  /// stratum: predicates read under negation, plus every body predicate
+  /// of an aggregate rule (a new witness changes the aggregate value, so
+  /// the old output tuple becomes stale). Monotone delta propagation is
+  /// unsound when any of these changed — the epoch driver falls back to
+  /// recomputing the stratum from its EDB facts and inputs.
+  std::vector<PredicateId> recompute_triggers;
 };
 
 /// Result of stratification: strata in dependency (evaluation) order plus

@@ -57,6 +57,20 @@ bool ShardSubqueryAcrossPool(ExecContext& ctx, storage::RelationId target,
   return true;
 }
 
+ExecStats ExecStats::Delta(const ExecStats& after, const ExecStats& before) {
+  ExecStats d;
+  d.iterations = after.iterations - before.iterations;
+  d.spj_executions = after.spj_executions - before.spj_executions;
+  d.tuples_inserted = after.tuples_inserted - before.tuples_inserted;
+  d.tuples_considered = after.tuples_considered - before.tuples_considered;
+  d.reorders = after.reorders - before.reorders;
+  d.compilations = after.compilations - before.compilations;
+  d.compiled_invocations =
+      after.compiled_invocations - before.compiled_invocations;
+  d.freshness_skips = after.freshness_skips - before.freshness_skips;
+  return d;
+}
+
 std::string ExecStats::ToString() const {
   std::string out;
   out += "iterations=" + std::to_string(iterations);

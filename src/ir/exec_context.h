@@ -28,6 +28,11 @@ struct ExecStats {
   uint64_t freshness_skips = 0;       ///< Recompilations skipped as fresh.
 
   std::string ToString() const;
+
+  /// Field-wise `after - before`. The context's counters are cumulative
+  /// across epochs; per-epoch accounting subtracts a snapshot taken at
+  /// epoch entry.
+  static ExecStats Delta(const ExecStats& after, const ExecStats& before);
 };
 
 /// Which relational engine executes subqueries (§V-D: Carac's relational

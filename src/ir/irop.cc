@@ -36,6 +36,7 @@ std::unique_ptr<IROp> IROp::Clone() const {
   copy->num_locals = num_locals;
   copy->rule_index = rule_index;
   copy->delta_pos = delta_pos;
+  copy->delta_pinned = delta_pinned;
   copy->agg = agg;
   copy->agg_operand = agg_operand;
   copy->children.reserve(children.size());
@@ -51,6 +52,7 @@ void IRProgram::RebuildIndex() {
     for (auto& child : op->children) visit(child.get());
   };
   if (root) visit(root.get());
+  if (update_root) visit(update_root.get());
 }
 
 namespace {

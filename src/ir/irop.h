@@ -86,6 +86,12 @@ struct IROp {
   /// delta (-1 for the naive initial pass). Diagnostics and tests only.
   uint32_t rule_index = 0;
   int32_t delta_pos = -1;
+  /// Update-tree subqueries pin their DeltaKnown atom outermost: an empty
+  /// delta then short-circuits the whole variant, the property that keeps
+  /// an update epoch proportional to the delta. Every reorderer (AOT and
+  /// the JIT backends' compile-time replanning) honors this constraint —
+  /// see optimizer::ReorderSubquery.
+  bool delta_pinned = false;
 
   // kAggregate only:
   datalog::AggFunc agg = datalog::AggFunc::kNone;
@@ -100,17 +106,52 @@ struct IROp {
   std::unique_ptr<IROp> Clone() const;
 };
 
+/// Per-stratum evaluation plan: the stratum's predicates and change-
+/// propagation metadata plus pointers to its two subtrees. `full` (the
+/// naive pass + semi-naive loop under `root`) serves full evaluation and
+/// stratum recompute; `update` (the watermark-seeded delta loop under
+/// `update_root`) serves incremental epochs.
+struct StratumPlan {
+  /// IDB predicates defined by this stratum.
+  std::vector<datalog::PredicateId> predicates;
+  /// Predicates of this stratum read positively by its own rules — the
+  /// only ones that can keep feeding the update loop after iteration 1,
+  /// so they alone drive its termination test.
+  std::vector<datalog::PredicateId> recursive_predicates;
+  /// All predicates read by the stratum's rule bodies (see
+  /// datalog::Stratum::body_inputs).
+  std::vector<datalog::PredicateId> body_inputs;
+  /// Inputs whose growth forces a stratum recompute (see
+  /// datalog::Stratum::recompute_triggers).
+  std::vector<datalog::PredicateId> recompute_triggers;
+  IROp* full = nullptr;
+  IROp* update = nullptr;
+};
+
 /// A lowered program: the IR tree plus lookup tables.
 struct IRProgram {
   std::unique_ptr<IROp> root;
+  /// The incremental twin of `root`: per stratum, a DoWhile loop whose
+  /// subqueries read DeltaKnown at EVERY positive atom position in turn
+  /// (EDB and lower-stratum atoms included, unlike the in-loop delta
+  /// split under `root`, which only targets same-stratum atoms). An
+  /// update epoch seeds DeltaKnown from the Derived rows past each
+  /// relation's watermark and runs these loops to fixpoint.
+  std::unique_ptr<IROp> update_root;
   uint32_t num_nodes = 0;
 
-  /// node_id -> node, for snippet continuations.
+  /// Stratum metadata in evaluation order; strata[i].full is
+  /// root->children[i], strata[i].update is update_root->children[i].
+  std::vector<StratumPlan> strata;
+
+  /// node_id -> node, for snippet continuations. Covers both trees —
+  /// node ids are unique across root and update_root.
   std::vector<IROp*> by_id;
 
   void RebuildIndex();
 
-  /// Multi-line rendering for debugging and golden tests.
+  /// Multi-line rendering for debugging and golden tests (the full tree;
+  /// pass update_root to OpToString for the incremental twin).
   std::string ToString(const datalog::Program& program) const;
 };
 

@@ -1,5 +1,6 @@
 #include "ir/lowering.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <utility>
@@ -121,12 +122,20 @@ namespace {
 
 /// Builds the SPJ/Aggregate node for `rule`. `delta_pos` selects which
 /// join atom (index among the positive relational atoms) reads DeltaKnown;
-/// -1 produces the naive variant reading Derived everywhere.
+/// -1 produces the naive variant reading Derived everywhere. Outside
+/// `update_mode` only same-stratum atoms qualify (the in-loop semi-naive
+/// split) and lowering order is preserved. In `update_mode` — the
+/// update-epoch tree — ANY positive atom qualifies, EDB and lower-stratum
+/// predicates included (an epoch may grow any of them), and the delta
+/// atom is rotated to the front so the delta drives the join: a variant
+/// whose delta store is empty then costs O(1), which is what keeps an
+/// update epoch proportional to the delta rather than to the database.
 std::unique_ptr<IROp> BuildSubquery(LoweringState* state,
                                     const datalog::Rule& rule,
                                     uint32_t rule_index, int32_t delta_pos,
                                     const std::vector<int32_t>& stratum_of,
-                                    int32_t stratum) {
+                                    int32_t stratum,
+                                    bool update_mode = false) {
   LocalMapper mapper;
   std::vector<AtomSpec> joins;
   std::vector<AtomSpec> floaters;
@@ -142,9 +151,10 @@ std::unique_ptr<IROp> BuildSubquery(LoweringState* state,
     if (spec.is_join_atom()) {
       const bool same_stratum =
           stratum_of[atom.predicate] == stratum && stratum >= 0;
-      spec.source = (same_stratum && join_idx == delta_pos)
-                        ? storage::DbKind::kDeltaKnown
-                        : storage::DbKind::kDerived;
+      const bool is_delta = join_idx == delta_pos &&
+                            (update_mode || same_stratum);
+      spec.source = is_delta ? storage::DbKind::kDeltaKnown
+                             : storage::DbKind::kDerived;
       joins.push_back(std::move(spec));
       ++join_idx;
     } else {
@@ -152,12 +162,19 @@ std::unique_ptr<IROp> BuildSubquery(LoweringState* state,
       floaters.push_back(std::move(spec));
     }
   }
+  if (update_mode && delta_pos >= 0) {
+    // Local variable ids are positional in the binding array, so rotating
+    // the join order after mapping is sound.
+    std::rotate(joins.begin(), joins.begin() + delta_pos,
+                joins.begin() + delta_pos + 1);
+  }
 
   const bool is_agg = rule.agg != datalog::AggFunc::kNone;
   auto op = state->NewOp(is_agg ? OpKind::kAggregate : OpKind::kSpj);
   op->target = rule.head.predicate;
   op->rule_index = rule_index;
   op->delta_pos = delta_pos;
+  op->delta_pinned = update_mode && delta_pos >= 0;
   op->atoms = ScheduleAtoms(joins, floaters);
   op->head_terms.reserve(rule.head.terms.size());
   for (const datalog::Term& t : rule.head.terms) {
@@ -170,6 +187,15 @@ std::unique_ptr<IROp> BuildSubquery(LoweringState* state,
   }
   op->num_locals = mapper.num_locals();
   return op;
+}
+
+/// Number of positive relational atoms in `rule`'s body.
+int32_t PositiveJoinCount(const datalog::Rule& rule) {
+  int32_t count = 0;
+  for (const datalog::Atom& atom : rule.body) {
+    if (atom.is_relational() && !atom.negated) ++count;
+  }
+  return count;
 }
 
 /// Indices (among the positive relational body atoms) whose predicates
@@ -186,6 +212,72 @@ std::vector<int32_t> DeltaPositions(const datalog::Rule& rule,
     }
   }
   return positions;
+}
+
+/// Builds one stratum's update-epoch subtree:
+///
+///   SequenceOp
+///     DoWhileOp [recursive predicates]
+///       SequenceOp
+///         per defined relation: UnionOp* of UnionOps holding one
+///           BuildUpdateSubquery variant per positive body atom
+///         SwapClearOp [stratum predicates + body inputs]
+///
+/// The caller seeds DeltaKnown (from the Derived rows past each
+/// watermark) before executing this; iteration 1 consumes the seeds and
+/// the SwapClear — which covers the seeded input relations too — retires
+/// them, leaving the loop a plain semi-naive fixpoint over the stratum's
+/// own deltas. Aggregate rules are omitted: their delta variants would be
+/// unsound (a new witness changes the group's value), so any epoch that
+/// touches an aggregate input recomputes the stratum via the full tree
+/// instead.
+std::unique_ptr<IROp> BuildUpdateStratum(LoweringState* state,
+                                         const std::vector<datalog::Rule>& rules,
+                                         const datalog::Stratum& stratum,
+                                         const std::vector<int32_t>& stratum_of,
+                                         int32_t stratum_index,
+                                         std::vector<datalog::PredicateId>
+                                             recursive_predicates) {
+  auto seq = state->NewOp(OpKind::kSequence);
+  auto loop = state->NewOp(OpKind::kDoWhile);
+  loop->relations = std::move(recursive_predicates);
+  auto body = state->NewOp(OpKind::kSequence);
+
+  for (datalog::PredicateId rel : stratum.predicates) {
+    auto union_all = state->NewOp(OpKind::kUnionAll);
+    union_all->relations = {rel};
+    for (uint32_t r : stratum.rule_indices) {
+      if (rules[r].head.predicate != rel) continue;
+      if (rules[r].agg != datalog::AggFunc::kNone) continue;
+      auto union_op = state->NewOp(OpKind::kUnion);
+      union_op->target = rel;
+      for (int32_t pos = 0; pos < PositiveJoinCount(rules[r]); ++pos) {
+        union_op->children.push_back(
+            BuildSubquery(state, rules[r], r, pos, stratum_of,
+                          stratum_index, /*update_mode=*/true));
+      }
+      if (!union_op->children.empty()) {
+        union_all->children.push_back(std::move(union_op));
+      }
+    }
+    if (!union_all->children.empty()) {
+      body->children.push_back(std::move(union_all));
+    }
+  }
+
+  auto swap = state->NewOp(OpKind::kSwapClear);
+  swap->relations = stratum.predicates;
+  swap->relations.insert(swap->relations.end(), stratum.body_inputs.begin(),
+                         stratum.body_inputs.end());
+  std::sort(swap->relations.begin(), swap->relations.end());
+  swap->relations.erase(
+      std::unique(swap->relations.begin(), swap->relations.end()),
+      swap->relations.end());
+  body->children.push_back(std::move(swap));
+
+  loop->children.push_back(std::move(body));
+  seq->children.push_back(std::move(loop));
+  return seq;
 }
 
 void DeclareRuleIndexes(const datalog::Program& program,
@@ -225,7 +317,9 @@ util::Status Lower(datalog::Program* program,
   }
 
   auto root = state.NewOp(OpKind::kProgram);
+  auto update_root = state.NewOp(OpKind::kProgram);
   const std::vector<datalog::Rule>& rules = program->rules();
+  out->strata.clear();
 
   for (size_t s = 0; s < strata.strata.size(); ++s) {
     const datalog::Stratum& stratum = strata.strata[s];
@@ -290,9 +384,29 @@ util::Status Lower(datalog::Program* program,
     }
 
     root->children.push_back(std::move(seq));
+
+    // ---- The stratum's incremental twin + evaluation plan. ----
+    StratumPlan plan;
+    plan.predicates = stratum.predicates;
+    plan.body_inputs = stratum.body_inputs;
+    plan.recompute_triggers = stratum.recompute_triggers;
+    for (datalog::PredicateId input : stratum.body_inputs) {
+      if (strata.stratum_of[input] == static_cast<int32_t>(s)) {
+        plan.recursive_predicates.push_back(input);
+      }
+    }
+    update_root->children.push_back(BuildUpdateStratum(
+        &state, rules, stratum, strata.stratum_of, static_cast<int32_t>(s),
+        plan.recursive_predicates));
+    out->strata.push_back(std::move(plan));
   }
 
   out->root = std::move(root);
+  out->update_root = std::move(update_root);
+  for (size_t s = 0; s < out->strata.size(); ++s) {
+    out->strata[s].full = out->root->children[s].get();
+    out->strata[s].update = out->update_root->children[s].get();
+  }
   out->num_nodes = state.next_id;
   out->RebuildIndex();
   return util::Status::Ok();

@@ -13,6 +13,9 @@ namespace carac::ir {
 /// Lowers a Datalog program to the IR via the Semi-Naive transform (the
 /// Futamura-projection step of §V-B1): per stratum, a naive initial pass
 /// seeding the deltas, then a DoWhile loop of delta-split SPJ subqueries.
+/// Alongside it, emits the incremental twin (IRProgram::update_root +
+/// per-stratum StratumPlan metadata) that update epochs execute — see
+/// irop.h and core/fixpoint_driver.h.
 ///
 /// When `declare_indexes` is true, a hash index is declared on every
 /// relation column that carries a constant or a shared (join) variable in

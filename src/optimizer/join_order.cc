@@ -53,6 +53,20 @@ bool ReorderSubquery(const StatsSnapshot& stats, const JoinOrderConfig& config,
   std::set<ir::LocalVar> bound;
   double current = 1.0;
 
+  // Update-epoch subqueries pin their DeltaKnown atom outermost (an empty
+  // delta then short-circuits the whole variant — the property that keeps
+  // epoch cost proportional to the delta). The cost model alone does not
+  // guarantee this: rules-only planning prices every atom identically,
+  // and JIT replanning captures mid-epoch stats where the delta is
+  // non-empty. So the greedy's first pick is constrained to the delta;
+  // everything behind it is ordered as usual.
+  bool pin_delta = false;
+  if (op->delta_pinned) {
+    for (const ir::AtomSpec& join : joins) {
+      pin_delta |= join.source == storage::DbKind::kDeltaKnown;
+    }
+  }
+
   for (size_t step = 0; step < joins.size(); ++step) {
     int best = -1;
     double best_estimate = std::numeric_limits<double>::infinity();
@@ -60,6 +74,10 @@ bool ReorderSubquery(const StatsSnapshot& stats, const JoinOrderConfig& config,
     bool best_indexed = false;
     for (size_t j = 0; j < joins.size(); ++j) {
       if (used[j]) continue;
+      if (pin_delta && step == 0 &&
+          joins[j].source != storage::DbKind::kDeltaKnown) {
+        continue;
+      }
       const double estimate =
           EstimateJoin(stats, config, current, joins[j], bound);
       // First atom: connectivity is meaningless; afterwards prefer

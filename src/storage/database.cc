@@ -1,5 +1,6 @@
 #include "storage/database.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/status.h"
@@ -25,6 +26,7 @@ RelationId DatabaseSet::AddRelation(const std::string& name, size_t arity) {
   store.delta_known = std::make_unique<Relation>(name + "_dk", arity);
   store.delta_new = std::make_unique<Relation>(name + "_dn", arity);
   stores_.push_back(std::move(store));
+  edb_rows_.emplace_back();
   return id;
 }
 
@@ -66,7 +68,22 @@ void DatabaseSet::DeclareIndex(RelationId id, size_t column) {
 }
 
 bool DatabaseSet::InsertFact(RelationId id, Tuple tuple) {
-  return Get(id, DbKind::kDerived).Insert(tuple);
+  Relation& derived = Get(id, DbKind::kDerived);
+  if (derived.Insert(tuple)) {
+    edb_rows_[id].push_back(derived.NumRows() - 1);
+    return true;
+  }
+  // Dedup hit: the tuple already exists — but possibly only as a DERIVED
+  // row. An asserted fact must survive stratum recompute regardless of
+  // what the rules conclude, so register the existing row as EDB too.
+  // edb_rows_ stays ascending (appends use strictly increasing RowIds),
+  // making the membership probe a binary search; a mid-vector insert
+  // happens only on this re-assertion path.
+  const RowId row = derived.FindRow(tuple);
+  std::vector<RowId>& rows = edb_rows_[id];
+  const auto it = std::lower_bound(rows.begin(), rows.end(), row);
+  if (it == rows.end() || *it != row) rows.insert(it, row);
+  return false;
 }
 
 void DatabaseSet::Reserve(RelationId id, size_t rows) {
@@ -98,12 +115,68 @@ bool DatabaseSet::AnyDeltaKnownNonEmpty(
   return false;
 }
 
+bool DatabaseSet::ChangedSinceWatermark(RelationId id) const {
+  CARAC_CHECK(id < stores_.size());
+  const Relation& derived = *stores_[id].derived;
+  return derived.NumRows() > derived.watermark();
+}
+
+size_t DatabaseSet::SeedDeltaFromWatermark(RelationId id) {
+  CARAC_CHECK(id < stores_.size());
+  Store& store = stores_[id];
+  store.delta_known->Clear();
+  store.delta_new->Clear();
+  const Relation& derived = *store.derived;
+  const RowId begin = derived.watermark();
+  const RowId end = derived.NumRows();
+  if (begin >= end) return 0;
+  store.delta_known->Reserve(end - begin);
+  for (RowId row = begin; row < end; ++row) {
+    store.delta_known->Insert(derived.View(row));
+  }
+  return end - begin;
+}
+
+void DatabaseSet::AdvanceEpoch() {
+  for (Store& store : stores_) store.derived->AdvanceWatermark();
+  ++epoch_;
+}
+
+void DatabaseSet::ResetToEdbFacts(RelationId id) {
+  CARAC_CHECK(id < stores_.size());
+  Store& store = stores_[id];
+  // Materialize before clearing: edb_rows_ points into the arena that
+  // Clear() is about to drop.
+  std::vector<Tuple> facts;
+  facts.reserve(edb_rows_[id].size());
+  for (RowId row : edb_rows_[id]) {
+    facts.push_back(store.derived->View(row).ToTuple());
+  }
+  store.derived->Clear();
+  store.delta_known->Clear();
+  store.delta_new->Clear();
+  edb_rows_[id].clear();
+  store.derived->Reserve(facts.size());
+  for (Tuple& fact : facts) InsertFact(id, std::move(fact));
+}
+
+void DatabaseSet::ClearFacts(RelationId id) {
+  CARAC_CHECK(id < stores_.size());
+  Store& store = stores_[id];
+  store.derived->Clear();
+  store.delta_known->Clear();
+  store.delta_new->Clear();
+  edb_rows_[id].clear();
+}
+
 void DatabaseSet::ClearAll() {
   for (Store& store : stores_) {
     store.derived->Clear();
     store.delta_known->Clear();
     store.delta_new->Clear();
   }
+  for (std::vector<RowId>& rows : edb_rows_) rows.clear();
+  epoch_ = 0;
 }
 
 }  // namespace carac::storage

@@ -56,7 +56,11 @@ class DatabaseSet {
   /// default index kind.
   void DeclareIndex(RelationId id, size_t column);
 
-  /// Inserts an EDB (or precomputed) fact into Derived; returns true if new.
+  /// Inserts an EDB (or precomputed) fact into Derived; returns true if
+  /// new. InsertFact is the ONLY entry point that marks a tuple as EDB:
+  /// the evaluator writes derived facts through Get(...).Insert directly,
+  /// so the per-relation EDB row list stays exact — it is what stratum
+  /// recompute restores after clearing a relation.
   bool InsertFact(RelationId id, Tuple tuple);
 
   /// Pre-sizes the Derived arena and hash table of `id` for `rows` facts
@@ -72,6 +76,44 @@ class DatabaseSet {
   /// The `diff` termination test: true if any DeltaKnown still has facts.
   bool AnyDeltaKnownNonEmpty(const std::vector<RelationId>& relations) const;
 
+  // ---- Epoch bookkeeping (incremental evaluation) ----
+  //
+  // An update epoch is: append facts to Derived stores, then bring every
+  // IDB relation back to fixpoint paying cost proportional to the delta.
+  // The arena layout makes the delta cheap to name: relations are
+  // append-only with dense RowIds, so "this epoch's new facts" is the
+  // Derived row range past the per-relation watermark.
+
+  /// Monotone epoch counter; advanced once per completed evaluation
+  /// (full run or update epoch).
+  uint64_t epoch() const { return epoch_; }
+
+  /// True if `id`'s Derived store gained rows since the last epoch
+  /// boundary.
+  bool ChangedSinceWatermark(RelationId id) const;
+
+  /// Clears both delta stores of `id` (dropping any residue the previous
+  /// evaluation left in DeltaKnown), then seeds DeltaKnown with the
+  /// Derived rows appended past the epoch watermark. Returns the number
+  /// of rows seeded.
+  size_t SeedDeltaFromWatermark(RelationId id);
+
+  /// Ends the current epoch: advances every Derived watermark to its
+  /// current row count and increments the epoch counter.
+  void AdvanceEpoch();
+
+  /// Drops Derived and both deltas of `id` and re-inserts its EDB facts
+  /// (the tuples recorded by InsertFact) — the stratum-recompute reset.
+  /// Derived facts of the relation are lost by design; EDB facts survive
+  /// even when they were appended after derived rows in the arena.
+  void ResetToEdbFacts(RelationId id);
+
+  /// Unloads `id` completely: all three stores and the EDB bookkeeping.
+  /// Unlike the capacity-keeping Clear() the evaluator uses on deltas,
+  /// this is a full logical delete (test/REPL support for reloading a
+  /// relation's fact set).
+  void ClearFacts(RelationId id);
+
   /// Clears Derived and both deltas of every relation (test support).
   void ClearAll();
 
@@ -86,7 +128,17 @@ class DatabaseSet {
   };
 
   std::vector<Store> stores_;
+  /// Per relation: Derived RowIds inserted via InsertFact (EDB facts).
+  /// RowIds are stable in the append-only arena, so an entry stays valid
+  /// until the relation is cleared — which only ResetToEdbFacts /
+  /// ClearFacts (which maintain it) and ClearAll (which drops it) do to
+  /// Derived. Kept OUT of Store: Get() resolves a Store per emission on
+  /// the evaluator's hot path, and widening that array's stride past one
+  /// cache line cost a measured ~20% on emission-heavy interpreted runs
+  /// (CSPA-unoptimized A/B).
+  std::vector<std::vector<RowId>> edb_rows_;
   SymbolTable symbols_;
+  uint64_t epoch_ = 0;
   bool indexing_enabled_ = true;
   IndexKind index_kind_ = IndexKind::kHash;
 };

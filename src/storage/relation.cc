@@ -63,6 +63,18 @@ bool Relation::Contains(TupleView tuple) const {
   return false;
 }
 
+RowId Relation::FindRow(TupleView tuple) const {
+  CARAC_CHECK(tuple.size() == arity_);
+  if (num_rows_ == 0) return kNoRow;
+  const uint64_t hash = util::HashSpan(tuple.data(), arity_);
+  size_t slot = hash & slot_mask_;
+  while (slots_[slot] != kEmptySlot) {
+    if (RowEquals(slots_[slot], tuple)) return slots_[slot];
+    slot = (slot + 1) & slot_mask_;
+  }
+  return kNoRow;
+}
+
 void Relation::Rehash(size_t new_slots) {
   slots_.assign(new_slots, kEmptySlot);
   slot_mask_ = new_slots - 1;
@@ -106,6 +118,7 @@ util::Status Relation::ProbeRange(size_t column, Value lo, Value hi,
 
 void Relation::Clear() {
   num_rows_ = 0;
+  watermark_ = 0;
   arena_.clear();
   std::fill(slots_.begin(), slots_.end(), kEmptySlot);
   for (ColumnIndex& index : indexes_) index.Clear();

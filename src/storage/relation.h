@@ -70,6 +70,10 @@ class Relation {
     return Contains(TupleView(values.begin(), values.size()));
   }
 
+  /// RowId of the row equal to `tuple`, or kNoRow when absent.
+  static constexpr RowId kNoRow = 0xFFFFFFFFu;
+  RowId FindRow(TupleView tuple) const;
+
   // ---- Row addressing ----
 
   uint32_t NumRows() const { return num_rows_; }
@@ -110,6 +114,18 @@ class Relation {
   };
   RowRange rows() const { return RowRange(this); }
 
+  // ---- Epoch watermark ----
+
+  /// Rows with RowId >= watermark() were appended after the watermark was
+  /// last advanced. Incremental evaluation advances the Derived watermark
+  /// at every epoch boundary, so "this epoch's new facts" is exactly the
+  /// row range [watermark, NumRows) — no per-tuple bookkeeping needed on
+  /// top of the append-only arena.
+  RowId watermark() const { return watermark_; }
+
+  /// Records the current row count as the epoch boundary.
+  void AdvanceWatermark() { watermark_ = num_rows_; }
+
   // ---- Indexes ----
 
   /// Declares an index on `column` (idempotent — the first declaration's
@@ -138,7 +154,8 @@ class Relation {
 
   /// Removes all tuples, keeping index declarations and storage capacity
   /// (delta stores are cleared every iteration; dropping capacity would
-  /// re-pay growth each time).
+  /// re-pay growth each time). Resets the epoch watermark: after a clear
+  /// every subsequently inserted row is "new".
   void Clear();
 
   /// Moves all tuples of `other` into this relation (used by SwapClearOp
@@ -182,6 +199,9 @@ class Relation {
   /// Row-major tuple storage: row r occupies [r*arity, (r+1)*arity).
   std::vector<Value> arena_;
   uint32_t num_rows_ = 0;
+  /// Epoch boundary: rows >= watermark_ arrived after the last
+  /// AdvanceWatermark() call.
+  RowId watermark_ = 0;
   /// Open-addressing dedup table: RowId per slot, kEmptySlot when free.
   /// Power-of-two size; linear probing on HashSpan of the row.
   std::vector<uint32_t> slots_;

@@ -73,6 +73,20 @@ file(WRITE "${WORK_DIR}/lowercase.dl" "path(x,y) :- Edge(x,y).\n")
 expect_cli(lowercase_relation 1 "relations start uppercase"
   dl "${WORK_DIR}/lowercase.dl")
 
+# --threads / --parallel-min-outer-rows: strict integers, exit 2 on
+# garbage (a typo'd thread count must not silently run single-threaded).
+expect_cli(threads_zero 2 "threads must be" run fibonacci --threads=0)
+expect_cli(threads_garbage 2 "threads must be" run fibonacci --threads=abc)
+expect_cli(threads_trailing 2 "threads must be" run fibonacci --threads=2x)
+expect_cli(threads_negative 2 "threads must be" run fibonacci --threads=-4)
+expect_cli(threads_overflow 2 "threads must be" run fibonacci --threads=999)
+expect_cli(min_rows_garbage 2 "parallel-min-outer-rows" run fibonacci
+  --parallel-min-outer-rows=junk)
+expect_cli(min_rows_zero 2 "parallel-min-outer-rows" run fibonacci
+  --parallel-min-outer-rows=0)
+# Usage documents the new flags.
+expect_cli(usage_mentions_threads 2 "--threads=N")
+
 # Happy paths still work.
 expect_cli(list_ok 0 "fibonacci" list)
 expect_cli(run_ok 0 "Fibonacci" run fibonacci --scale=2)
@@ -82,3 +96,85 @@ file(WRITE "${WORK_DIR}/good.dl"
   "Edge(1,2).\nEdge(2,3).\nPath(x,y) :- Edge(x,y).\n"
   "Path(x,z) :- Path(x,y), Edge(y,z).\n")
 expect_cli(dl_ok 0 "Path" dl "${WORK_DIR}/good.dl")
+expect_cli(tc_threads_ok 0 "TransitiveClosure" tc "${WORK_DIR}/tc.csv"
+  --threads=2 --parallel-min-outer-rows=1)
+
+# serve: scripted incremental session. The batch grows the closure from
+# the initial 3 paths (1-2, 2-3, 1-3) to the full 6 of the 4-chain, and
+# the second update must report an incremental (not full) epoch.
+file(WRITE "${WORK_DIR}/serve_batch.csv" "3,4\n")
+file(WRITE "${WORK_DIR}/serve_script.txt"
+  "update\n"
+  "count Path\n"
+  "load Edge ${WORK_DIR}/serve_batch.csv\n"
+  "update\n"
+  "count Path\n"
+  "quit\n")
+execute_process(
+  COMMAND "${CARAC_CLI}" serve "${WORK_DIR}/good.dl"
+  INPUT_FILE "${WORK_DIR}/serve_script.txt"
+  OUTPUT_VARIABLE serve_out
+  ERROR_VARIABLE serve_err
+  RESULT_VARIABLE serve_code
+  TIMEOUT 60)
+if(NOT serve_code STREQUAL "0")
+  message(SEND_ERROR "[serve_ok] expected exit 0, got ${serve_code}\n"
+    "${serve_out}${serve_err}")
+endif()
+foreach(needle "epoch=1 full" "Path: 3 rows" "epoch=2 incremental"
+    "Path: 6 rows")
+  if(NOT serve_out MATCHES "${needle}")
+    message(SEND_ERROR
+      "[serve_ok] output missing '${needle}':\n${serve_out}${serve_err}")
+  endif()
+endforeach()
+message(STATUS "[serve_ok] ok (exit ${serve_code})")
+
+# serve dump decodes interned symbols back to their strings.
+file(WRITE "${WORK_DIR}/sym.dl"
+  "Edge(\"alpha\",\"beta\").\nPath(x,y) :- Edge(x,y).\n")
+file(WRITE "${WORK_DIR}/serve_sym.txt" "update\ndump Path\nquit\n")
+execute_process(
+  COMMAND "${CARAC_CLI}" serve "${WORK_DIR}/sym.dl"
+  INPUT_FILE "${WORK_DIR}/serve_sym.txt"
+  OUTPUT_VARIABLE serve_out
+  ERROR_VARIABLE serve_err
+  RESULT_VARIABLE serve_code
+  TIMEOUT 60)
+if(NOT serve_code STREQUAL "0" OR NOT serve_out MATCHES "alpha"
+    OR NOT serve_out MATCHES "beta")
+  message(SEND_ERROR "[serve_dump_symbols] expected decoded symbols, "
+    "got exit ${serve_code}:\n${serve_out}${serve_err}")
+else()
+  message(STATUS "[serve_dump_symbols] ok (exit ${serve_code})")
+endif()
+
+# serve error contract: unknown commands and relations exit 1.
+file(WRITE "${WORK_DIR}/serve_bad.txt" "frobnicate\n")
+execute_process(
+  COMMAND "${CARAC_CLI}" serve "${WORK_DIR}/good.dl"
+  INPUT_FILE "${WORK_DIR}/serve_bad.txt"
+  OUTPUT_VARIABLE serve_out
+  ERROR_VARIABLE serve_err
+  RESULT_VARIABLE serve_code
+  TIMEOUT 60)
+if(NOT serve_code STREQUAL "1" OR NOT serve_err MATCHES "unknown command")
+  message(SEND_ERROR "[serve_bad_command] expected exit 1 + diagnostic, "
+    "got ${serve_code}\n${serve_out}${serve_err}")
+else()
+  message(STATUS "[serve_bad_command] ok (exit ${serve_code})")
+endif()
+file(WRITE "${WORK_DIR}/serve_bad_rel.txt" "count Nope\n")
+execute_process(
+  COMMAND "${CARAC_CLI}" serve "${WORK_DIR}/good.dl"
+  INPUT_FILE "${WORK_DIR}/serve_bad_rel.txt"
+  OUTPUT_VARIABLE serve_out
+  ERROR_VARIABLE serve_err
+  RESULT_VARIABLE serve_code
+  TIMEOUT 60)
+if(NOT serve_code STREQUAL "1" OR NOT serve_err MATCHES "unknown relation")
+  message(SEND_ERROR "[serve_bad_relation] expected exit 1 + diagnostic, "
+    "got ${serve_code}\n${serve_out}${serve_err}")
+else()
+  message(STATUS "[serve_bad_relation] ok (exit ${serve_code})")
+endif()

@@ -115,6 +115,116 @@ TEST(LoweringTest, LowerStratumAtomsReadDerived) {
   }
 }
 
+TEST(LoweringTest, UpdateTreeHasDeltaVariantPerPositiveAtom) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  path(x, y) <<= edge(x, y);
+  path(x, z) <<= path(x, y) & edge(y, z);
+
+  IRProgram irp;
+  ASSERT_TRUE(LowerProgram(&p, true, &irp).ok());
+  ASSERT_NE(irp.update_root, nullptr);
+  ASSERT_EQ(irp.strata.size(), 1u);
+  EXPECT_EQ(irp.strata[0].full, irp.root->children[0].get());
+  EXPECT_EQ(irp.strata[0].update, irp.update_root->children[0].get());
+  EXPECT_EQ(irp.strata[0].predicates,
+            std::vector<datalog::PredicateId>{path.id()});
+  EXPECT_EQ(irp.strata[0].recursive_predicates,
+            std::vector<datalog::PredicateId>{path.id()});
+  EXPECT_TRUE(irp.strata[0].recompute_triggers.empty());
+
+  // 1 positive atom in rule 1 + 2 in rule 2 = 3 update variants, each
+  // with its delta atom rotated to the FRONT (an empty delta then makes
+  // the whole variant O(1)) and exactly one DeltaKnown read.
+  std::vector<IROp*> spjs;
+  Collect(irp.update_root.get(), OpKind::kSpj, &spjs);
+  ASSERT_EQ(spjs.size(), 3u);
+  for (IROp* spj : spjs) {
+    ASSERT_FALSE(spj->atoms.empty());
+    EXPECT_EQ(spj->atoms[0].source, storage::DbKind::kDeltaKnown);
+    int deltas = 0;
+    for (const AtomSpec& atom : spj->atoms) {
+      if (atom.is_relational() &&
+          atom.source == storage::DbKind::kDeltaKnown) {
+        ++deltas;
+      }
+    }
+    EXPECT_EQ(deltas, 1);
+  }
+  // Unlike the in-loop delta split, the EDB relation gets variants too:
+  // an epoch that only grows Edge must still re-derive.
+  int edge_deltas = 0;
+  for (IROp* spj : spjs) {
+    if (spj->atoms[0].predicate == edge.id()) ++edge_deltas;
+  }
+  EXPECT_EQ(edge_deltas, 2);
+
+  // The update loop terminates on the stratum's own deltas, and its
+  // SwapClear retires the seeded input deltas too.
+  std::vector<IROp*> loops;
+  Collect(irp.update_root.get(), OpKind::kDoWhile, &loops);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0]->relations,
+            std::vector<datalog::PredicateId>{path.id()});
+  std::vector<IROp*> swaps;
+  Collect(irp.update_root.get(), OpKind::kSwapClear, &swaps);
+  ASSERT_EQ(swaps.size(), 1u);
+  EXPECT_EQ(swaps[0]->relations,
+            (std::vector<datalog::PredicateId>{edge.id(), path.id()}));
+}
+
+TEST(LoweringTest, UpdateTreeOmitsAggregateRules) {
+  Program p;
+  Dsl dsl(&p);
+  auto link = dsl.Relation("Link", 2);
+  auto deg = dsl.Relation("Deg", 2);
+  auto [x, y, c] = dsl.Vars<3>();
+  dsl.AggRule(deg(x, c), datalog::BodyExpr({link(x, y).atom()}),
+              datalog::AggFunc::kCount);
+
+  IRProgram irp;
+  ASSERT_TRUE(LowerProgram(&p, true, &irp).ok());
+  // The full tree has the AggregateOp; the update tree must not — a
+  // delta variant of an aggregate would be unsound, so epochs touching
+  // its inputs recompute via the full subtree instead.
+  std::vector<IROp*> full_aggs, update_aggs, update_spjs;
+  Collect(irp.root.get(), OpKind::kAggregate, &full_aggs);
+  Collect(irp.update_root.get(), OpKind::kAggregate, &update_aggs);
+  Collect(irp.update_root.get(), OpKind::kSpj, &update_spjs);
+  EXPECT_EQ(full_aggs.size(), 1u);
+  EXPECT_TRUE(update_aggs.empty());
+  EXPECT_TRUE(update_spjs.empty());
+}
+
+TEST(LoweringTest, UpdateTreeNodeIdsIndexed) {
+  Program p;
+  Dsl dsl(&p);
+  auto edge = dsl.Relation("Edge", 2);
+  auto path = dsl.Relation("Path", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  path(x, y) <<= edge(x, y);
+  path(x, z) <<= path(x, y) & edge(y, z);
+
+  IRProgram irp;
+  ASSERT_TRUE(LowerProgram(&p, true, &irp).ok());
+  // Node ids are unique ACROSS the two trees and by_id covers both (the
+  // JIT compile cache keys on node_id, so a collision would hand one
+  // tree's compiled unit to the other).
+  std::vector<bool> seen(irp.num_nodes, false);
+  std::function<void(IROp*)> visit = [&](IROp* op) {
+    ASSERT_LT(op->node_id, irp.num_nodes);
+    EXPECT_FALSE(seen[op->node_id]);
+    seen[op->node_id] = true;
+    EXPECT_EQ(irp.by_id[op->node_id], op);
+    for (auto& c : op->children) visit(c.get());
+  };
+  visit(irp.root.get());
+  visit(irp.update_root.get());
+}
+
 TEST(LoweringTest, LocalVariableRemapIsDense) {
   Program p;
   Dsl dsl(&p);

@@ -281,6 +281,85 @@ TEST(DatabaseSetTest, ClearAllEmptiesEverything) {
   EXPECT_EQ(db.Get(r, DbKind::kDeltaKnown).size(), 0u);
 }
 
+TEST(RelationTest, WatermarkTracksEpochBoundary) {
+  Relation r("R", 1);
+  r.Insert({1});
+  r.Insert({2});
+  EXPECT_EQ(r.watermark(), 0u);  // Everything is "new" before an epoch.
+  r.AdvanceWatermark();
+  EXPECT_EQ(r.watermark(), 2u);
+  r.Insert({3});
+  EXPECT_EQ(r.NumRows(), 3u);
+  EXPECT_EQ(r.watermark(), 2u);  // Row 2 is past the watermark.
+  r.Clear();
+  EXPECT_EQ(r.watermark(), 0u);  // A cleared relation starts over.
+}
+
+TEST(DatabaseSetTest, SeedDeltaFromWatermarkCopiesOnlyNewRows) {
+  DatabaseSet db;
+  const RelationId r = db.AddRelation("R", 1);
+  db.InsertFact(r, {1});
+  db.AdvanceEpoch();
+  db.InsertFact(r, {2});
+  db.InsertFact(r, {3});
+  db.Get(r, DbKind::kDeltaKnown).Insert({9});  // Residue: must be dropped.
+  EXPECT_TRUE(db.ChangedSinceWatermark(r));
+  EXPECT_EQ(db.SeedDeltaFromWatermark(r), 2u);
+  EXPECT_EQ(db.Get(r, DbKind::kDeltaKnown).size(), 2u);
+  EXPECT_TRUE(db.Get(r, DbKind::kDeltaKnown).Contains({2}));
+  EXPECT_TRUE(db.Get(r, DbKind::kDeltaKnown).Contains({3}));
+  EXPECT_FALSE(db.Get(r, DbKind::kDeltaKnown).Contains({9}));
+  db.AdvanceEpoch();
+  EXPECT_FALSE(db.ChangedSinceWatermark(r));
+  EXPECT_EQ(db.SeedDeltaFromWatermark(r), 0u);
+  EXPECT_EQ(db.Get(r, DbKind::kDeltaKnown).size(), 0u);
+}
+
+TEST(DatabaseSetTest, AdvanceEpochCounts) {
+  DatabaseSet db;
+  EXPECT_EQ(db.epoch(), 0u);
+  db.AdvanceEpoch();
+  db.AdvanceEpoch();
+  EXPECT_EQ(db.epoch(), 2u);
+  db.ClearAll();
+  EXPECT_EQ(db.epoch(), 0u);
+}
+
+TEST(DatabaseSetTest, ResetToEdbFactsDropsDerivedKeepsEdb) {
+  DatabaseSet db;
+  const RelationId r = db.AddRelation("R", 1);
+  db.InsertFact(r, {1});                      // EDB.
+  db.Get(r, DbKind::kDerived).Insert({2});    // Derived by a rule.
+  db.InsertFact(r, {3});                      // EDB appended after it.
+  db.Get(r, DbKind::kDeltaKnown).Insert({4});
+  db.ResetToEdbFacts(r);
+  EXPECT_EQ(db.Get(r, DbKind::kDerived).size(), 2u);
+  EXPECT_TRUE(db.Get(r, DbKind::kDerived).Contains({1}));
+  EXPECT_FALSE(db.Get(r, DbKind::kDerived).Contains({2}));
+  EXPECT_TRUE(db.Get(r, DbKind::kDerived).Contains({3}));
+  EXPECT_EQ(db.Get(r, DbKind::kDeltaKnown).size(), 0u);
+  // The reset is itself re-resettable: EDB bookkeeping was rebuilt.
+  db.Get(r, DbKind::kDerived).Insert({5});
+  db.ResetToEdbFacts(r);
+  EXPECT_EQ(db.Get(r, DbKind::kDerived).size(), 2u);
+}
+
+TEST(DatabaseSetTest, ClearFactsUnloadsEverything) {
+  DatabaseSet db;
+  const RelationId r = db.AddRelation("R", 1);
+  db.InsertFact(r, {1});
+  db.Get(r, DbKind::kDeltaNew).Insert({2});
+  db.ClearFacts(r);
+  EXPECT_EQ(db.Get(r, DbKind::kDerived).size(), 0u);
+  EXPECT_EQ(db.Get(r, DbKind::kDeltaNew).size(), 0u);
+  // A fact re-inserted after the unload is EDB again.
+  db.InsertFact(r, {7});
+  db.Get(r, DbKind::kDerived).Insert({8});
+  db.ResetToEdbFacts(r);
+  EXPECT_TRUE(db.Get(r, DbKind::kDerived).Contains({7}));
+  EXPECT_FALSE(db.Get(r, DbKind::kDerived).Contains({8}));
+}
+
 TEST(DatabaseSetTest, IndexesSurviveSwapClear) {
   DatabaseSet db;
   const RelationId r = db.AddRelation("R", 2);

@@ -128,6 +128,55 @@ TEST(StratifyTest, CspaIsOneRecursiveStratum) {
   EXPECT_EQ(s.strata[0].predicates.size(), 3u);
 }
 
+TEST(StratifyTest, BodyInputsAndRecomputeTriggers) {
+  Program p;
+  Dsl dsl(&p);
+  auto node = dsl.Relation("Node", 1);
+  auto closed = dsl.Relation("Closed", 1);
+  auto open = dsl.Relation("Open", 1);
+  auto link = dsl.Relation("Link", 2);
+  auto reach = dsl.Relation("Reach", 1);
+  auto [x, y] = dsl.Vars<2>();
+  open(x) <<= node(x) & !closed(x);
+  reach(x) <<= open(x) & link(0, x);
+  reach(y) <<= reach(x) & link(x, y);
+
+  Stratification s;
+  ASSERT_TRUE(Stratify(p, &s).ok());
+  ASSERT_EQ(s.strata.size(), 2u);
+
+  // Open's stratum reads Node and Closed; only the NEGATED Closed can
+  // retract derived facts when it grows.
+  EXPECT_EQ(s.strata[0].predicates, std::vector<PredicateId>{open.id()});
+  EXPECT_EQ(s.strata[0].body_inputs,
+            (std::vector<PredicateId>{node.id(), closed.id()}));
+  EXPECT_EQ(s.strata[0].recompute_triggers,
+            std::vector<PredicateId>{closed.id()});
+
+  // Reach's stratum is purely positive: no triggers at all.
+  EXPECT_EQ(s.strata[1].predicates, std::vector<PredicateId>{reach.id()});
+  EXPECT_EQ(s.strata[1].body_inputs,
+            (std::vector<PredicateId>{open.id(), link.id(), reach.id()}));
+  EXPECT_TRUE(s.strata[1].recompute_triggers.empty());
+}
+
+TEST(StratifyTest, AggregateRuleInputsAreRecomputeTriggers) {
+  Program p;
+  Dsl dsl(&p);
+  auto link = dsl.Relation("Link", 2);
+  auto deg = dsl.Relation("Deg", 2);
+  auto [x, y, c] = dsl.Vars<3>();
+  dsl.AggRule(deg(x, c), BodyExpr({link(x, y).atom()}), AggFunc::kCount);
+
+  Stratification s;
+  ASSERT_TRUE(Stratify(p, &s).ok());
+  ASSERT_EQ(s.strata.size(), 1u);
+  // Every input of an aggregate rule is a trigger: a new witness changes
+  // the group value, retracting the old output tuple.
+  EXPECT_EQ(s.strata[0].recompute_triggers,
+            std::vector<PredicateId>{link.id()});
+}
+
 TEST(StratifyTest, EmptyProgramHasNoStrata) {
   Program p;
   Dsl dsl(&p);

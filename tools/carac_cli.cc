@@ -4,6 +4,7 @@
 //   carac run <workload> [options]     run a built-in benchmark workload
 //   carac dl <program.dl> [options]    run a textual Datalog program
 //   carac tc <facts.csv> [options]     transitive closure over a CSV edge list
+//   carac serve <program.dl> [options] incremental update session on stdin
 //   carac list                         list built-in workloads
 //
 // Workloads: cspa csda andersen invfuns ackermann fibonacci primes
@@ -19,12 +20,33 @@
 //   --pull                 pull-based relational engine (default: push)
 //   --aot[=rules]          ahead-of-time planning (facts+rules, or rules only)
 //   --scale=N              workload size multiplier (default 1)
+//   --threads=N            evaluation threads for the semi-naive fixpoint
+//                          (default 1; results are identical at any value)
+//   --parallel-min-outer-rows=N
+//                          outer scans below N rows stay single-threaded
+//                          (default 128)
 //   --ir                   print the lowered IR before running
 //   --stats                print execution counters
+//
+// `carac serve` reads commands from stdin after Prepare(), one per line
+// ('#' starts a comment):
+//   load <Relation> <file.csv>   append a fact batch to a relation
+//   update                       bring the fixpoint up to date (the first
+//                                update is a full evaluation, later ones
+//                                are incremental epochs) and print the
+//                                epoch report
+//   count <Relation>             print the relation's derived row count
+//   dump <Relation>              print the relation's sorted rows (TSV)
+//   quit                         exit (EOF works too)
+// Malformed commands and unknown relations exit 1 with a diagnostic.
 
 #include <cstdio>
 #include <cstring>
+#include <iostream>
+#include <limits>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/loader.h"
 #include "analysis/programs.h"
@@ -47,6 +69,12 @@ struct Options {
   core::EngineConfig config;
   int64_t scale = 1;
   std::string scale_arg;  // raw --scale value, kept for diagnostics
+  // Raw --threads / --parallel-min-outer-rows values; -1 marks "invalid",
+  // turned into a diagnostic + exit 2 by main() (same contract as --scale).
+  int64_t threads = 1;
+  std::string threads_arg;
+  int64_t parallel_min_rows = 128;
+  std::string parallel_min_rows_arg;
   bool print_ir = false;
   bool print_stats = false;
 };
@@ -56,8 +84,11 @@ int Usage() {
                "usage: carac run <workload> [options]\n"
                "       carac dl <program.dl> [options]\n"
                "       carac tc <facts.csv> [options]\n"
+               "       carac serve <program.dl> [options]\n"
                "       carac list\n"
-               "see the header of tools/carac_cli.cc for options\n");
+               "options include --threads=N and --parallel-min-outer-rows=N\n"
+               "(evaluation threads / parallel dispatch threshold);\n"
+               "see the header of tools/carac_cli.cc for the full list\n");
   return 2;
 }
 
@@ -113,6 +144,21 @@ bool ParseFlag(const std::string& arg, Options* opts) {
   } else if (arg == "--aot=rules") {
     opts->config.aot_reorder = true;
     opts->config.aot.use_fact_cardinalities = false;
+  } else if (const char* t = value_of("--threads=")) {
+    opts->threads_arg = t;
+    // Strict integer, bounded like the bench harness: a typo'd thread
+    // count must not silently fall back to 1.
+    if (!util::ParseInt64(t, &opts->threads) || opts->threads < 1 ||
+        opts->threads > 256) {
+      opts->threads = -1;
+    }
+  } else if (const char* m = value_of("--parallel-min-outer-rows=")) {
+    opts->parallel_min_rows_arg = m;
+    if (!util::ParseInt64(m, &opts->parallel_min_rows) ||
+        opts->parallel_min_rows < 1 ||
+        opts->parallel_min_rows > std::numeric_limits<uint32_t>::max()) {
+      opts->parallel_min_rows = -1;
+    }
   } else if (const char* s = value_of("--scale=")) {
     opts->scale_arg = s;
     // Reject garbage, overflow, and anything whose per-workload tuple
@@ -190,6 +236,117 @@ int RunWorkload(const Options& opts, analysis::Workload workload) {
   return 0;
 }
 
+bool FindRelation(const datalog::Program& program, const std::string& name,
+                  datalog::PredicateId* out) {
+  for (datalog::PredicateId id = 0; id < program.NumPredicates(); ++id) {
+    if (program.PredicateName(id) == name) {
+      *out = id;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The `serve` command: Prepare() once, then apply stdin commands —
+/// fact batches and update epochs — against the live engine. This is the
+/// CLI surface of re-enterable evaluation: each `update` pays for the
+/// delta, not the database.
+int RunServe(const Options& opts) {
+  auto program = std::make_unique<datalog::Program>();
+  util::Status status = datalog::ParseDatalogFile(opts.target, program.get());
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  core::Engine engine(program.get(), opts.config);
+  status = engine.Prepare();
+  if (!status.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (opts.print_ir) {
+    std::fputs(engine.ir().ToString(*program).c_str(), stdout);
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string command;
+    if (!(tokens >> command)) continue;  // Blank / comment-only line.
+
+    if (command == "quit") return 0;
+
+    if (command == "update") {
+      core::EpochReport report;
+      util::Timer timer;
+      status = engine.Update(&report);
+      const double seconds = timer.ElapsedSeconds();
+      if (!status.ok()) {
+        std::fprintf(stderr, "update failed: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("%s in %s s\n", report.ToString().c_str(),
+                  harness::FormatSeconds(seconds).c_str());
+      continue;
+    }
+
+    if (command == "load" || command == "count" || command == "dump") {
+      std::string rel_name;
+      if (!(tokens >> rel_name)) {
+        std::fprintf(stderr, "serve: %s needs a relation name\n",
+                     command.c_str());
+        return 1;
+      }
+      datalog::PredicateId rel = datalog::kInvalidPredicate;
+      if (!FindRelation(*program, rel_name, &rel)) {
+        std::fprintf(stderr, "serve: unknown relation: %s\n",
+                     rel_name.c_str());
+        return 1;
+      }
+      if (command == "load") {
+        std::string path;
+        if (!(tokens >> path)) {
+          std::fprintf(stderr, "serve: load needs a csv path\n");
+          return 1;
+        }
+        status = analysis::LoadFactsCsv(path, program.get(), rel);
+        if (!status.ok()) {
+          std::fprintf(stderr, "%s\n", status.ToString().c_str());
+          return 1;
+        }
+        std::printf("loaded %s into %s (%zu facts total)\n", path.c_str(),
+                    rel_name.c_str(),
+                    program->db()
+                        .Get(rel, storage::DbKind::kDerived)
+                        .size());
+      } else if (command == "count") {
+        std::printf("%s: %zu rows\n", rel_name.c_str(),
+                    engine.ResultSize(rel));
+      } else {
+        for (const storage::Tuple& row : engine.Results(rel)) {
+          for (size_t i = 0; i < row.size(); ++i) {
+            if (i > 0) std::printf("\t");
+            if (storage::SymbolTable::IsSymbol(row[i])) {
+              std::printf(
+                  "%s", program->db().symbols().Lookup(row[i]).c_str());
+            } else {
+              std::printf("%lld", static_cast<long long>(row[i]));
+            }
+          }
+          std::printf("\n");
+        }
+      }
+      continue;
+    }
+
+    std::fprintf(stderr, "serve: unknown command: %s\n", command.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -217,6 +374,25 @@ int main(int argc, char** argv) {
                  static_cast<long long>(kMaxScale));
     return 2;
   }
+  if (opts.threads < 1) {
+    std::fprintf(stderr,
+                 "invalid --threads=%s: threads must be an integer in "
+                 "[1, 256]\n",
+                 opts.threads_arg.c_str());
+    return 2;
+  }
+  if (opts.parallel_min_rows < 1) {
+    std::fprintf(stderr,
+                 "invalid --parallel-min-outer-rows=%s: expected an integer "
+                 "in [1, %llu]\n",
+                 opts.parallel_min_rows_arg.c_str(),
+                 static_cast<unsigned long long>(
+                     std::numeric_limits<uint32_t>::max()));
+    return 2;
+  }
+  opts.config.num_threads = static_cast<int>(opts.threads);
+  opts.config.parallel_min_outer_rows =
+      static_cast<uint32_t>(opts.parallel_min_rows);
 
   if (opts.command == "run") {
     bool ok = false;
@@ -267,6 +443,10 @@ int main(int argc, char** argv) {
       std::printf("stats: %s\n", engine.stats().ToString().c_str());
     }
     return 0;
+  }
+
+  if (opts.command == "serve") {
+    return RunServe(opts);
   }
 
   if (opts.command == "tc") {
