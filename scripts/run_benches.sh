@@ -10,8 +10,8 @@
 #   --large       run with CARAC_BENCH_SCALE=large (paper-sized inputs)
 #   --build-dir   directory containing bench/ binaries
 #                 (default: autodetect build, build/release)
-#   --out         output JSON path (default: <repo>/BENCH_pr4.json)
-#   --baseline    snapshot to diff against (default: <repo>/BENCH_pr3.json;
+#   --out         output JSON path (default: <repo>/BENCH_pr5.json)
+#   --baseline    snapshot to diff against (default: <repo>/BENCH_pr4.json;
 #                 a per-bench delta table is printed when it exists)
 #   --threads N   evaluation threads passed to the benches that accept the
 #                 flag (fig6/fig8/table2); recorded as "threads" in the
@@ -26,9 +26,13 @@
 #
 # Each bench binary's stdout is saved next to the JSON under bench_logs/.
 #
-# Schema carac-bench/v3 adds an "incremental" section: per workload and
+# Schema carac-bench/v3 added an "incremental" section: per workload and
 # delta size, bench_incremental's epoch latency vs full re-evaluation
 # (full/epoch seconds + speedup), lifted from its INCREMENTAL lines.
+# Schema carac-bench/v4 adds a "persistence" section lifted from
+# bench_persistence's PERSISTENCE lines: snapshot write/load cost (kind
+# "snapshot") and recovery-vs-recompute latency (kind "recover", per
+# workload and log-tail size).
 
 set -u -o pipefail
 
@@ -36,8 +40,8 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 mode=full
 scale=small
 build_dir=""
-out="$repo_root/BENCH_pr4.json"
-baseline="$repo_root/BENCH_pr3.json"
+out="$repo_root/BENCH_pr5.json"
+baseline="$repo_root/BENCH_pr4.json"
 threads=1
 sweeps=1
 
@@ -76,7 +80,7 @@ while [ $# -gt 0 ]; do
     --baseline)
       [ $# -ge 2 ] || { echo "error: --baseline needs a value" >&2; exit 2; }
       baseline="$2"; shift ;;
-    -h|--help) sed -n '2,27p' "$0"; exit 0 ;;
+    -h|--help) sed -n '2,27p;31,36p' "$0"; exit 0 ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
   shift
@@ -108,11 +112,12 @@ benches=(
   bench_storage_micro
   bench_incremental
   bench_parallel_scaling
+  bench_persistence
 )
 # >20s each at small scale; dropped in --quick mode.
 slow_benches=" bench_fig6_macro_unopt bench_table1_interpreted bench_ablation_freshness "
 # Benches that accept --threads (the Carac-side thread dimension).
-threaded_benches=" bench_fig6_macro_unopt bench_fig8_macro_opt bench_table2_sota bench_incremental "
+threaded_benches=" bench_fig6_macro_unopt bench_fig8_macro_opt bench_table2_sota bench_incremental bench_persistence "
 
 log_dir="$(dirname "$out")/bench_logs"
 mkdir -p "$log_dir"
@@ -127,6 +132,7 @@ rows=""
 failures=0
 scaling_ran=false
 incremental_ran=false
+persistence_ran=false
 for bench in "${benches[@]}"; do
   exe="$build_dir/bench/$bench"
   skipped=false
@@ -180,6 +186,9 @@ for bench in "${benches[@]}"; do
   if [ "$bench" = bench_incremental ] && [ "$code" = 0 ]; then
     incremental_ran=true
   fi
+  if [ "$bench" = bench_persistence ] && [ "$code" = 0 ]; then
+    persistence_ran=true
+  fi
   # shellcheck disable=SC2086
   seconds=$(printf '%s\n' $sweep_times | sort -n |
     awk '{a[NR]=$1} END{print a[int((NR+1)/2)]}')
@@ -216,9 +225,27 @@ if [ "$incremental_ran" = true ] && [ -f "$incremental_log" ]; then
   incremental_rows="${incremental_rows%,}"
 fi
 
+# Durable-state measurements, lifted from bench_persistence's
+# PERSISTENCE lines (workload + kind, then generic key=value fields).
+# Same staleness gate as the other sections: only a run from THIS
+# invocation contributes.
+persistence_rows=""
+persistence_log="$log_dir/bench_persistence.txt"
+if [ "$persistence_ran" = true ] && [ -f "$persistence_log" ]; then
+  persistence_rows=$(awk '/^PERSISTENCE /{
+    printf "    {\"workload\": \"%s\", \"kind\": \"%s\"", $2, $3
+    for (i = 4; i <= NF; ++i) {
+      split($i, kv, "=")
+      printf ", \"%s\": %s", kv[1], kv[2]
+    }
+    printf "},\n"
+  }' "$persistence_log")
+  persistence_rows="${persistence_rows%,}"
+fi
+
 {
   echo "{"
-  echo "  \"schema\": \"carac-bench/v3\","
+  echo "  \"schema\": \"carac-bench/v4\","
   echo "  \"timestamp_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
   echo "  \"mode\": \"$mode\","
   echo "  \"scale\": \"$scale\","
@@ -237,6 +264,9 @@ fi
   echo "  ],"
   echo "  \"incremental\": ["
   if [ -n "$incremental_rows" ]; then printf '%s\n' "$incremental_rows"; fi
+  echo "  ],"
+  echo "  \"persistence\": ["
+  if [ -n "$persistence_rows" ]; then printf '%s\n' "$persistence_rows"; fi
   echo "  ]"
   echo "}"
 } > "$out"

@@ -34,6 +34,25 @@ std::vector<Edge> GenerateSparseGraph(uint64_t seed, int64_t num_vertices,
   return UniqueEdges(&rng, num_vertices, num_edges, zipf_s);
 }
 
+std::vector<Edge> GenerateGrowthGraph(uint64_t seed, int64_t num_vertices,
+                                      double extra_edge_prob) {
+  util::Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(
+      static_cast<double>(num_vertices) * (1.0 + extra_edge_prob)));
+  for (int64_t v = 1; v < num_vertices; ++v) {
+    const auto u =
+        static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(v)));
+    edges.emplace_back(u, v);
+    if (rng.NextBool(extra_edge_prob)) {
+      const auto u2 =
+          static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(v)));
+      if (u2 != u) edges.emplace_back(u2, v);
+    }
+  }
+  return edges;
+}
+
 std::vector<Edge> GenerateCfgEdges(uint64_t seed, int64_t length,
                                    double branch_prob, int64_t max_jump) {
   util::Rng rng(seed);

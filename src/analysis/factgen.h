@@ -29,6 +29,19 @@ std::vector<Edge> GenerateSparseGraph(uint64_t seed, int64_t num_vertices,
 std::vector<Edge> GenerateCfgEdges(uint64_t seed, int64_t length,
                                    double branch_prob, int64_t max_jump = 12);
 
+/// Growth-ordered sparse DAG: vertices appear in id order, and each new
+/// vertex v attaches one edge from a uniformly random earlier vertex
+/// (u -> v), plus an extra such edge with probability `extra_edge_prob`.
+/// The returned list is ordered by attachment time, so a SUFFIX of it is
+/// exactly "the newest data" — the shape of an append-mostly serving
+/// workload, where an update batch (or a fact-log tail) extends the
+/// graph at its frontier instead of rewiring its interior. Used by the
+/// persistence bench: the closure delta of a growth suffix stays
+/// proportional to the suffix, unlike a random-order edge split whose
+/// delta re-derives a super-linear share of the closure.
+std::vector<Edge> GenerateGrowthGraph(uint64_t seed, int64_t num_vertices,
+                                      double extra_edge_prob);
+
 /// Graspan-shaped pointer-analysis input: Assign and Dereference edge sets
 /// with `total_tuples` tuples split ~60/40, over a vertex universe sized
 /// for a bounded transitive closure (the httpd CSPA sample shape).

@@ -40,20 +40,26 @@ std::vector<std::string> SplitLine(const std::string& line) {
 
 }  // namespace
 
-util::Status LoadFactsCsv(const std::string& path, datalog::Program* program,
-                          datalog::PredicateId predicate) {
+namespace {
+
+/// Streaming core shared by LoadFactsCsv and ReadFactsCsv: two passes —
+/// `on_count` receives the data-line count (pre-sizing), then `on_fact`
+/// receives each parsed tuple in file order. Tuples never accumulate
+/// here, so the bulk-load path keeps O(1) transient memory.
+template <typename OnCount, typename OnFact>
+util::Status ScanFactsCsv(const std::string& path, datalog::Program* program,
+                          datalog::PredicateId predicate, OnCount on_count,
+                          OnFact on_fact) {
   CARAC_RETURN_IF_ERROR(util::CheckNotDirectory(path));
   std::ifstream in(path);
   if (!in) return util::Status::NotFound("cannot open " + path);
   const size_t arity = program->PredicateArity(predicate);
   std::string line;
-  // First pass: count data lines so the relation's arena and hash table
-  // are sized once up front (no growth/rehash churn during the load).
   size_t data_lines = 0;
   while (std::getline(in, line)) {
     if (!line.empty() && line[0] != '#') ++data_lines;
   }
-  program->ReserveFacts(predicate, data_lines);
+  on_count(data_lines);
   in.clear();
   in.seekg(0);
   size_t line_no = 0;
@@ -84,9 +90,30 @@ util::Status LoadFactsCsv(const std::string& path, datalog::Program* program,
         tuple.push_back(program->Intern(token));
       }
     }
-    program->AddFact(predicate, std::move(tuple));
+    on_fact(std::move(tuple));
   }
   return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Status LoadFactsCsv(const std::string& path, datalog::Program* program,
+                          datalog::PredicateId predicate) {
+  return ScanFactsCsv(
+      path, program, predicate,
+      [&](size_t lines) { program->ReserveFacts(predicate, lines); },
+      [&](storage::Tuple tuple) {
+        program->AddFact(predicate, std::move(tuple));
+      });
+}
+
+util::Status ReadFactsCsv(const std::string& path, datalog::Program* program,
+                          datalog::PredicateId predicate,
+                          std::vector<storage::Tuple>* out) {
+  return ScanFactsCsv(
+      path, program, predicate,
+      [&](size_t lines) { out->reserve(out->size() + lines); },
+      [&](storage::Tuple tuple) { out->push_back(std::move(tuple)); });
 }
 
 util::Status WriteFactsCsv(const std::string& path,

@@ -2,8 +2,10 @@
 #define CARAC_ANALYSIS_LOADER_H_
 
 #include <string>
+#include <vector>
 
 #include "datalog/ast.h"
+#include "storage/tuple.h"
 #include "util/status.h"
 
 namespace carac::analysis {
@@ -14,6 +16,15 @@ namespace carac::analysis {
 /// interned as a symbol. Lines starting with '#' and blank lines skip.
 util::Status LoadFactsCsv(const std::string& path, datalog::Program* program,
                           datalog::PredicateId predicate);
+
+/// Parses the same format into `out` WITHOUT inserting: string constants
+/// are interned into `program`'s symbol table but the facts stay in the
+/// caller's hands. This is the serve path — batches must flow through
+/// Engine::AddFacts so the durability log sees them, not straight into
+/// the DatabaseSet.
+util::Status ReadFactsCsv(const std::string& path, datalog::Program* program,
+                          datalog::PredicateId predicate,
+                          std::vector<storage::Tuple>* out);
 
 /// Writes a relation's Derived store as tab-separated lines (sorted).
 util::Status WriteFactsCsv(const std::string& path,

@@ -1,14 +1,23 @@
 #include "core/engine.h"
 
+#include <filesystem>
+#include <string_view>
+#include <system_error>
+
 #include "datalog/rewrite.h"
 #include "ir/lowering.h"
+#include "storage/symbol_table.h"
 
 namespace carac::core {
 
 Engine::Engine(datalog::Program* program, EngineConfig config)
-    : program_(program), config_(config) {
+    : program_(program), config_(std::move(config)) {
   ctx_ = std::make_unique<ir::ExecContext>(&program->db());
   ctx_->set_engine_style(config_.engine_style);
+  // Symbols present at construction come from the program source (parse
+  // or DSL); recovery re-parses that source, so only symbols interned
+  // AFTER this point need to travel through the fact log.
+  logged_symbols_ = program->db().symbols().size();
 }
 
 util::Status Engine::Prepare() {
@@ -45,6 +54,15 @@ util::Status Engine::Run() {
   // before compilation is ready".
   util::Status status = driver_->RunFull(&last_epoch_);
   evaluated_ = true;
+  // The epoch closed (AdvanceEpoch ran) even when an async JIT error is
+  // being surfaced — evaluation itself kept interpreting — so the log
+  // commit must not be skipped or the log would fall out of step with
+  // the epoch counter. When both fail, the evaluation error is the
+  // root cause and takes precedence.
+  if (persistence_enabled() && !replaying_) {
+    util::Status commit_status = CommitEpochToLog();
+    if (status.ok()) status = commit_status;
+  }
   return status;
 }
 
@@ -65,8 +83,25 @@ util::Status Engine::AddFacts(datalog::PredicateId predicate,
           " for relation " + db.RelationName(predicate) + "/" +
           std::to_string(arity));
     }
+  }
+  // Log BEFORE inserting: if the append fails (unwritable directory,
+  // disk full), nothing was applied and memory stays agreed with the
+  // log — the documented all-or-nothing contract. The logged batch is
+  // unsealed until the next epoch commits, so a crash in between
+  // replays neither side.
+  if (persistence_enabled() && !replaying_ && !facts.empty()) {
+    CARAC_RETURN_IF_ERROR(LogBatch(predicate, facts));
+  }
+  // Pre-size arena and dedup table for the whole batch (serve-mode
+  // bulk loads arrive here; without this they would re-pay growth and
+  // rehash churn tuple by tuple).
+  db.Reserve(predicate,
+             db.Get(predicate, storage::DbKind::kDerived).size() +
+                 facts.size());
+  for (const storage::Tuple& fact : facts) {
     db.InsertFact(predicate, fact);
   }
+  if (!facts.empty()) ++uncommitted_batches_;
   return util::Status::Ok();
 }
 
@@ -79,7 +114,274 @@ util::Status Engine::Update(EpochReport* report) {
                                    : driver_->RunFull(&last_epoch_);
   evaluated_ = true;
   if (report != nullptr) *report = last_epoch_;
+  if (persistence_enabled() && !replaying_) {
+    util::Status commit_status = CommitEpochToLog();
+    if (status.ok()) status = commit_status;
+  }
   return status;
+}
+
+// ---- Durable state ----
+
+std::string Engine::SnapshotPath() const {
+  return config_.snapshot_dir + "/snapshot.bin";
+}
+
+std::string Engine::FactLogPath() const {
+  return config_.snapshot_dir + "/factlog.bin";
+}
+
+util::Status Engine::EnsureLogOpen() {
+  if (factlog_ != nullptr) return util::Status::Ok();
+  std::error_code ec;
+  std::filesystem::create_directories(config_.snapshot_dir, ec);
+  if (ec) {
+    return util::Status::Internal("cannot create snapshot dir " +
+                                  config_.snapshot_dir + ": " + ec.message());
+  }
+  uint64_t last_epoch = 0;
+  CARAC_RETURN_IF_ERROR(
+      storage::FactLog::OpenForAppend(FactLogPath(), &factlog_, &last_epoch));
+  if (program_->db().epoch() < last_epoch) {
+    // An engine behind the log (it skipped Restore) would re-use epoch
+    // numbers the log already sealed; recovery skips duplicates, so the
+    // acknowledged batches of this session would silently vanish.
+    factlog_.reset();
+    return util::Status::FailedPrecondition(
+        "fact log " + FactLogPath() + " already holds epochs up to " +
+        std::to_string(last_epoch) + " but this engine is at epoch " +
+        std::to_string(program_->db().epoch()) +
+        "; Restore() first (serve: `open`) so existing durable state is "
+        "not silently dropped");
+  }
+  return util::Status::Ok();
+}
+
+util::Status Engine::LogBroken() const {
+  return util::Status::FailedPrecondition(
+      "fact log write previously failed: durability is suspended (the "
+      "current epoch's durable record is incomplete). Checkpoint() "
+      "(serve: `save`) captures full in-memory state and re-establishes "
+      "a clean log.");
+}
+
+util::Status Engine::LogBatch(datalog::PredicateId predicate,
+                              const std::vector<storage::Tuple>& facts) {
+  if (log_broken_) return LogBroken();
+  CARAC_RETURN_IF_ERROR(EnsureLogOpen());
+  util::Status status;
+  const storage::SymbolTable& symbols = program_->db().symbols();
+  if (symbols.size() > logged_symbols_) {
+    std::vector<std::string_view> fresh;
+    fresh.reserve(symbols.size() - logged_symbols_);
+    for (size_t i = logged_symbols_; i < symbols.size(); ++i) {
+      fresh.push_back(symbols.Lookup(storage::kSymbolBase +
+                                     static_cast<int64_t>(i)));
+    }
+    status = factlog_->AppendSymbols(logged_symbols_, fresh);
+    if (status.ok()) logged_symbols_ = symbols.size();
+  }
+  if (status.ok()) {
+    status = factlog_->AppendBatch(
+        predicate, program_->db().RelationArity(predicate), facts);
+  }
+  if (!status.ok()) {
+    // A failed write may have left partial record bytes behind — and
+    // GOOD uncommitted records before them whose facts are already in
+    // memory. Neither committing over the damage nor truncating it
+    // away can keep the log agreed with memory, so durability is
+    // suspended: the handle closes (any debris becomes an unsealed
+    // tail that the next open truncates) and every later append/commit
+    // refuses until a Checkpoint() re-baselines from memory. Recovery
+    // meanwhile replays to the last committed epoch — stale, never
+    // divergent.
+    log_broken_ = true;
+    factlog_.reset();
+  }
+  return status;
+}
+
+util::Status Engine::CommitEpochToLog() {
+  if (log_broken_) return LogBroken();
+  CARAC_RETURN_IF_ERROR(EnsureLogOpen());
+  util::Status status = factlog_->Commit(program_->db().epoch());
+  if (!status.ok()) {
+    // Same discipline as LogBatch: the epoch that just closed is not
+    // fully durable, so stop sealing anything further until a
+    // checkpoint re-baselines.
+    log_broken_ = true;
+    factlog_.reset();
+    return status;
+  }
+  uncommitted_batches_ = 0;
+  ++epochs_since_checkpoint_;
+  if (config_.checkpoint_every > 0 &&
+      epochs_since_checkpoint_ >= config_.checkpoint_every) {
+    return Checkpoint();
+  }
+  return util::Status::Ok();
+}
+
+util::Status Engine::Checkpoint() {
+  if (!persistence_enabled()) {
+    return util::Status::FailedPrecondition(
+        "Checkpoint() requires EngineConfig::snapshot_dir");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(config_.snapshot_dir, ec);
+  if (ec) {
+    return util::Status::Internal("cannot create snapshot dir " +
+                                  config_.snapshot_dir + ": " + ec.message());
+  }
+  CARAC_RETURN_IF_ERROR(program_->db().SaveSnapshot(SnapshotPath()));
+  // The snapshot covers everything the log held: reset it. A crash
+  // between the snapshot rename and this truncation is benign — replay
+  // skips log epochs at or below the snapshot's epoch counter.
+  factlog_.reset();
+  std::filesystem::remove(FactLogPath(), ec);
+  if (ec) {
+    return util::Status::Internal("cannot reset fact log " + FactLogPath() +
+                                  ": " + ec.message());
+  }
+  logged_symbols_ = program_->db().symbols().size();
+  epochs_since_checkpoint_ = 0;
+  // The snapshot captured the full in-memory state and the log is
+  // fresh: durable and served state agree again.
+  log_broken_ = false;
+  uncommitted_batches_ = 0;
+  return util::Status::Ok();
+}
+
+util::Status Engine::ApplyReplayedEpoch(
+    const storage::FactLog::ReplayEpoch& epoch) {
+  storage::SymbolTable& symbols = program_->db().symbols();
+  for (const auto& [index, text] : epoch.symbols) {
+    const int64_t expected =
+        storage::kSymbolBase + static_cast<int64_t>(index);
+    if (index < symbols.size()) {
+      // Already present (snapshot, program source, or an earlier log
+      // epoch): the id assignment must agree.
+      if (symbols.Lookup(expected) != text) {
+        return util::Status::Internal(
+            "fact log replay: symbol id " + std::to_string(index) +
+            " is \"" + symbols.Lookup(expected) +
+            "\" in this database but \"" + text +
+            "\" in the log (log from a different history?)");
+      }
+    } else if (index == symbols.size()) {
+      if (symbols.Intern(text) != expected) {
+        return util::Status::Internal(
+            "fact log replay: symbol \"" + text +
+            "\" did not intern to the logged id");
+      }
+    } else {
+      return util::Status::Internal(
+          "fact log replay: symbol record skips ids (log has index " +
+          std::to_string(index) + ", database holds " +
+          std::to_string(symbols.size()) + " symbols)");
+    }
+  }
+  for (const storage::FactLog::ReplayBatch& batch : epoch.batches) {
+    util::Status status = AddFacts(batch.relation, batch.facts);
+    if (!status.ok()) {
+      return util::Status::Internal(
+          "fact log replay: batch for relation id " +
+          std::to_string(batch.relation) + " rejected: " + status.message());
+    }
+  }
+  CARAC_RETURN_IF_ERROR(Update());
+  if (program_->db().epoch() != epoch.epoch) {
+    return util::Status::Internal(
+        "fact log replay: epoch counter " +
+        std::to_string(program_->db().epoch()) +
+        " after replaying the commit for epoch " +
+        std::to_string(epoch.epoch) + " (log from a different history?)");
+  }
+  return util::Status::Ok();
+}
+
+util::Status Engine::Restore(RestoreInfo* info) {
+  if (info != nullptr) *info = RestoreInfo{};
+  if (!persistence_enabled()) {
+    return util::Status::FailedPrecondition(
+        "Restore() requires EngineConfig::snapshot_dir");
+  }
+  if (!prepared_) {
+    return util::Status::FailedPrecondition(
+        "call Prepare() before Restore()");
+  }
+  storage::DatabaseSet& db = program_->db();
+
+  std::error_code ec;
+  const bool have_snapshot = std::filesystem::exists(SnapshotPath(), ec);
+  if (!have_snapshot && uncommitted_batches_ > 0) {
+    // Without a snapshot there is nothing to rewind the in-memory state
+    // to: truncating the unsealed records of batches this engine still
+    // holds would make later commits durably claim epochs that lack
+    // them — silent divergence. Refuse BEFORE touching the append
+    // handle, so the engine (and the records) continue exactly as if
+    // Restore had not been called.
+    return util::Status::FailedPrecondition(
+        "Restore(): this engine holds " +
+        std::to_string(uncommitted_batches_) +
+        " uncommitted batch(es) and no snapshot exists to rewind to; "
+        "Checkpoint() first, or restore from a fresh engine");
+  }
+
+  // Drop the live append handle. Closing flushes any buffered records
+  // appended since the last commit onto disk as an UNSEALED tail, which
+  // the replay below discards and truncates — matching the in-memory
+  // state, since the snapshot reload drops those uncommitted facts too
+  // (the guard above covers the no-snapshot case). Keeping the handle
+  // would let a later Commit seal buffered batches into an epoch whose
+  // facts this engine no longer holds.
+  factlog_.reset();
+  if (have_snapshot) {
+    CARAC_RETURN_IF_ERROR(db.OpenSnapshot(SnapshotPath()));
+    evaluated_ = db.epoch() > 0;
+    if (info != nullptr) {
+      info->snapshot_loaded = true;
+      info->snapshot_epoch = db.epoch();
+    }
+  }
+
+  if (std::filesystem::exists(FactLogPath(), ec)) {
+    storage::FactLog::ReplayResult replay;
+    CARAC_RETURN_IF_ERROR(storage::FactLog::Replay(FactLogPath(), &replay));
+    replaying_ = true;
+    util::Status status;
+    uint64_t applied = 0;
+    for (const storage::FactLog::ReplayEpoch& epoch : replay.epochs) {
+      // Epochs the snapshot already covers (a crash landed between the
+      // snapshot rename and the log reset) are skipped, not re-applied.
+      if (epoch.epoch <= db.epoch()) continue;
+      status = ApplyReplayedEpoch(epoch);
+      if (!status.ok()) break;
+      ++applied;
+      if (info != nullptr) ++info->epochs_replayed;
+    }
+    replaying_ = false;
+    CARAC_RETURN_IF_ERROR(status);
+    if (replay.torn_tail) {
+      // Drop the crash debris so future appends extend a clean log.
+      std::filesystem::resize_file(FactLogPath(), replay.committed_bytes,
+                                   ec);
+      if (ec) {
+        return util::Status::Internal("cannot truncate torn fact log " +
+                                      FactLogPath() + ": " + ec.message());
+      }
+      if (info != nullptr) info->log_tail_discarded = true;
+    }
+    // Only freshly applied epochs advance the auto-checkpoint clock;
+    // epochs the snapshot already covered are not new work.
+    epochs_since_checkpoint_ = applied;
+  }
+  logged_symbols_ = db.symbols().size();
+  // Memory was just re-synced FROM the durable state, so any prior
+  // append failure is moot.
+  log_broken_ = false;
+  uncommitted_batches_ = 0;
+  return util::Status::Ok();
 }
 
 std::vector<storage::Tuple> Engine::Results(

@@ -1,7 +1,9 @@
 #ifndef CARAC_CORE_ENGINE_H_
 #define CARAC_CORE_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/aot_planner.h"
@@ -12,6 +14,7 @@
 #include "ir/exec_context.h"
 #include "ir/interpreter.h"
 #include "ir/irop.h"
+#include "storage/factlog.h"
 #include "util/status.h"
 
 namespace carac::core {
@@ -52,6 +55,28 @@ struct EngineConfig {
   /// near-empty delta costs more in dispatch than it saves). Tests lower
   /// it to force the parallel path onto small programs.
   uint32_t parallel_min_outer_rows = 128;
+  /// Durable-state directory (snapshot.bin + factlog.bin). When set,
+  /// every AddFacts batch is appended to the fact log and every closed
+  /// epoch commits to it, Checkpoint()/Restore() become available, and a
+  /// restart recovers in O(log tail) instead of O(database). Empty
+  /// (default) disables persistence entirely.
+  std::string snapshot_dir;
+  /// With persistence enabled, automatically Checkpoint() after every N
+  /// closed epochs (0 = manual checkpoints only). Tuning note: a larger
+  /// N amortizes snapshot writes over more epochs but lengthens the log
+  /// tail recovery must replay.
+  uint64_t checkpoint_every = 0;
+};
+
+/// What Engine::Restore() recovered, for serve-mode reporting and tests.
+struct RestoreInfo {
+  bool snapshot_loaded = false;
+  /// DatabaseSet epoch recorded in the snapshot (0 when none existed).
+  uint64_t snapshot_epoch = 0;
+  /// Committed fact-log epochs re-applied through Update().
+  uint64_t epochs_replayed = 0;
+  /// True when an uncommitted log tail (crash debris) was discarded.
+  bool log_tail_discarded = false;
 };
 
 /// The public entry point: owns the lowered IR and the evaluation
@@ -91,8 +116,9 @@ class Engine {
   /// Appends a batch of facts to `predicate`'s Derived store, to be
   /// picked up by the next Update() (or Run()). Fails with
   /// InvalidArgument on an unknown predicate or a tuple whose arity does
-  /// not match the relation; on failure nothing past the offending tuple
-  /// is inserted. Callable before or after Prepare().
+  /// not match the relation; the batch is validated up front, so on
+  /// failure nothing is inserted (and nothing reaches the fact log).
+  /// Callable before or after Prepare().
   util::Status AddFacts(datalog::PredicateId predicate,
                         const std::vector<storage::Tuple>& facts);
 
@@ -103,6 +129,29 @@ class Engine {
   /// inputs changed are recomputed stratum-locally (see FixpointDriver).
   /// `report`, when non-null, receives what the epoch did.
   util::Status Update(EpochReport* report = nullptr);
+
+  // ---- Durable state (requires EngineConfig::snapshot_dir) ----
+  //
+  // Contract: recoverable state = program source + snapshot + fact log.
+  // Facts must enter either through the program before the engine runs
+  // (parse-time facts, Dsl Fact()) or through AddFacts() — batches
+  // inserted into the DatabaseSet behind the engine's back are invisible
+  // to the log and will not survive a restart.
+
+  /// Writes <snapshot_dir>/snapshot.bin (atomic rename) capturing the
+  /// full current state, then resets the fact log — recovery from this
+  /// point replays nothing. Callable at any epoch.
+  util::Status Checkpoint();
+
+  /// Recovers durable state: loads the snapshot (when one exists) and
+  /// re-applies every committed fact-log epoch past it through the
+  /// normal Update() path, so recovery costs O(log tail). An
+  /// uncommitted log tail — crash debris — is discarded and truncated
+  /// away; corruption under a checksum fails with a diagnostic Status
+  /// and applies nothing further. Requires Prepare(); call it before
+  /// adding new facts. A subsequent Update() continues incrementally,
+  /// byte-identical to a process that never restarted.
+  util::Status Restore(RestoreInfo* info = nullptr);
 
   /// Cumulative counters across all epochs; last_epoch() holds the most
   /// recent evaluation's share.
@@ -116,6 +165,23 @@ class Engine {
   size_t ResultSize(datalog::PredicateId predicate) const;
 
  private:
+  bool persistence_enabled() const { return !config_.snapshot_dir.empty(); }
+  std::string SnapshotPath() const;
+  std::string FactLogPath() const;
+  /// Opens (creating if needed) the append handle on the fact log.
+  util::Status EnsureLogOpen();
+  /// The durability-suspended diagnostic (see log_broken_).
+  util::Status LogBroken() const;
+  /// Logs one validated AddFacts batch, preceded by any symbols interned
+  /// since the last record (so replay reproduces identical symbol ids).
+  util::Status LogBatch(datalog::PredicateId predicate,
+                        const std::vector<storage::Tuple>& facts);
+  /// Seals the epoch that just closed into the log; auto-checkpoints
+  /// when EngineConfig::checkpoint_every says so.
+  util::Status CommitEpochToLog();
+  /// Re-applies one replayed log epoch (symbols, batches, Update).
+  util::Status ApplyReplayedEpoch(const storage::FactLog::ReplayEpoch& epoch);
+
   datalog::Program* program_;
   EngineConfig config_;
   ir::IRProgram irp_;
@@ -126,6 +192,29 @@ class Engine {
   EpochReport last_epoch_;
   bool prepared_ = false;
   bool evaluated_ = false;
+  // ---- Persistence state (unused when snapshot_dir is empty) ----
+  std::unique_ptr<storage::FactLog> factlog_;
+  /// Symbols already covered by the snapshot/log; the suffix past this
+  /// count is appended before the next batch record.
+  size_t logged_symbols_ = 0;
+  uint64_t epochs_since_checkpoint_ = 0;
+  /// True while Restore() re-applies log epochs: suppresses re-logging.
+  bool replaying_ = false;
+  /// Batches applied since the last epoch commit. Restore() can rewind
+  /// them only by reloading a snapshot; without one it refuses rather
+  /// than truncate their unsealed log records out from under the
+  /// in-memory facts (which would silently diverge served state from
+  /// what a restart recovers).
+  uint64_t uncommitted_batches_ = 0;
+  /// Set when a log write fails. Durability is then SUSPENDED — further
+  /// appends and commits refuse fast — because the current epoch's
+  /// durable record is incomplete and committing it would let recovery
+  /// silently diverge from the served state. A successful Checkpoint()
+  /// heals it (the snapshot captures full memory state and resets the
+  /// log); Restore() clears it too (memory is re-synced FROM the
+  /// durable state). Until then, recovery replays to the last epoch
+  /// whose commit reached disk — stale but consistent.
+  bool log_broken_ = false;
 };
 
 }  // namespace carac::core

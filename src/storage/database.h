@@ -120,6 +120,31 @@ class DatabaseSet {
   SymbolTable& symbols() { return symbols_; }
   const SymbolTable& symbols() const { return symbols_; }
 
+  // ---- Durable snapshots (implemented in storage/snapshot.cc) ----
+  //
+  // A snapshot serializes the full logical state of the set — every
+  // Derived arena verbatim (insertion order and hence RowIds preserved),
+  // the EDB row bookkeeping, the per-relation epoch watermarks, the
+  // interned-symbol table and the epoch counter — under a versioned
+  // header with per-section checksums. Delta stores are NOT persisted:
+  // at a closed epoch their contents are dead (the next epoch re-seeds
+  // them from the watermarks).
+
+  /// Writes a snapshot of the current state to `path` (atomically: a
+  /// temp file in the same directory is renamed over `path` on success).
+  util::Status SaveSnapshot(const std::string& path) const;
+
+  /// Replaces this set's state with a snapshot previously written by
+  /// SaveSnapshot. The set must either be empty (relations are
+  /// registered from the snapshot) or already hold the same schema —
+  /// relation count, names and arities in registration order (the usual
+  /// case: the program source was re-parsed before restoring). Dedup
+  /// hash tables and declared column indexes are rebuilt in memory;
+  /// corruption anywhere (header, symbols, any relation section) fails
+  /// with a diagnostic Status and leaves partially loaded relations
+  /// overwritten — callers treat a failed open as a discarded set.
+  util::Status OpenSnapshot(const std::string& path);
+
  private:
   struct Store {
     std::unique_ptr<Relation> derived;

@@ -1,0 +1,132 @@
+#ifndef CARAC_STORAGE_FACTLOG_H_
+#define CARAC_STORAGE_FACTLOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "storage/database.h"
+#include "storage/tuple.h"
+#include "util/status.h"
+
+namespace carac::storage {
+
+/// Append-only durability log of the fact batches applied between two
+/// snapshots. Recovery = load the latest snapshot, then replay the log
+/// tail through the normal evaluation path (Engine::Update), paying
+/// O(delta) instead of O(database).
+///
+/// All integers little-endian. Layout (version 1):
+///
+///   [file header]  magic "CARACFLG" (8 bytes), version u32, reserved u32
+///   [record]*      tag u8, payload_len u32, payload bytes,
+///                  checksum u64 (FNV-1a over tag + payload_len + payload)
+///
+/// Record payloads by tag:
+///   kBatch (1)     relation u32, arity u32, count u32,
+///                  count * arity values (u64 each) — one AddFacts batch
+///   kSymbols (2)   start_index u64, count u32, then count strings
+///                  (u32 length + bytes): symbols interned since the last
+///                  symbol record, so replay reproduces identical ids
+///   kCommit (3)    epoch u64 — seals every batch/symbol record since
+///                  the previous commit into one atomic epoch
+///
+/// Replay applies only sealed epochs: a tail with no commit record (the
+/// crash case) is discarded, never half-applied. A record cut short by
+/// EOF is a torn tail (normal crash debris — replay succeeds with the
+/// committed prefix and reports where to truncate); a record that is
+/// fully present but fails its checksum is corruption and fails replay
+/// with a diagnostic Status.
+///
+/// Version policy: same as the snapshot format (storage/snapshot.h) —
+/// any layout change bumps kFactLogFormatVersion and readers reject
+/// versions they were not built for.
+class FactLog {
+ public:
+  inline static constexpr uint32_t kFactLogFormatVersion = 1;
+
+  ~FactLog();
+  FactLog(const FactLog&) = delete;
+  FactLog& operator=(const FactLog&) = delete;
+
+  /// Opens `path` for appending, creating it (with a file header) when
+  /// absent or empty. An existing file is scanned first (checksums
+  /// verified, payloads NOT decoded): a corrupt log is refused (never
+  /// extended), and a torn tail — crash debris past the last committed
+  /// epoch — is truncated away before the first append, so new records
+  /// always extend a clean committed prefix. `last_committed_epoch`,
+  /// when non-null, receives the epoch of the log's final commit record
+  /// (0 for a fresh log) — callers refuse to append epochs at or below
+  /// it (an engine that skipped recovery would otherwise seal commits
+  /// that replay then skips, silently dropping acknowledged batches).
+  static util::Status OpenForAppend(const std::string& path,
+                                    std::unique_ptr<FactLog>* out,
+                                    uint64_t* last_committed_epoch = nullptr);
+
+  /// Appends one AddFacts batch (already validated by the engine).
+  util::Status AppendBatch(RelationId relation, size_t arity,
+                           const std::vector<Tuple>& facts);
+
+  /// Appends the symbol-table suffix [start_index, start_index + n):
+  /// strings interned since the last symbol record.
+  util::Status AppendSymbols(uint64_t start_index,
+                             const std::vector<std::string_view>& symbols);
+
+  /// Seals the records appended since the last commit into `epoch` and
+  /// flushes to the OS. Every closed evaluation epoch commits — empty
+  /// ones included — so replay reproduces the epoch counter exactly.
+  util::Status Commit(uint64_t epoch);
+
+  // ---- Recovery ----
+
+  struct ReplayBatch {
+    RelationId relation = 0;
+    std::vector<Tuple> facts;
+  };
+  struct ReplayEpoch {
+    uint64_t epoch = 0;
+    /// (symbol id index, text) pairs to re-intern before the batches.
+    std::vector<std::pair<uint64_t, std::string>> symbols;
+    std::vector<ReplayBatch> batches;
+    /// File offset one past this epoch's commit record.
+    uint64_t end_offset = 0;
+  };
+  struct ReplayResult {
+    std::vector<ReplayEpoch> epochs;
+    /// Offset one past the last sealed epoch: truncate the file here
+    /// before appending again, so new records never follow torn bytes.
+    uint64_t committed_bytes = 0;
+    /// True when bytes past committed_bytes were discarded (torn tail).
+    bool torn_tail = false;
+  };
+
+  /// Decodes the sealed epochs of the log at `path`. Returns NotFound
+  /// when the file does not exist, a diagnostic Status on corruption
+  /// (checksum mismatch, bad magic/version, malformed record), and Ok —
+  /// with the full committed prefix — on a clean or merely torn log.
+  static util::Status Replay(const std::string& path, ReplayResult* out);
+
+ private:
+  explicit FactLog(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  util::Status AppendRecord(uint8_t tag, const unsigned char* payload,
+                            size_t len);
+
+  /// Replay body. `decode_payloads` false = scan mode (OpenForAppend):
+  /// record framing and checksums are verified and commit epochs read,
+  /// but batch/symbol payloads are not materialized.
+  static util::Status ScanOrReplay(const std::string& path,
+                                   ReplayResult* out, bool decode_payloads);
+
+  std::FILE* file_;
+  std::string path_;
+};
+
+}  // namespace carac::storage
+
+#endif  // CARAC_STORAGE_FACTLOG_H_

@@ -153,6 +153,23 @@ void Relation::CopyIndexDeclarations(const Relation& other) {
   }
 }
 
+void Relation::LoadContents(std::vector<Value> arena, uint32_t num_rows,
+                            RowId watermark) {
+  CARAC_CHECK(arena.size() == static_cast<size_t>(num_rows) * arity_);
+  CARAC_CHECK(watermark <= num_rows);
+  arena_ = std::move(arena);
+  num_rows_ = num_rows;
+  watermark_ = watermark;
+  // Rebuild the dedup table at the same load factor Reserve() targets.
+  Rehash(NextPowerOfTwo(num_rows + num_rows / 3 + 1, kMinSlots));
+  for (ColumnIndex& index : indexes_) {
+    index.Clear();
+    for (RowId row = 0; row < num_rows_; ++row) {
+      index.Add(row, RowData(row)[index.column()]);
+    }
+  }
+}
+
 std::vector<Tuple> Relation::SortedRows() const {
   std::vector<Tuple> out;
   out.reserve(num_rows_);

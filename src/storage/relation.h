@@ -176,6 +176,23 @@ class Relation {
   /// Sorted copy of all rows, for golden tests and result extraction.
   std::vector<Tuple> SortedRows() const;
 
+  // ---- Snapshot support (storage/snapshot.cc) ----
+
+  /// The raw row-major arena (NumRows() * arity() values, insertion
+  /// order). Snapshot write serializes it verbatim; that is what makes a
+  /// loaded relation byte-identical to the saved one — RowIds, insertion
+  /// order and hence SortedRows all survive.
+  const std::vector<Value>& arena() const { return arena_; }
+
+  /// Replaces this relation's contents with `num_rows` rows given
+  /// row-major in `arena` (snapshot load). The rows must be distinct —
+  /// they come from a set-semantics arena and are checksum-protected on
+  /// disk; dedup is NOT re-verified here. Rebuilds the open-addressing
+  /// table from scratch and re-populates any declared index, then sets
+  /// the epoch watermark to `watermark` (<= num_rows).
+  void LoadContents(std::vector<Value> arena, uint32_t num_rows,
+                    RowId watermark);
+
  private:
   static constexpr size_t kNoIndex = static_cast<size_t>(-1);
   static constexpr uint32_t kEmptySlot = 0xFFFFFFFFu;

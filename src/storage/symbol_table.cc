@@ -13,6 +13,15 @@ int64_t SymbolTable::Intern(std::string_view text) {
   return id;
 }
 
+void SymbolTable::Restore(std::vector<std::string> symbols) {
+  symbols_ = std::move(symbols);
+  ids_.clear();
+  ids_.reserve(symbols_.size());
+  for (size_t i = 0; i < symbols_.size(); ++i) {
+    ids_.emplace(symbols_[i], kSymbolBase + static_cast<int64_t>(i));
+  }
+}
+
 const std::string& SymbolTable::Lookup(int64_t id) const {
   CARAC_CHECK(IsSymbol(id));
   const size_t index = static_cast<size_t>(id - kSymbolBase);

@@ -36,6 +36,12 @@ class SymbolTable {
 
   size_t size() const { return symbols_.size(); }
 
+  /// Replaces the table's contents (snapshot load): symbol i of `symbols`
+  /// gets id kSymbolBase + i, reproducing the interning order of the run
+  /// that saved the snapshot — tuples serialized with symbol ids stay
+  /// valid verbatim.
+  void Restore(std::vector<std::string> symbols);
+
  private:
   std::vector<std::string> symbols_;
   std::unordered_map<std::string, int64_t> ids_;

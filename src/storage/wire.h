@@ -1,0 +1,193 @@
+#ifndef CARAC_STORAGE_WIRE_H_
+#define CARAC_STORAGE_WIRE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "storage/tuple.h"
+#include "util/hash.h"
+#include "util/status.h"
+
+// Little-endian wire helpers shared by the snapshot (storage/snapshot.cc)
+// and fact-log (storage/factlog.cc) encoders. Both formats are composed
+// of checksummed sections: a WireBuf accumulates one section's payload,
+// a WireReader decodes with sticky bounds checking so truncated or
+// length-corrupted input degrades to a diagnostic, never to an
+// out-of-bounds read.
+
+namespace carac::storage {
+
+/// True when the host stores integers little-endian — then the wire
+/// format IS the in-memory layout and value spans move with memcpy
+/// instead of a shift-decode per byte (the arena sections dominate
+/// snapshot size, so this is the snapshot load/save hot loop).
+inline bool HostIsLittleEndian() {
+  const uint32_t probe = 1;
+  unsigned char low = 0;
+  std::memcpy(&low, &probe, 1);
+  return low == 1;
+}
+
+/// Slurps a whole file into `out` (pre-sized to the file length — both
+/// wire formats are read back as one in-memory span, and the snapshot
+/// is the whole database, so growth-by-doubling would re-copy the
+/// largest buffer in the system O(log n) times). `what` names the file
+/// kind in diagnostics ("snapshot", "fact log").
+inline util::Status ReadWholeFile(const std::string& path, const char* what,
+                                  std::vector<unsigned char>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return util::Status::NotFound(std::string("cannot open ") + what + " " +
+                                  path);
+  }
+  out->clear();
+  std::error_code ec;
+  const auto file_size = std::filesystem::file_size(path, ec);
+  if (!ec) out->reserve(static_cast<size_t>(file_size));
+  unsigned char chunk[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    out->insert(out->end(), chunk, chunk + got);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return util::Status::Internal(std::string("read error on ") + what +
+                                  " " + path);
+  }
+  return util::Status::Ok();
+}
+
+/// Append-only little-endian byte buffer.
+class WireBuf {
+ public:
+  void PutU8(uint8_t v) { bytes_.push_back(v); }
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back((v >> (8 * i)) & 0xFF);
+  }
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back((v >> (8 * i)) & 0xFF);
+  }
+  void PutBytes(const void* data, size_t n) {
+    if (n == 0) return;  // An empty arena legally has a null data().
+    const auto* p = static_cast<const unsigned char*>(data);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutBytes(s.data(), s.size());
+  }
+  void PutValues(const Value* data, size_t n) {
+    if (HostIsLittleEndian()) {
+      PutBytes(data, n * 8);
+      return;
+    }
+    bytes_.reserve(bytes_.size() + n * 8);
+    for (size_t i = 0; i < n; ++i) PutU64(static_cast<uint64_t>(data[i]));
+  }
+  void Clear() { bytes_.clear(); }
+  const unsigned char* data() const { return bytes_.data(); }
+  size_t size() const { return bytes_.size(); }
+  uint64_t Checksum() const { return util::HashBytes(data(), size()); }
+
+ private:
+  std::vector<unsigned char> bytes_;
+};
+
+/// Bounds-checked little-endian cursor. Every getter fails (sticky ok)
+/// instead of reading past the end.
+class WireReader {
+ public:
+  WireReader(const unsigned char* data, size_t size)
+      : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  bool GetU8(uint8_t* out) {
+    if (!Need(1)) return false;
+    *out = data_[pos_++];
+    return true;
+  }
+  bool GetU32(uint32_t* out) {
+    if (!Need(4)) return false;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+  bool GetU64(uint64_t* out) {
+    if (!Need(8)) return false;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return true;
+  }
+  bool GetBytes(void* out, size_t n) {
+    if (!Need(n)) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool GetString(std::string* out) {
+    uint32_t len = 0;
+    if (!GetU32(&len) || !Need(len)) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return true;
+  }
+  bool GetValues(std::vector<Value>* out, size_t n) {
+    if (n == 0) return ok_;
+    if (!Need(n * 8)) return false;
+    if (HostIsLittleEndian()) {
+      const size_t old = out->size();
+      out->resize(old + n);
+      std::memcpy(out->data() + old, data_ + pos_, n * 8);
+      pos_ += n * 8;
+      return true;
+    }
+    out->reserve(out->size() + n);
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t v = 0;
+      GetU64(&v);
+      out->push_back(static_cast<Value>(v));
+    }
+    return ok_;
+  }
+
+  /// Checksum of [from, pos()): call at a section boundary, then compare
+  /// against the stored sum read next.
+  uint64_t ChecksumSince(size_t from) const {
+    return util::HashBytes(data_ + from, pos_ - from);
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const unsigned char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace carac::storage
+
+#endif  // CARAC_STORAGE_WIRE_H_

@@ -44,6 +44,23 @@ inline uint64_t HashSpan(const int64_t* data, size_t n) {
   return h;
 }
 
+/// Order-dependent hash of raw bytes (FNV-1a 64). Not a hot-path hash:
+/// used for snapshot/fact-log section checksums, where a simple streaming
+/// definition that any reader can re-implement matters more than
+/// throughput. Passing a previous result as `seed` continues the stream:
+/// HashBytes(b, m, HashBytes(a, n)) == HashBytes(concat(a, b), n + m) —
+/// which is what lets the snapshot writer checksum a section in pieces
+/// without staging the whole section in memory.
+inline uint64_t HashBytes(const void* data, size_t n,
+                          uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h = (h ^ p[i]) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
 }  // namespace carac::util
 
 #endif  // CARAC_UTIL_HASH_H_

@@ -149,8 +149,28 @@ else()
   message(STATUS "[serve_dump_symbols] ok (exit ${serve_code})")
 endif()
 
-# serve error contract: unknown commands and relations exit 1.
-file(WRITE "${WORK_DIR}/serve_bad.txt" "frobnicate\n")
+# serve error contract: malformed input prints a diagnostic and the
+# session CONTINUES (a typo must not tear down live state). The script
+# mixes every input-validation failure mode with healthy commands and
+# requires (a) exit 0, (b) every diagnostic present, (c) the post-error
+# commands still answered — proof the session survived each error.
+#   - unknown command, unknown relation
+#   - malformed update/load lines (trailing junk, missing arguments)
+#   - unreadable csv, wrong-arity facts (3 columns into Edge/2)
+file(WRITE "${WORK_DIR}/bad_arity.csv" "1,2,3\n")
+file(WRITE "${WORK_DIR}/serve_bad.txt"
+  "update\n"
+  "frobnicate\n"
+  "count Nope\n"
+  "update Edge\n"
+  "load Edge\n"
+  "load Edge ${WORK_DIR}/does_not_exist.csv\n"
+  "load Edge ${WORK_DIR}/bad_arity.csv\n"
+  "load Nope ${WORK_DIR}/tc.csv\n"
+  "count Path extra\n"
+  "dump Edge out.tsv\n"
+  "count Path\n"
+  "quit\n")
 execute_process(
   COMMAND "${CARAC_CLI}" serve "${WORK_DIR}/good.dl"
   INPUT_FILE "${WORK_DIR}/serve_bad.txt"
@@ -158,23 +178,127 @@ execute_process(
   ERROR_VARIABLE serve_err
   RESULT_VARIABLE serve_code
   TIMEOUT 60)
-if(NOT serve_code STREQUAL "1" OR NOT serve_err MATCHES "unknown command")
-  message(SEND_ERROR "[serve_bad_command] expected exit 1 + diagnostic, "
-    "got ${serve_code}\n${serve_out}${serve_err}")
-else()
-  message(STATUS "[serve_bad_command] ok (exit ${serve_code})")
+if(NOT serve_code STREQUAL "0")
+  message(SEND_ERROR "[serve_error_continuation] expected exit 0 "
+    "(session survives malformed input), got ${serve_code}\n"
+    "${serve_out}${serve_err}")
 endif()
-file(WRITE "${WORK_DIR}/serve_bad_rel.txt" "count Nope\n")
+foreach(needle
+    "unknown command: frobnicate"
+    "unknown relation: Nope"
+    "update takes no arguments"
+    "load needs a csv path"
+    "cannot open"
+    "expected 2 columns, got 3"
+    "count takes one relation name"
+    "dump takes one relation name")
+  if(NOT serve_err MATCHES "${needle}")
+    message(SEND_ERROR "[serve_error_continuation] missing diagnostic "
+      "'${needle}':\n${serve_out}${serve_err}")
+  endif()
+endforeach()
+# The session must still be alive and consistent after all the errors:
+# none of the rejected loads may have leaked facts into the database.
+if(NOT serve_out MATCHES "Path: 3 rows")
+  message(SEND_ERROR "[serve_error_continuation] post-error count wrong "
+    "(expected 'Path: 3 rows'):\n${serve_out}${serve_err}")
+else()
+  message(STATUS "[serve_error_continuation] ok (exit ${serve_code})")
+endif()
+
+# --snapshot-dir / --checkpoint-every validation: strict integers, and a
+# cadence without a directory is a configuration error (exit 2).
+expect_cli(checkpoint_every_garbage 2 "checkpoint-every" run fibonacci
+  --snapshot-dir="${WORK_DIR}/snapdir" --checkpoint-every=abc)
+expect_cli(checkpoint_every_negative 2 "checkpoint-every" run fibonacci
+  --snapshot-dir="${WORK_DIR}/snapdir" --checkpoint-every=-1)
+expect_cli(checkpoint_every_trailing 2 "checkpoint-every" run fibonacci
+  --snapshot-dir="${WORK_DIR}/snapdir" --checkpoint-every=5x)
+expect_cli(checkpoint_without_dir 2 "requires --snapshot-dir"
+  run fibonacci --checkpoint-every=5)
+expect_cli(snapshot_dir_empty 2 "needs a directory path"
+  run fibonacci --snapshot-dir=)
+
+# serve durable sessions: session 1 evaluates, checkpoints (save) and
+# keeps serving (the post-save epoch lands in the fact log); session 2
+# recovers with `open` — the count must be available WITHOUT an update —
+# and continues incrementally; session 3 proves the epoch counter
+# survived too (epoch=4 incremental, not a full restart).
+file(WRITE "${WORK_DIR}/serve_b2.csv" "4,5\n")
+file(WRITE "${WORK_DIR}/serve_save.txt"
+  "update\n"
+  "load Edge ${WORK_DIR}/serve_batch.csv\n"
+  "update\n"
+  "save\n"
+  "load Edge ${WORK_DIR}/serve_b2.csv\n"
+  "update\n"
+  "quit\n")
+file(REMOVE_RECURSE "${WORK_DIR}/serve_state")
 execute_process(
   COMMAND "${CARAC_CLI}" serve "${WORK_DIR}/good.dl"
-  INPUT_FILE "${WORK_DIR}/serve_bad_rel.txt"
+    "--snapshot-dir=${WORK_DIR}/serve_state"
+  INPUT_FILE "${WORK_DIR}/serve_save.txt"
   OUTPUT_VARIABLE serve_out
   ERROR_VARIABLE serve_err
   RESULT_VARIABLE serve_code
   TIMEOUT 60)
-if(NOT serve_code STREQUAL "1" OR NOT serve_err MATCHES "unknown relation")
-  message(SEND_ERROR "[serve_bad_relation] expected exit 1 + diagnostic, "
-    "got ${serve_code}\n${serve_out}${serve_err}")
+if(NOT serve_code STREQUAL "0" OR NOT serve_out MATCHES "checkpoint saved"
+    OR NOT EXISTS "${WORK_DIR}/serve_state/snapshot.bin"
+    OR NOT EXISTS "${WORK_DIR}/serve_state/factlog.bin")
+  message(SEND_ERROR "[serve_save] expected a checkpoint + log tail, got "
+    "exit ${serve_code}\n${serve_out}${serve_err}")
 else()
-  message(STATUS "[serve_bad_relation] ok (exit ${serve_code})")
+  message(STATUS "[serve_save] ok (exit ${serve_code})")
+endif()
+file(WRITE "${WORK_DIR}/serve_open.txt"
+  "open\n"
+  "count Path\n"
+  "load Edge ${WORK_DIR}/serve_batch3.csv\n"
+  "update\n"
+  "count Path\n"
+  "quit\n")
+file(WRITE "${WORK_DIR}/serve_batch3.csv" "5,6\n")
+execute_process(
+  COMMAND "${CARAC_CLI}" serve "${WORK_DIR}/good.dl"
+    "--snapshot-dir=${WORK_DIR}/serve_state"
+  INPUT_FILE "${WORK_DIR}/serve_open.txt"
+  OUTPUT_VARIABLE serve_out
+  ERROR_VARIABLE serve_err
+  RESULT_VARIABLE serve_code
+  TIMEOUT 60)
+if(NOT serve_code STREQUAL "0")
+  message(SEND_ERROR "[serve_open] expected exit 0, got ${serve_code}\n"
+    "${serve_out}${serve_err}")
+endif()
+# Recovery: snapshot at epoch 2 + one replayed log epoch; the 4-chain
+# closure (10 paths of the 5-chain after the new batch, 10 after) — the
+# first count reads recovered state, the second the post-update state.
+foreach(needle
+    "restored snapshot \\(snapshot epoch 2\\) \\+ 1 log epoch"
+    "Path: 10 rows"
+    "epoch=4 incremental"
+    "Path: 15 rows")
+  if(NOT serve_out MATCHES "${needle}")
+    message(SEND_ERROR
+      "[serve_open] output missing '${needle}':\n${serve_out}${serve_err}")
+  endif()
+endforeach()
+message(STATUS "[serve_open] ok (exit ${serve_code})")
+
+# open on an empty state dir is a clean no-op, not an error.
+file(WRITE "${WORK_DIR}/serve_open_empty.txt" "open\nupdate\nquit\n")
+file(REMOVE_RECURSE "${WORK_DIR}/serve_state2")
+execute_process(
+  COMMAND "${CARAC_CLI}" serve "${WORK_DIR}/good.dl"
+    "--snapshot-dir=${WORK_DIR}/serve_state2"
+  INPUT_FILE "${WORK_DIR}/serve_open_empty.txt"
+  OUTPUT_VARIABLE serve_out
+  ERROR_VARIABLE serve_err
+  RESULT_VARIABLE serve_code
+  TIMEOUT 60)
+if(NOT serve_code STREQUAL "0" OR NOT serve_out MATCHES "no snapshot")
+  message(SEND_ERROR "[serve_open_empty] expected clean no-op open, got "
+    "exit ${serve_code}\n${serve_out}${serve_err}")
+else()
+  message(STATUS "[serve_open_empty] ok (exit ${serve_code})")
 endif()

@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <map>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "core/engine.h"
@@ -220,6 +222,78 @@ Model EvaluateIncremental(uint64_t seed, const core::EngineConfig& config,
   return model;
 }
 
+/// Persistence arm: the same random program evaluated with a
+/// save-and-reopen in the middle. The first `num_batches` batches run in
+/// one engine (checkpointing to disk mid-stream, so both the snapshot
+/// AND a fact-log tail exist), then a FRESH program + DatabaseSet is
+/// recovered via Engine::Restore and the remaining `num_batches` batches
+/// continue there. The final model must equal the uninterrupted run's.
+Model EvaluatePersisted(uint64_t seed, const core::EngineConfig& base,
+                        int num_batches, const std::string& scratch_name) {
+  const int total_batches = 2 * num_batches;
+  RandomProgram rp(seed, /*insert_facts=*/false);
+  util::Rng batch_rng(seed * 7919 + 13);
+  std::vector<std::vector<std::pair<datalog::PredicateId, storage::Tuple>>>
+      batches(total_batches);
+  for (const auto& fact : rp.facts) {
+    batches[batch_rng.NextBounded(static_cast<uint64_t>(total_batches))]
+        .push_back(fact);
+  }
+
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) /
+      ("carac_fuzz_" + scratch_name + "_" + std::to_string(seed));
+  std::filesystem::remove_all(dir);
+  core::EngineConfig config = base;
+  config.snapshot_dir = dir.string();
+
+  // First life: batch 0 is program-source facts, the rest flow through
+  // AddFacts (and hence the log); a checkpoint lands mid-stream.
+  {
+    for (const auto& [pred, tuple] : batches[0]) {
+      rp.program->AddFact(pred, tuple);
+    }
+    core::Engine engine(rp.program.get(), config);
+    CARAC_CHECK_OK(engine.Prepare());
+    CARAC_CHECK_OK(engine.Run());
+    // The checkpoint must land strictly BEFORE the last first-life
+    // epoch, so recovery always crosses a snapshot AND a committed log
+    // tail (with num_batches == 2 that means right after Run()).
+    if (num_batches <= 2) CARAC_CHECK_OK(engine.Checkpoint());
+    for (int b = 1; b < num_batches; ++b) {
+      for (const auto& [pred, tuple] : batches[b]) {
+        CARAC_CHECK_OK(engine.AddFacts(pred, {tuple}));
+      }
+      CARAC_CHECK_OK(engine.Update());
+      if (b == num_batches / 2 && b < num_batches - 1) {
+        CARAC_CHECK_OK(engine.Checkpoint());
+      }
+    }
+  }
+
+  // Second life: fresh everything, recovered from disk, then the
+  // remaining batches as ordinary incremental epochs.
+  RandomProgram fresh(seed, /*insert_facts=*/false);
+  for (const auto& [pred, tuple] : batches[0]) {
+    fresh.program->AddFact(pred, tuple);
+  }
+  core::Engine engine(fresh.program.get(), config);
+  CARAC_CHECK_OK(engine.Prepare());
+  CARAC_CHECK_OK(engine.Restore());
+  for (int b = num_batches; b < total_batches; ++b) {
+    for (const auto& [pred, tuple] : batches[b]) {
+      CARAC_CHECK_OK(engine.AddFacts(pred, {tuple}));
+    }
+    CARAC_CHECK_OK(engine.Update());
+  }
+  Model model;
+  for (datalog::PredicateId id : fresh.idb) {
+    model.push_back(engine.Results(id));
+  }
+  std::filesystem::remove_all(dir);
+  return model;
+}
+
 class FuzzDifferential : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FuzzDifferential, AllConfigurationsAgree) {
@@ -337,6 +411,34 @@ TEST_P(FuzzDifferential, IncrementalMatchesBatch) {
     config.aot.use_fact_cardinalities = fact_cards;
     EXPECT_EQ(EvaluateIncremental(seed, config, 3), reference)
         << (fact_cards ? "aot facts" : "aot rules-only") << " incremental";
+  }
+}
+
+// The persistence oracle: random programs — negation, aggregates and the
+// stratum-recompute fallback included — saved to disk after K batches,
+// reopened in a completely fresh DatabaseSet, and continued for K more
+// batches must land on the uninterrupted one-shot model byte-for-byte.
+// The first life checkpoints mid-stream, so recovery crosses BOTH a
+// snapshot and a committed fact-log tail.
+TEST_P(FuzzDifferential, PersistedReopenMatchesBatch) {
+  const uint64_t seed = GetParam();
+  const Model reference = Evaluate(seed, core::EngineConfig{});
+
+  for (ir::EngineStyle style :
+       {ir::EngineStyle::kPush, ir::EngineStyle::kPull}) {
+    core::EngineConfig config;
+    config.engine_style = style;
+    EXPECT_EQ(EvaluatePersisted(seed, config, 2,
+                                ir::EngineStyleName(style)),
+              reference)
+        << ir::EngineStyleName(style) << " engine, persisted";
+  }
+  {
+    core::EngineConfig config;
+    config.num_threads = 4;
+    config.parallel_min_outer_rows = 1;
+    EXPECT_EQ(EvaluatePersisted(seed, config, 3, "threads4"), reference)
+        << "4 threads, persisted";
   }
 }
 

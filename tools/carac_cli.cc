@@ -25,6 +25,11 @@
 //   --parallel-min-outer-rows=N
 //                          outer scans below N rows stay single-threaded
 //                          (default 128)
+//   --snapshot-dir=DIR     durable-state directory (snapshot + fact log);
+//                          enables serve's save/open commands and logs
+//                          every batch + epoch for crash recovery
+//   --checkpoint-every=N   with --snapshot-dir: auto-checkpoint after
+//                          every N epochs (0 = manual `save` only)
 //   --ir                   print the lowered IR before running
 //   --stats                print execution counters
 //
@@ -37,8 +42,17 @@
 //                                epoch report
 //   count <Relation>             print the relation's derived row count
 //   dump <Relation>              print the relation's sorted rows (TSV)
+//   save                         checkpoint durable state now
+//                                (requires --snapshot-dir)
+//   open                         recover durable state: load the snapshot
+//                                and replay the fact-log tail
 //   quit                         exit (EOF works too)
-// Malformed commands and unknown relations exit 1 with a diagnostic.
+// Malformed input — unknown commands or relations, wrong-arity facts,
+// unreadable files — prints a diagnostic and CONTINUES the session (a
+// typo must not tear down live state); the session still exits 0. Only
+// startup failures (unparsable program, failed Prepare) and a failed
+// `open` (the database may be partially overwritten — serving it would
+// lie) exit nonzero.
 
 #include <cstdio>
 #include <cstring>
@@ -75,6 +89,10 @@ struct Options {
   std::string threads_arg;
   int64_t parallel_min_rows = 128;
   std::string parallel_min_rows_arg;
+  // Raw --checkpoint-every value; -1 marks "invalid" (diagnostic + exit 2).
+  int64_t checkpoint_every = 0;
+  std::string checkpoint_every_arg;
+  bool snapshot_dir_empty = false;  // --snapshot-dir= with no path.
   bool print_ir = false;
   bool print_stats = false;
 };
@@ -87,7 +105,9 @@ int Usage() {
                "       carac serve <program.dl> [options]\n"
                "       carac list\n"
                "options include --threads=N and --parallel-min-outer-rows=N\n"
-               "(evaluation threads / parallel dispatch threshold);\n"
+               "(evaluation threads / parallel dispatch threshold) and\n"
+               "--snapshot-dir=DIR / --checkpoint-every=N (durable state:\n"
+               "serve gains save/open commands and crash recovery);\n"
                "see the header of tools/carac_cli.cc for the full list\n");
   return 2;
 }
@@ -158,6 +178,17 @@ bool ParseFlag(const std::string& arg, Options* opts) {
         opts->parallel_min_rows < 1 ||
         opts->parallel_min_rows > std::numeric_limits<uint32_t>::max()) {
       opts->parallel_min_rows = -1;
+    }
+  } else if (const char* d = value_of("--snapshot-dir=")) {
+    opts->config.snapshot_dir = d;
+    opts->snapshot_dir_empty = opts->config.snapshot_dir.empty();
+  } else if (const char* c = value_of("--checkpoint-every=")) {
+    opts->checkpoint_every_arg = c;
+    // Strict integer like --scale: a typo'd cadence must not silently
+    // disable (or constant-trigger) checkpointing. 0 = manual only.
+    if (!util::ParseInt64(c, &opts->checkpoint_every) ||
+        opts->checkpoint_every < 0 || opts->checkpoint_every > kMaxScale) {
+      opts->checkpoint_every = -1;
     }
   } else if (const char* s = value_of("--scale=")) {
     opts->scale_arg = s;
@@ -248,9 +279,17 @@ bool FindRelation(const datalog::Program& program, const std::string& name,
 }
 
 /// The `serve` command: Prepare() once, then apply stdin commands —
-/// fact batches and update epochs — against the live engine. This is the
-/// CLI surface of re-enterable evaluation: each `update` pays for the
-/// delta, not the database.
+/// fact batches, update epochs and (with --snapshot-dir) durable
+/// checkpoints — against the live engine. This is the CLI surface of
+/// re-enterable evaluation: each `update` pays for the delta, not the
+/// database, and `open` recovers a previous session's state in O(log
+/// tail) instead of re-evaluating.
+///
+/// Error contract: malformed input (unknown command or relation, missing
+/// arguments, trailing junk, wrong-arity facts, unreadable files) prints
+/// a diagnostic and the session CONTINUES — in a long-lived updatable
+/// database, a typo must not tear down the in-memory fixpoint. Only
+/// startup failures and a failed `open` (see below) exit nonzero.
 int RunServe(const Options& opts) {
   auto program = std::make_unique<datalog::Program>();
   util::Status status = datalog::ParseDatalogFile(opts.target, program.get());
@@ -276,6 +315,19 @@ int RunServe(const Options& opts) {
     std::string command;
     if (!(tokens >> command)) continue;  // Blank / comment-only line.
 
+    // Zero-argument commands reject trailing junk: `update Edge` is a
+    // user who thinks update takes a relation, not a no-op.
+    std::string extra;
+    if (command == "quit" || command == "update" || command == "save" ||
+        command == "open") {
+      if (tokens >> extra) {
+        std::fprintf(stderr,
+                     "serve: %s takes no arguments (got \"%s\")\n",
+                     command.c_str(), extra.c_str());
+        continue;
+      }
+    }
+
     if (command == "quit") return 0;
 
     if (command == "update") {
@@ -284,10 +336,46 @@ int RunServe(const Options& opts) {
       status = engine.Update(&report);
       const double seconds = timer.ElapsedSeconds();
       if (!status.ok()) {
-        std::fprintf(stderr, "update failed: %s\n", status.ToString().c_str());
-        return 1;
+        std::fprintf(stderr, "update failed: %s\n",
+                     status.ToString().c_str());
+        continue;
       }
       std::printf("%s in %s s\n", report.ToString().c_str(),
+                  harness::FormatSeconds(seconds).c_str());
+      continue;
+    }
+
+    if (command == "save") {
+      status = engine.Checkpoint();
+      if (!status.ok()) {
+        std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+        continue;
+      }
+      std::printf("checkpoint saved (epoch %llu) to %s\n",
+                  static_cast<unsigned long long>(program->db().epoch()),
+                  opts.config.snapshot_dir.c_str());
+      continue;
+    }
+
+    if (command == "open") {
+      core::RestoreInfo info;
+      util::Timer timer;
+      status = engine.Restore(&info);
+      const double seconds = timer.ElapsedSeconds();
+      if (!status.ok()) {
+        // Unlike input typos, a failed restore may leave the database
+        // partially overwritten (OpenSnapshot installs sections as they
+        // verify; replay may stop mid-log). Serving that state would be
+        // lying — this is the one serve error that ends the session.
+        std::fprintf(stderr, "open failed: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("restored %s (snapshot epoch %llu) + %llu log epoch(s)%s "
+                  "in %s s\n",
+                  info.snapshot_loaded ? "snapshot" : "no snapshot",
+                  static_cast<unsigned long long>(info.snapshot_epoch),
+                  static_cast<unsigned long long>(info.epochs_replayed),
+                  info.log_tail_discarded ? " (torn tail discarded)" : "",
                   harness::FormatSeconds(seconds).c_str());
       continue;
     }
@@ -297,30 +385,46 @@ int RunServe(const Options& opts) {
       if (!(tokens >> rel_name)) {
         std::fprintf(stderr, "serve: %s needs a relation name\n",
                      command.c_str());
-        return 1;
+        continue;
       }
       datalog::PredicateId rel = datalog::kInvalidPredicate;
       if (!FindRelation(*program, rel_name, &rel)) {
         std::fprintf(stderr, "serve: unknown relation: %s\n",
                      rel_name.c_str());
-        return 1;
+        continue;
       }
       if (command == "load") {
         std::string path;
         if (!(tokens >> path)) {
           std::fprintf(stderr, "serve: load needs a csv path\n");
-          return 1;
+          continue;
         }
-        status = analysis::LoadFactsCsv(path, program.get(), rel);
+        if (tokens >> extra) {
+          std::fprintf(stderr,
+                       "serve: load takes one csv path (got \"%s\")\n",
+                       extra.c_str());
+          continue;
+        }
+        // Through the engine, not straight into the DatabaseSet: the
+        // durability log only sees batches that cross Engine::AddFacts.
+        std::vector<storage::Tuple> facts;
+        status = analysis::ReadFactsCsv(path, program.get(), rel, &facts);
+        if (status.ok()) status = engine.AddFacts(rel, facts);
         if (!status.ok()) {
           std::fprintf(stderr, "%s\n", status.ToString().c_str());
-          return 1;
+          continue;
         }
         std::printf("loaded %s into %s (%zu facts total)\n", path.c_str(),
                     rel_name.c_str(),
                     program->db()
                         .Get(rel, storage::DbKind::kDerived)
                         .size());
+      } else if (tokens >> extra) {
+        // count/dump take exactly one relation name.
+        std::fprintf(stderr,
+                     "serve: %s takes one relation name (got \"%s\")\n",
+                     command.c_str(), extra.c_str());
+        continue;
       } else if (command == "count") {
         std::printf("%s: %zu rows\n", rel_name.c_str(),
                     engine.ResultSize(rel));
@@ -342,7 +446,6 @@ int RunServe(const Options& opts) {
     }
 
     std::fprintf(stderr, "serve: unknown command: %s\n", command.c_str());
-    return 1;
   }
   return 0;
 }
@@ -390,9 +493,29 @@ int main(int argc, char** argv) {
                      std::numeric_limits<uint32_t>::max()));
     return 2;
   }
+  if (opts.snapshot_dir_empty) {
+    std::fprintf(stderr, "invalid --snapshot-dir=: needs a directory path\n");
+    return 2;
+  }
+  if (opts.checkpoint_every < 0) {
+    std::fprintf(stderr,
+                 "invalid --checkpoint-every=%s: expected an integer in "
+                 "[0, %lld]\n",
+                 opts.checkpoint_every_arg.c_str(),
+                 static_cast<long long>(kMaxScale));
+    return 2;
+  }
+  if (opts.checkpoint_every > 0 && opts.config.snapshot_dir.empty()) {
+    std::fprintf(stderr,
+                 "--checkpoint-every requires --snapshot-dir "
+                 "(nowhere to write the checkpoint)\n");
+    return 2;
+  }
   opts.config.num_threads = static_cast<int>(opts.threads);
   opts.config.parallel_min_outer_rows =
       static_cast<uint32_t>(opts.parallel_min_rows);
+  opts.config.checkpoint_every =
+      static_cast<uint64_t>(opts.checkpoint_every);
 
   if (opts.command == "run") {
     bool ok = false;
