@@ -1,0 +1,239 @@
+// Index-subsystem micro-costs, per index organization: insert, point
+// probe, range probe and batched probe throughput of every IndexKind
+// over the same relation contents. These are the constants the
+// --index-kind ablation (EXPERIMENTS.md) stands on, and the direct
+// evidence for the two headline claims of the pluggable-index design:
+//
+//   range    the immutable sorted-array prefix scans a contiguous
+//            (key,row) array, versus pointer-chasing a std::map — the
+//            range-heavy win.
+//   batch    BatchProbe resolves a window of outer keys in one call and
+//            skips equal-adjacent keys entirely; on duplicate-heavy
+//            outer sequences (the shape of a skewed join) it beats the
+//            point-probe loop — the probe-dominated win.
+//
+// Machine-readable INDEX lines feed the "index" section of
+// scripts/run_benches.sh's JSON snapshot (carac-bench/v5). `--micro`
+// shrinks the workload to a sub-second slice for the CI bench-smoke job.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/table.h"
+#include "storage/index.h"
+#include "storage/relation.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace carac;
+using storage::IndexKind;
+using storage::Relation;
+using storage::RowCursor;
+using storage::RowId;
+using storage::Value;
+
+constexpr IndexKind kAllKinds[] = {IndexKind::kHash, IndexKind::kSorted,
+                                   IndexKind::kBtree, IndexKind::kSortedArray};
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+struct Sizes {
+  int64_t rows;
+  int64_t keys;      // distinct key values; postings per key = rows/keys
+  int64_t span;      // range-probe width, in key values
+  int64_t dup_run;   // consecutive repeats per key in the batch sequence
+  int64_t window;    // keys per BatchProbe call
+  int reps;
+};
+
+Sizes GetSizes(bool micro) {
+  if (micro) return {20000, 256, 16, 4, 64, 3};
+  return {200000, 1024, 64, 4, 64, 5};
+}
+
+/// One relation per kind, identical contents: keys round-robin over
+/// [0, keys), so every key has rows/keys postings and probe results are
+/// multi-row (the join shape, not a unique-key lookup). The watermark is
+/// advanced after the bulk load — the sorted-array kind measures its
+/// stable prefix, which is where evaluation spends its probes (body
+/// atoms read Derived/DeltaKnown, both stabilized at epoch boundaries).
+void BuildRelation(IndexKind kind, const Sizes& s, Relation* rel,
+                   double* insert_s) {
+  util::Timer timer;
+  rel->DeclareIndex(0, kind);
+  for (int64_t i = 0; i < s.rows; ++i) {
+    rel->Insert({i % s.keys, i});
+  }
+  *insert_s = timer.ElapsedSeconds();
+  rel->AdvanceWatermark();
+}
+
+double MeasurePointProbe(const Relation& rel, const Sizes& s) {
+  std::vector<double> times;
+  for (int rep = 0; rep < s.reps; ++rep) {
+    util::Timer timer;
+    size_t hits = 0;
+    for (int64_t key = 0; key < s.keys; ++key) {
+      hits += rel.Probe(0, key).size();
+    }
+    times.push_back(timer.ElapsedSeconds());
+    if (hits != static_cast<size_t>(s.rows)) {
+      std::fprintf(stderr, "error: point probe lost rows (%zu != %lld)\n",
+                   hits, static_cast<long long>(s.rows));
+      std::exit(1);
+    }
+  }
+  return Median(times);
+}
+
+/// Sliding [lo, lo+span] sweeps across the whole key domain; every
+/// ordered kind must return the same total row count.
+double MeasureRangeProbe(const Relation& rel, const Sizes& s,
+                         size_t* total_rows) {
+  std::vector<double> times;
+  for (int rep = 0; rep < s.reps; ++rep) {
+    util::Timer timer;
+    size_t rows = 0;
+    std::vector<RowId> out;
+    for (int64_t lo = 0; lo + s.span <= s.keys; lo += s.span) {
+      out.clear();
+      CARAC_CHECK_OK(rel.ProbeRange(0, lo, lo + s.span - 1, &out));
+      rows += out.size();
+    }
+    times.push_back(timer.ElapsedSeconds());
+    *total_rows = rows;
+  }
+  return Median(times);
+}
+
+/// The duplicate-heavy outer sequence: each key repeated dup_run times
+/// consecutively (a sorted/skewed outer join side), resolved through
+/// BatchProbe in `window`-key calls versus one Probe per key.
+void MeasureBatch(const Relation& rel, const Sizes& s, double* batch_s,
+                  double* point_s) {
+  std::vector<Value> seq;
+  seq.reserve(static_cast<size_t>(s.keys * s.dup_run));
+  for (int64_t key = 0; key < s.keys; ++key) {
+    for (int64_t d = 0; d < s.dup_run; ++d) seq.push_back(key);
+  }
+  std::vector<RowCursor> cursors(static_cast<size_t>(s.window));
+
+  std::vector<double> batch_times, point_times;
+  size_t batch_hits = 0, point_hits = 0;
+  for (int rep = 0; rep < s.reps; ++rep) {
+    util::Timer timer;
+    batch_hits = 0;
+    for (size_t at = 0; at < seq.size(); at += static_cast<size_t>(s.window)) {
+      const size_t n =
+          std::min(static_cast<size_t>(s.window), seq.size() - at);
+      rel.BatchProbe(0, seq.data() + at, n, cursors.data());
+      for (size_t i = 0; i < n; ++i) batch_hits += cursors[i].size();
+    }
+    batch_times.push_back(timer.ElapsedSeconds());
+
+    timer.Restart();
+    point_hits = 0;
+    for (Value key : seq) {
+      point_hits += rel.Probe(0, key).size();
+    }
+    point_times.push_back(timer.ElapsedSeconds());
+  }
+  if (batch_hits != point_hits) {
+    std::fprintf(stderr, "error: batch probe diverged (%zu != %zu)\n",
+                 batch_hits, point_hits);
+    std::exit(1);
+  }
+  *batch_s = Median(batch_times);
+  *point_s = Median(point_times);
+}
+
+double Mops(int64_t ops, double seconds) {
+  return seconds > 0 ? static_cast<double>(ops) / seconds / 1e6 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool micro = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--micro") == 0) {
+      micro = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--micro]\n", argv[0]);
+      return 2;
+    }
+  }
+  const Sizes s = GetSizes(micro);
+
+  std::printf("Index micro: %lld rows, %lld keys, per-kind "
+              "insert/probe/range/batch (median of %d)\n\n",
+              static_cast<long long>(s.rows), static_cast<long long>(s.keys),
+              s.reps);
+
+  harness::TablePrinter table({"kind", "insert (s)", "probe (Mop/s)",
+                               "range (Mrow/s)", "batch vs point"});
+  for (IndexKind kind : kAllKinds) {
+    double insert_s = 0;
+    Relation rel("R", 2);
+    BuildRelation(kind, s, &rel, &insert_s);
+
+    const double probe_s = MeasurePointProbe(rel, s);
+    std::printf("INDEX %s probe rows=%lld keys=%lld seconds=%.6f "
+                "mprobes=%.2f\n",
+                storage::IndexKindName(kind),
+                static_cast<long long>(s.rows),
+                static_cast<long long>(s.keys), probe_s,
+                Mops(s.keys, probe_s));
+    std::printf("INDEX %s insert rows=%lld seconds=%.6f mrows=%.2f\n",
+                storage::IndexKindName(kind),
+                static_cast<long long>(s.rows), insert_s,
+                Mops(s.rows, insert_s));
+
+    double range_s = 0;
+    size_t range_rows = 0;
+    std::string range_cell = "-";
+    if (storage::IndexKindIsOrdered(kind)) {
+      range_s = MeasureRangeProbe(rel, s, &range_rows);
+      std::printf("INDEX %s range rows=%lld span=%lld seconds=%.6f "
+                  "mrows=%.2f\n",
+                  storage::IndexKindName(kind),
+                  static_cast<long long>(s.rows),
+                  static_cast<long long>(s.span), range_s,
+                  Mops(static_cast<int64_t>(range_rows), range_s));
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.1f",
+                    Mops(static_cast<int64_t>(range_rows), range_s));
+      range_cell = buf;
+    }
+
+    double batch_s = 0, point_s = 0;
+    MeasureBatch(rel, s, &batch_s, &point_s);
+    const double speedup = batch_s > 0 ? point_s / batch_s : 0;
+    std::printf("INDEX %s batch rows=%lld window=%lld dup_run=%lld "
+                "batch_s=%.6f point_s=%.6f speedup=%.2f\n",
+                storage::IndexKindName(kind),
+                static_cast<long long>(s.rows),
+                static_cast<long long>(s.window),
+                static_cast<long long>(s.dup_run), batch_s, point_s,
+                speedup);
+
+    char insert_cell[32], probe_cell[32], batch_cell[32];
+    std::snprintf(insert_cell, sizeof insert_cell, "%.3f", insert_s);
+    std::snprintf(probe_cell, sizeof probe_cell, "%.2f",
+                  Mops(s.keys, probe_s));
+    std::snprintf(batch_cell, sizeof batch_cell, "%.2fx", speedup);
+    table.AddRow({storage::IndexKindName(kind), insert_cell, probe_cell,
+                  range_cell, batch_cell});
+  }
+  std::printf("\n");
+  table.Print();
+  return 0;
+}

@@ -33,6 +33,10 @@
 # bench_persistence's PERSISTENCE lines: snapshot write/load cost (kind
 # "snapshot") and recovery-vs-recompute latency (kind "recover", per
 # workload and log-tail size).
+# Schema carac-bench/v5 adds an "index" section lifted from
+# bench_index_micro's INDEX lines: per-IndexKind insert/probe/range/
+# batched-probe throughput (metric "batch" carries the batched-vs-point
+# speedup).
 
 set -u -o pipefail
 
@@ -40,8 +44,8 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 mode=full
 scale=small
 build_dir=""
-out="$repo_root/BENCH_pr5.json"
-baseline="$repo_root/BENCH_pr4.json"
+out="$repo_root/BENCH_pr6.json"
+baseline="$repo_root/BENCH_pr5.json"
 threads=1
 sweeps=1
 
@@ -80,7 +84,7 @@ while [ $# -gt 0 ]; do
     --baseline)
       [ $# -ge 2 ] || { echo "error: --baseline needs a value" >&2; exit 2; }
       baseline="$2"; shift ;;
-    -h|--help) sed -n '2,27p;31,36p' "$0"; exit 0 ;;
+    -h|--help) sed -n '2,27p;29,39p' "$0"; exit 0 ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
   shift
@@ -111,6 +115,7 @@ benches=(
   bench_ablation_storage
   bench_storage_micro
   bench_incremental
+  bench_index_micro
   bench_parallel_scaling
   bench_persistence
 )
@@ -133,6 +138,7 @@ failures=0
 scaling_ran=false
 incremental_ran=false
 persistence_ran=false
+index_ran=false
 for bench in "${benches[@]}"; do
   exe="$build_dir/bench/$bench"
   skipped=false
@@ -189,6 +195,9 @@ for bench in "${benches[@]}"; do
   if [ "$bench" = bench_persistence ] && [ "$code" = 0 ]; then
     persistence_ran=true
   fi
+  if [ "$bench" = bench_index_micro ] && [ "$code" = 0 ]; then
+    index_ran=true
+  fi
   # shellcheck disable=SC2086
   seconds=$(printf '%s\n' $sweep_times | sort -n |
     awk '{a[NR]=$1} END{print a[int((NR+1)/2)]}')
@@ -243,9 +252,26 @@ if [ "$persistence_ran" = true ] && [ -f "$persistence_log" ]; then
   persistence_rows="${persistence_rows%,}"
 fi
 
+# Per-IndexKind micro-costs, lifted from bench_index_micro's INDEX lines
+# (kind + metric, then generic key=value fields). Same staleness gate as
+# the other sections: only a run from THIS invocation contributes.
+index_rows=""
+index_log="$log_dir/bench_index_micro.txt"
+if [ "$index_ran" = true ] && [ -f "$index_log" ]; then
+  index_rows=$(awk '/^INDEX /{
+    printf "    {\"kind\": \"%s\", \"metric\": \"%s\"", $2, $3
+    for (i = 4; i <= NF; ++i) {
+      split($i, kv, "=")
+      printf ", \"%s\": %s", kv[1], kv[2]
+    }
+    printf "},\n"
+  }' "$index_log")
+  index_rows="${index_rows%,}"
+fi
+
 {
   echo "{"
-  echo "  \"schema\": \"carac-bench/v4\","
+  echo "  \"schema\": \"carac-bench/v5\","
   echo "  \"timestamp_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
   echo "  \"mode\": \"$mode\","
   echo "  \"scale\": \"$scale\","
@@ -267,6 +293,9 @@ fi
   echo "  ],"
   echo "  \"persistence\": ["
   if [ -n "$persistence_rows" ]; then printf '%s\n' "$persistence_rows"; fi
+  echo "  ],"
+  echo "  \"index\": ["
+  if [ -n "$index_rows" ]; then printf '%s\n' "$index_rows"; fi
   echo "  ]"
   echo "}"
 } > "$out"

@@ -13,15 +13,26 @@ using storage::Tuple;
 using storage::Value;
 
 /// Iterator state: either a whole-relation arena scan (dense RowId cursor)
-/// or an index-probe result (RowId bucket). `current` points at the
+/// or an index-probe result (RowId cursor). `current` points at the
 /// row-major values of the current row inside the relation's arena.
 struct IterState {
   const Relation* rel = nullptr;
   bool probe = false;
-  const std::vector<RowId>* bucket = nullptr;
+  storage::RowCursor bucket;
   size_t bucket_pos = 0;
   RowId row = 0;
   const Value* current = nullptr;
+  // Probe memo: an inner iterator slot typically re-opens with the same
+  // (relation, column, key) once per outer row — always for const keys,
+  // and for runs of equal outer join keys otherwise. The cursor from the
+  // previous open is reused when the VM's mutation generation hasn't
+  // moved (kSwapClear / kCallNode bump it; in between, the probed
+  // Derived/DeltaKnown stores are frozen, so the cursor stays valid).
+  const Relation* memo_rel = nullptr;
+  size_t memo_col = 0;
+  Value memo_key = 0;
+  uint64_t memo_gen = 0;
+  bool memo_valid = false;
 
   void OpenScan(const Relation* relation) {
     rel = relation;
@@ -30,25 +41,34 @@ struct IterState {
     current = nullptr;
   }
 
-  void OpenProbe(const Relation* relation, size_t col, Value value) {
-    rel = relation;
-    probe = true;
-    bucket = relation->HasIndex(col) ? &relation->Probe(col, value) : nullptr;
-    bucket_pos = 0;
-    current = nullptr;
-    if (bucket == nullptr) {
+  void OpenProbe(const Relation* relation, size_t col, Value value,
+                 uint64_t gen, bool memoizable) {
+    if (!relation->HasIndex(col)) {
       // No index (unindexed configuration): degrade to a scan; the CHECK
       // instructions emitted alongside the probe still filter correctly
       // because the compiler always re-checks the probed column.
       OpenScan(relation);
-      probe = false;
+      return;
     }
+    rel = relation;
+    probe = true;
+    if (!(memo_valid && memo_rel == relation && memo_col == col &&
+          memo_key == value && memo_gen == gen)) {
+      bucket = relation->Probe(col, value);
+      memo_rel = relation;
+      memo_col = col;
+      memo_key = value;
+      memo_gen = gen;
+      memo_valid = memoizable;
+    }
+    bucket_pos = 0;
+    current = nullptr;
   }
 
   bool Next() {
     if (probe) {
-      if (bucket_pos >= bucket->size()) return false;
-      current = rel->RowData((*bucket)[bucket_pos++]);
+      if (bucket_pos >= bucket.size()) return false;
+      current = rel->RowData(bucket[bucket_pos++]);
       return true;
     }
     if (row >= rel->NumRows()) return false;
@@ -65,6 +85,10 @@ void RunBytecode(const BytecodeProgram& program, ir::ExecContext& ctx,
   std::vector<IterState> iters(program.num_iters);
   Tuple scratch;
   storage::DatabaseSet& db = ctx.db();
+  // Mutation generation for the per-slot probe memos. Emits only touch
+  // DeltaNew (never memoized); the stores probes read change only at
+  // kSwapClear and kCallNode, so those bump it.
+  uint64_t probe_gen = 0;
 
   size_t pc = 0;
   for (;;) {
@@ -84,14 +108,16 @@ void RunBytecode(const BytecodeProgram& program, ir::ExecContext& ctx,
         iters[insn.a].OpenProbe(
             &db.Get(static_cast<datalog::PredicateId>(insn.b),
                     static_cast<storage::DbKind>(insn.c)),
-            static_cast<size_t>(insn.d), insn.imm);
+            static_cast<size_t>(insn.d), insn.imm, probe_gen,
+            static_cast<storage::DbKind>(insn.c) != storage::DbKind::kDeltaNew);
         ++pc;
         break;
       case Insn::Op::kProbeOpenReg:
         iters[insn.a].OpenProbe(
             &db.Get(static_cast<datalog::PredicateId>(insn.b),
                     static_cast<storage::DbKind>(insn.c)),
-            static_cast<size_t>(insn.d), regs[insn.e]);
+            static_cast<size_t>(insn.d), regs[insn.e], probe_gen,
+            static_cast<storage::DbKind>(insn.c) != storage::DbKind::kDeltaNew);
         ++pc;
         break;
       case Insn::Op::kNext:
@@ -170,6 +196,7 @@ void RunBytecode(const BytecodeProgram& program, ir::ExecContext& ctx,
         break;
       case Insn::Op::kSwapClear:
         db.SwapClearMerge(program.relation_sets[insn.a]);
+        ++probe_gen;
         ++pc;
         break;
       case Insn::Op::kJumpIfDelta:
@@ -183,6 +210,7 @@ void RunBytecode(const BytecodeProgram& program, ir::ExecContext& ctx,
         break;
       case Insn::Op::kCallNode:
         interp.Execute(*const_cast<ir::IROp*>(program.call_nodes[insn.a]));
+        ++probe_gen;
         ++pc;
         break;
       case Insn::Op::kHalt:

@@ -56,7 +56,7 @@ SourceCache& Cache() {
 struct IterState {
   const Relation* rel = nullptr;
   bool probe = false;
-  const std::vector<storage::RowId>* bucket = nullptr;
+  storage::RowCursor bucket;
   size_t bucket_pos = 0;
   storage::RowId row = 0;
 };
@@ -91,9 +91,9 @@ uint32_t RtProbeOpen(void* rt, uint32_t pred, uint32_t db, uint32_t col,
   IterState state;
   state.rel = &rel;
   state.probe = true;
-  state.bucket = &rel.Probe(col, value);
+  state.bucket = rel.Probe(col, value);
   state.bucket_pos = 0;
-  bridge->iters.push_back(state);
+  bridge->iters.push_back(std::move(state));
   return static_cast<uint32_t>(bridge->iters.size() - 1);
 }
 
@@ -101,8 +101,8 @@ const int64_t* RtIterNext(void* rt, uint32_t iter) {
   auto* bridge = static_cast<RtBridge*>(rt);
   IterState& state = bridge->iters[iter];
   if (state.probe) {
-    if (state.bucket_pos >= state.bucket->size()) return nullptr;
-    return state.rel->RowData((*state.bucket)[state.bucket_pos++]);
+    if (state.bucket_pos >= state.bucket.size()) return nullptr;
+    return state.rel->RowData(state.bucket[state.bucket_pos++]);
   }
   if (state.row >= state.rel->NumRows()) return nullptr;
   return state.rel->RowData(state.row++);

@@ -6,6 +6,8 @@
 
 #include "datalog/rewrite.h"
 #include "ir/lowering.h"
+#include "optimizer/selectivity.h"
+#include "optimizer/statistics.h"
 #include "storage/symbol_table.h"
 
 namespace carac::core {
@@ -21,8 +23,31 @@ Engine::Engine(datalog::Program* program, EngineConfig config)
 }
 
 util::Status Engine::Prepare() {
-  program_->db().SetIndexingEnabled(config_.use_indexes);
-  program_->db().SetDefaultIndexKind(config_.index_kind);
+  storage::DatabaseSet& db = program_->db();
+  db.SetIndexingEnabled(config_.use_indexes);
+  // Index-kind precedence, weakest first: the statistics-driven auto
+  // policy, a concrete configured kind, then per-column program hints.
+  // All of it lands before lowering declares the indexes, so every index
+  // is built once with its final organization.
+  if (config_.index_kind.has_value()) {
+    db.SetDefaultIndexKind(*config_.index_kind);
+  } else {
+    const optimizer::AccessPathProfile profile =
+        optimizer::ProfileAccessPaths(*program_);
+    for (const auto& [key, access] : profile.columns) {
+      const auto& [pred, column] = key;
+      const storage::IndexKind kind = optimizer::ChooseIndexKind(
+          access, db.Get(pred, storage::DbKind::kDerived).size(),
+          program_->IsIdb(pred));
+      if (kind != storage::IndexKind::kHash) {
+        db.SetIndexKindOverride(pred, column, kind);
+      }
+    }
+  }
+  for (const datalog::IndexHint& hint : program_->index_hints()) {
+    db.SetIndexKindOverride(hint.predicate, hint.column, hint.kind);
+  }
+  ctx_->set_probe_batch_window(config_.probe_batch_window);
   if (config_.eliminate_aliases) {
     datalog::EliminateAliases(program_);
   }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,9 +32,17 @@ struct EngineConfig {
   EvalMode mode = EvalMode::kInterpreted;
   /// Build indexes on join/filter columns (§IV "Index selection").
   bool use_indexes = true;
-  /// Index organization: hash (the paper's HashMap indexes) or sorted
-  /// (the Soufflé-style ordered index, an extension).
-  storage::IndexKind index_kind = storage::IndexKind::kHash;
+  /// Index organization for every declared index. A concrete kind forces
+  /// that organization everywhere; nullopt (the default, "auto") keeps
+  /// the paper's hash indexes for point-probed columns and lets the
+  /// optimizer's access-path profile pick an ordered organization for
+  /// range-only columns (optimizer/selectivity.h ChooseIndexKind).
+  /// Program-level hints (Program::HintIndexKind, the DSL HintIndex, or
+  /// a parsed `@index` pragma) override either, per column.
+  std::optional<storage::IndexKind> index_kind;
+  /// Outer-window size for batch-at-a-time index probes (see
+  /// ir::ExecContext::probe_batch_window); 0 disables batching.
+  uint32_t probe_batch_window = 64;
   /// Which relational engine executes subqueries (§V-D: push or pull).
   ir::EngineStyle engine_style = ir::EngineStyle::kPush;
   JitConfig jit;

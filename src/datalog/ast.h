@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "storage/database.h"
+#include "storage/index.h"
 #include "storage/tuple.h"
 #include "util/status.h"
 
@@ -95,6 +96,17 @@ enum class AggFunc : uint8_t { kNone = 0, kCount, kSum, kMin, kMax };
 
 const char* AggFuncName(AggFunc func);
 
+/// A per-column index-organization hint, from the DSL
+/// (RelationRef::HintIndex) or the textual `@index(Rel, col, kind).`
+/// pragma. Hints are the strongest voice in kind selection: they beat
+/// both the engine's configured default and the statistics-driven
+/// choice (core/engine.cc Prepare applies them last).
+struct IndexHint {
+  PredicateId predicate = kInvalidPredicate;
+  size_t column = 0;
+  storage::IndexKind kind = storage::IndexKind::kHash;
+};
+
 /// A Datalog rule `head :- body.`; facts are not rules (they are inserted
 /// directly into the relational layer as they are defined, §V-A).
 struct Rule {
@@ -160,6 +172,15 @@ class Program {
   /// True if any rule defines this predicate (it is part of the IDB).
   bool IsIdb(PredicateId p) const;
 
+  /// Records an index-organization hint for `predicate`'s `column`.
+  /// Hints accumulate in declaration order; on conflict the last one
+  /// wins (the engine applies them sequentially).
+  void HintIndexKind(PredicateId predicate, size_t column,
+                     storage::IndexKind kind) {
+    index_hints_.push_back({predicate, column, kind});
+  }
+  const std::vector<IndexHint>& index_hints() const { return index_hints_; }
+
   storage::DatabaseSet& db() { return db_; }
   const storage::DatabaseSet& db() const { return db_; }
 
@@ -173,6 +194,7 @@ class Program {
   std::vector<std::string> var_names_;
   std::vector<Rule> rules_;
   std::vector<bool> is_idb_;
+  std::vector<IndexHint> index_hints_;
 };
 
 }  // namespace carac::datalog

@@ -56,6 +56,10 @@ void RelationRef::Reserve(size_t rows) const {
   dsl_->program()->ReserveFacts(id_, rows);
 }
 
+void RelationRef::HintIndex(size_t column, storage::IndexKind kind) const {
+  dsl_->program()->HintIndexKind(id_, column, kind);
+}
+
 void RelationRef::InsertFact(std::vector<TermArg> args) const {
   storage::Tuple tuple;
   tuple.reserve(args.size());

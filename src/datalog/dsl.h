@@ -116,6 +116,11 @@ class RelationRef {
   /// Pre-sizes the relation for `rows` facts ahead of a bulk Fact() loop.
   void Reserve(size_t rows) const;
 
+  /// Hints the index organization for `column` (the DSL analog of the
+  /// textual `@index(Rel, col, kind).` pragma). Beats the engine's
+  /// configured kind and the statistics-driven choice.
+  void HintIndex(size_t column, storage::IndexKind kind) const;
+
  private:
   AtomExpr MakeAtom(std::vector<TermArg> args) const;
   void InsertFact(std::vector<TermArg> args) const;

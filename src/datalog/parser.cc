@@ -18,7 +18,7 @@ struct Token {
     kIdent,    // Relation or variable name.
     kNumber,   // Integer literal.
     kString,   // "..." literal.
-    kPunct,    // One of ( ) , . :- ! < <= > >= = != + - * / %
+    kPunct,    // One of ( ) , . :- ! < <= > >= = != + - * / % @
     kEnd,
   };
   Kind kind = Kind::kEnd;
@@ -124,7 +124,7 @@ class Lexer {
       two(">=");
     } else if (c == '!' && next == '=') {
       two("!=");
-    } else if (std::string("(),.!<>=+-*/%").find(c) != std::string::npos) {
+    } else if (std::string("(),.!<>=+-*/%@").find(c) != std::string::npos) {
       token.text = std::string(1, c);
       ++pos_;
     }
@@ -308,7 +308,56 @@ class Parser {
     return relational ? ParseRelationalAtom(atom) : ParseConstraint(atom);
   }
 
+  /// `@index(Rel, col, kind).` — hints the index organization for one
+  /// column. `kind` is an identifier (hash, sorted, btree,
+  /// sorted_array); the relation must already be known so the column
+  /// can be validated against its arity.
+  util::Status ParsePragma() {
+    if (Current().kind != Token::Kind::kIdent || Current().text != "index") {
+      return Error("unknown pragma '@" + Current().text +
+                   "' (supported: @index)");
+    }
+    Advance();
+    if (!ConsumePunct("(")) return Error("expected '(' after @index");
+    if (Current().kind != Token::Kind::kIdent ||
+        !IsRelationName(Current().text)) {
+      return Error("expected a relation name in @index");
+    }
+    const std::string name = Current().text;
+    Advance();
+    auto it = relations_.find(name);
+    if (it == relations_.end()) {
+      return Error("@index names unknown relation " + name +
+                   " (mention it in a fact or rule first)");
+    }
+    if (!ConsumePunct(",")) return Error("expected ',' after " + name);
+    if (Current().kind != Token::Kind::kNumber) {
+      return Error("expected a column number in @index");
+    }
+    int64_t column = -1;
+    util::ParseInt64(Current().text, &column);
+    const size_t arity = program_->PredicateArity(it->second);
+    if (column < 0 || static_cast<size_t>(column) >= arity) {
+      return Error("@index column " + Current().text + " out of range for " +
+                   name + "/" + std::to_string(arity));
+    }
+    Advance();
+    if (!ConsumePunct(",")) return Error("expected ',' after the column");
+    storage::IndexKind kind;
+    if (Current().kind != Token::Kind::kIdent ||
+        !storage::ParseIndexKind(Current().text, &kind)) {
+      return Error("unknown index kind '" + Current().text +
+                   "' in @index (hash, sorted, btree or sorted_array)");
+    }
+    Advance();
+    if (!ConsumePunct(")")) return Error("expected ')'");
+    if (!ConsumePunct(".")) return Error("expected '.' after @index(...)");
+    program_->HintIndexKind(it->second, static_cast<size_t>(column), kind);
+    return util::Status::Ok();
+  }
+
   util::Status ParseClause() {
+    if (ConsumePunct("@")) return ParsePragma();
     rule_vars_.clear();
     Atom head;
     CARAC_RETURN_IF_ERROR(ParseRelationalAtom(&head));

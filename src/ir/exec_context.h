@@ -83,12 +83,26 @@ class ExecContext {
   /// steady-state parallel evaluation allocates nothing here.
   std::vector<storage::StagingBuffer>& StagingFor(int shards, size_t arity);
 
+  // ---- Batched probe cursors ----
+
+  /// Outer-window size for batch-at-a-time index probes: when a
+  /// subquery's second atom probes on a variable bound by the first, the
+  /// evaluators resolve up to this many probe keys per BatchProbe call
+  /// (amortizing dispatch, skipping equal-adjacent keys, and letting the
+  /// B-tree probe in key order). 0 disables batching (tuple-at-a-time
+  /// probes, the pre-batching behaviour).
+  uint32_t probe_batch_window() const { return probe_batch_window_; }
+  void set_probe_batch_window(uint32_t window) {
+    probe_batch_window_ = window;
+  }
+
  private:
   storage::DatabaseSet* db_;
   ExecStats stats_;
   EngineStyle engine_style_ = EngineStyle::kPush;
   core::WorkerPool* worker_pool_ = nullptr;
   uint32_t parallel_min_rows_ = 128;
+  uint32_t probe_batch_window_ = 64;
   std::vector<storage::StagingBuffer> staging_;
 };
 

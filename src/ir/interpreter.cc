@@ -65,6 +65,10 @@ class SubqueryRun {
       return;
     }
     if (RunSharded()) return;
+    if (ctx_.probe_batch_window() > 0 && BatchEligible()) {
+      JoinBatchedWindow<false>(0, static_cast<size_t>(-1));
+      return;
+    }
     Join<false>(0);
   }
 
@@ -78,7 +82,11 @@ class SubqueryRun {
     binding_.assign(op_.num_locals, 0);
     BuildPlan();
     staging_ = out;
-    JoinOuterWindow(begin, end);
+    if (ctx_.probe_batch_window() > 0 && BatchEligible()) {
+      JoinBatchedWindow<true>(begin, end);
+    } else {
+      JoinOuterWindow(begin, end);
+    }
     *considered = staged_considered_;
   }
 
@@ -305,7 +313,7 @@ class SubqueryRun {
 
     if (p.probe_col >= 0) {
       // No variable is bound before atom 0, so the probe key is a const.
-      const std::vector<RowId>& bucket =
+      const storage::RowCursor bucket =
           rel.Probe(static_cast<size_t>(p.probe_col), p.probe_const);
       const size_t limit = std::min(end, bucket.size());
       for (size_t pos = std::min(begin, limit); pos < limit; ++pos) {
@@ -315,6 +323,106 @@ class SubqueryRun {
       const size_t limit = std::min(end, static_cast<size_t>(rel.NumRows()));
       for (size_t row = std::min(begin, limit); row < limit; ++row) {
         match(rel.View(static_cast<RowId>(row)));
+      }
+    }
+  }
+
+  /// True when the first two plan entries form an index nested-loop join
+  /// whose inner probe key comes from the outer row — the shape the
+  /// batched-cursor path accelerates. Builtins, negation and const-key
+  /// probes (loop-invariant lookups) keep the classic path.
+  bool BatchEligible() const {
+    if (plan_.size() < 2) return false;
+    const AtomPlan& outer = plan_[0];
+    const AtomPlan& inner = plan_[1];
+    if (outer.rel == nullptr || outer.atom->negated) return false;
+    if (inner.rel == nullptr || inner.atom->negated) return false;
+    return inner.probe_col >= 0 && !inner.probe_is_const;
+  }
+
+  /// Applies one atom's column actions to `t`: false on a failed check,
+  /// true with all binds applied otherwise. (The same loop Join<> runs
+  /// inline; shared here by the two batched passes.)
+  bool ApplyActions(const AtomPlan& p, TupleView t) {
+    for (const TermAction& action : p.actions) {
+      const Value v = t[action.col];
+      switch (action.kind) {
+        case TermAction::Kind::kCheckConst:
+          if (v != action.constant) return false;
+          break;
+        case TermAction::Kind::kCheckVar:
+          if (v != binding_[action.var]) return false;
+          break;
+        case TermAction::Kind::kBind:
+          binding_[action.var] = v;
+          break;
+      }
+    }
+    return true;
+  }
+
+  /// Batch-at-a-time outer loop over positions [begin, end) of atom 0's
+  /// row sequence. Two passes per window: pass 1 applies atom-0 actions
+  /// per outer row and collects the surviving rows' inner probe keys;
+  /// one BatchProbe resolves the whole window (amortizing dispatch,
+  /// skipping equal-adjacent keys); pass 2 re-applies atom-0 binds per
+  /// surviving row (checks already passed — binds are cheap) and joins
+  /// atom 1 from the pre-resolved cursor, recursing into Join<>(2). The
+  /// emission order is exactly the classic nested loop's, so DeltaNew
+  /// stays byte-identical whether batching is on or off, single-threaded
+  /// or sharded. Deliberately a separate entry point: Join<>(0)'s
+  /// codegen is fragile under GCC 12 and stays untouched.
+  template <bool kStaged>
+  void JoinBatchedWindow(size_t begin, size_t end) {
+    const AtomPlan& outer = plan_[0];
+    const AtomPlan& inner = plan_[1];
+    const Relation& outer_rel = *outer.rel;
+    const Relation& inner_rel = *inner.rel;
+    const size_t inner_col = static_cast<size_t>(inner.probe_col);
+    const size_t window = ctx_.probe_batch_window();
+
+    storage::RowCursor outer_bucket;
+    size_t limit;
+    if (outer.probe_col >= 0) {
+      // No variable is bound before atom 0: the key is a const.
+      outer_bucket = outer_rel.Probe(static_cast<size_t>(outer.probe_col),
+                                     outer.probe_const);
+      limit = std::min(end, outer_bucket.size());
+    } else {
+      limit = std::min(end, static_cast<size_t>(outer_rel.NumRows()));
+    }
+
+    batch_rows_.clear();
+    batch_keys_.clear();
+    if (batch_cursors_.size() < window) batch_cursors_.resize(window);
+
+    for (size_t pos = std::min(begin, limit); pos < limit;) {
+      const size_t chunk_end = std::min(pos + window, limit);
+      batch_rows_.clear();
+      batch_keys_.clear();
+      for (; pos < chunk_end; ++pos) {
+        const RowId row = outer.probe_col >= 0
+                              ? outer_bucket[pos]
+                              : static_cast<RowId>(pos);
+        if (!ApplyActions(outer, outer_rel.View(row))) continue;
+        batch_rows_.push_back(row);
+        batch_keys_.push_back(binding_[inner.probe_var]);
+      }
+      if (batch_rows_.empty()) continue;
+      inner_rel.BatchProbe(inner_col, batch_keys_.data(),
+                           batch_rows_.size(), batch_cursors_.data());
+      for (size_t k = 0; k < batch_rows_.size(); ++k) {
+        const TupleView t = outer_rel.View(batch_rows_[k]);
+        for (const TermAction& action : outer.actions) {
+          if (action.kind == TermAction::Kind::kBind) {
+            binding_[action.var] = t[action.col];
+          }
+        }
+        batch_cursors_[k].ForEach([&](RowId inner_row) {
+          if (ApplyActions(inner, inner_rel.View(inner_row))) {
+            Join<kStaged>(2);
+          }
+        });
       }
     }
   }
@@ -412,6 +520,10 @@ class SubqueryRun {
   // stats). Null/unused on the single-threaded path.
   storage::StagingBuffer* staging_ = nullptr;
   uint64_t staged_considered_ = 0;
+  // Batched-probe window scratch (JoinBatchedWindow), reused per chunk.
+  std::vector<RowId> batch_rows_;
+  std::vector<Value> batch_keys_;
+  std::vector<storage::RowCursor> batch_cursors_;
 };
 
 }  // namespace

@@ -13,10 +13,84 @@ namespace {
 
 using datalog::BuiltinBindsOutput;
 using storage::Relation;
+using storage::RowCursor;
 using storage::RowId;
 using storage::Tuple;
 using storage::TupleView;
 using storage::Value;
+
+/// Per-column behaviour of a relational atom, precomputed at
+/// pipeline-build time so the per-row match loop allocates nothing. A
+/// variable's first occurrence within the atom binds; later occurrences
+/// check (R(x, x) filters on its 2nd column). Shared by ScanSource and
+/// the fused BatchedJoinSource.
+struct ColAction {
+  enum class Kind : uint8_t { kCheckConst, kCheckVar, kBind };
+  Kind kind = Kind::kBind;
+  uint32_t col = 0;
+  Value constant = 0;
+  LocalVar var = -1;
+};
+
+/// Builds the action list for `atom`, updating `bound` with the
+/// variables the atom binds.
+std::vector<ColAction> BuildColActions(const AtomSpec& atom,
+                                       std::vector<bool>& bound) {
+  std::vector<ColAction> actions;
+  actions.reserve(atom.terms.size());
+  for (size_t col = 0; col < atom.terms.size(); ++col) {
+    const LocalTerm& t = atom.terms[col];
+    ColAction action;
+    action.col = static_cast<uint32_t>(col);
+    if (!t.is_var) {
+      action.kind = ColAction::Kind::kCheckConst;
+      action.constant = t.constant;
+    } else if (bound[t.var]) {
+      action.kind = ColAction::Kind::kCheckVar;
+      action.var = t.var;
+    } else {
+      action.kind = ColAction::Kind::kBind;
+      action.var = t.var;
+      bound[t.var] = true;
+    }
+    actions.push_back(action);
+  }
+  return actions;
+}
+
+/// Applies `actions` to `row`: false on a failed check, true with all
+/// binds applied otherwise.
+inline bool ApplyColActions(const std::vector<ColAction>& actions,
+                            TupleView row, std::vector<Value>& binding) {
+  for (const ColAction& action : actions) {
+    const Value v = row[action.col];
+    switch (action.kind) {
+      case ColAction::Kind::kCheckConst:
+        if (v != action.constant) return false;
+        break;
+      case ColAction::Kind::kCheckVar:
+        if (v != binding[action.var]) return false;
+        break;
+      case ColAction::Kind::kBind:
+        binding[action.var] = v;
+        break;
+    }
+  }
+  return true;
+}
+
+/// The access path ScanSource (and the fused source) picks for an atom:
+/// the first index-supported column whose probe key is known from the
+/// outer binding before the atom runs, or -1 to scan.
+int32_t PickProbeCol(const Relation& rel, const AtomSpec& atom,
+                     const std::vector<bool>& bound_before) {
+  for (size_t col = 0; col < atom.terms.size(); ++col) {
+    const LocalTerm& t = atom.terms[col];
+    const bool pre_bound = !t.is_var || bound_before[t.var];
+    if (pre_bound && rel.HasIndex(col)) return static_cast<int32_t>(col);
+  }
+  return -1;
+}
 
 /// One Volcano operator: Reset() re-opens it under the current binding
 /// (outer rows are visible through the shared binding array), Next()
@@ -26,6 +100,25 @@ class RowSource {
   virtual ~RowSource() = default;
   virtual void Reset(std::vector<Value>& binding) = 0;
   virtual bool Next(std::vector<Value>& binding) = 0;
+
+  /// Parallel evaluation, meaningful only for the pipeline's outer
+  /// stage: restricts the source to positions [begin, end) of its row
+  /// sequence (bucket positions when probing, RowIds when scanning). The
+  /// defaults cover the whole sequence; inner-only sources ignore it.
+  virtual void RestrictOuter(size_t begin, size_t end) {
+    (void)begin;
+    (void)end;
+  }
+
+  /// Length of the row sequence this source iterates under `binding`,
+  /// taken from the same access path Reset() will choose. The sharder
+  /// sizes its outer windows with this so it can never disagree with
+  /// what the workers actually scan. Sources that can never lead a
+  /// pipeline report 0.
+  virtual size_t SequenceSize(const std::vector<Value>& binding) const {
+    (void)binding;
+    return 0;
+  }
 };
 
 /// Scan / index-probe leaf for one positive relational atom.
@@ -34,52 +127,17 @@ class ScanSource : public RowSource {
   ScanSource(const Relation* rel, const AtomSpec* atom,
              const std::vector<bool>& bound_before)
       : rel_(rel), atom_(atom) {
-    // Boundness is static at pipeline-build time, so the per-column
-    // behaviour (check a constant, check an already-bound variable, or
-    // bind a fresh one) is precomputed once — the per-row match loop
-    // allocates nothing. A variable's first occurrence within the atom
-    // binds; later occurrences check (R(x, x) filters on its 2nd column).
     std::vector<bool> bound = bound_before;
-    actions_.reserve(atom->terms.size());
-    for (size_t col = 0; col < atom->terms.size(); ++col) {
-      const LocalTerm& t = atom->terms[col];
-      ColAction action;
-      action.col = static_cast<uint32_t>(col);
-      if (!t.is_var) {
-        action.kind = ColAction::Kind::kCheckConst;
-        action.constant = t.constant;
-      } else if (bound[t.var]) {
-        action.kind = ColAction::Kind::kCheckVar;
-        action.var = t.var;
-      } else {
-        action.kind = ColAction::Kind::kBind;
-        action.var = t.var;
-        bound[t.var] = true;
-      }
-      // Probe keys must be available before the atom runs: only columns
-      // whose value is known from the *outer* binding qualify.
-      const bool pre_bound = !t.is_var || bound_before[t.var];
-      if (probe_col_ < 0 && pre_bound && rel_->HasIndex(col)) {
-        probe_col_ = static_cast<int32_t>(col);
-      }
-      actions_.push_back(action);
-    }
+    actions_ = BuildColActions(*atom, bound);
+    probe_col_ = PickProbeCol(*rel, *atom, bound_before);
   }
 
-  /// Parallel evaluation: restricts this source — always the pipeline's
-  /// outer stage — to positions [begin, end) of its row sequence (bucket
-  /// positions when probing, RowIds when scanning). The defaults cover
-  /// the whole sequence.
-  void RestrictOuter(size_t begin, size_t end) {
+  void RestrictOuter(size_t begin, size_t end) override {
     outer_begin_ = begin;
     outer_end_ = end;
   }
 
-  /// Length of the row sequence this source iterates under `binding`,
-  /// taken from the same access path Reset() will choose. The sharder
-  /// sizes its outer windows with this so it can never disagree with
-  /// what the workers actually scan.
-  size_t SequenceSize(const std::vector<Value>& binding) const {
+  size_t SequenceSize(const std::vector<Value>& binding) const override {
     if (probe_col_ < 0) return rel_->NumRows();
     const LocalTerm& key = atom_->terms[probe_col_];
     return rel_
@@ -94,9 +152,9 @@ class ScanSource : public RowSource {
     // evaluation existed.
     if (probe_col_ >= 0) {
       const LocalTerm& key = atom_->terms[probe_col_];
-      bucket_ = &rel_->Probe(static_cast<size_t>(probe_col_),
-                             key.is_var ? binding[key.var] : key.constant);
-      bucket_limit_ = std::min(outer_end_, bucket_->size());
+      bucket_ = rel_->Probe(static_cast<size_t>(probe_col_),
+                            key.is_var ? binding[key.var] : key.constant);
+      bucket_limit_ = std::min(outer_end_, bucket_.size());
       bucket_pos_ = std::min(outer_begin_, bucket_limit_);
     } else {
       const size_t num_rows = rel_->NumRows();
@@ -111,47 +169,21 @@ class ScanSource : public RowSource {
       TupleView row;
       if (probe_col_ >= 0) {
         if (bucket_pos_ >= bucket_limit_) return false;
-        row = rel_->View((*bucket_)[bucket_pos_++]);
+        row = rel_->View(bucket_[bucket_pos_++]);
       } else {
         if (row_ >= row_limit_) return false;
         row = rel_->View(row_++);
       }
-      if (Matches(row, binding)) return true;
+      if (ApplyColActions(actions_, row, binding)) return true;
     }
   }
 
  private:
-  struct ColAction {
-    enum class Kind : uint8_t { kCheckConst, kCheckVar, kBind };
-    Kind kind = Kind::kBind;
-    uint32_t col = 0;
-    Value constant = 0;
-    LocalVar var = -1;
-  };
-
-  bool Matches(TupleView row, std::vector<Value>& binding) const {
-    for (const ColAction& action : actions_) {
-      const Value v = row[action.col];
-      switch (action.kind) {
-        case ColAction::Kind::kCheckConst:
-          if (v != action.constant) return false;
-          break;
-        case ColAction::Kind::kCheckVar:
-          if (v != binding[action.var]) return false;
-          break;
-        case ColAction::Kind::kBind:
-          binding[action.var] = v;
-          break;
-      }
-    }
-    return true;
-  }
-
   const Relation* rel_;
   const AtomSpec* atom_;
   std::vector<ColAction> actions_;
   int32_t probe_col_ = -1;
-  const std::vector<RowId>* bucket_ = nullptr;
+  RowCursor bucket_;
   size_t bucket_pos_ = 0;
   size_t bucket_limit_ = 0;
   RowId row_ = 0;
@@ -219,13 +251,181 @@ class NegationSource : public RowSource {
   bool produced_ = false;
 };
 
+/// Fused outer-scan + batched inner-probe over the pipeline's first two
+/// atoms (the shape RunSubqueryPull fuses when the second atom probes on
+/// a variable the first binds). Matching outer rows are windowed, their
+/// probe keys resolved in one BatchProbe per window, and inner matches
+/// yielded one per Next() — the emission sequence is exactly what the
+/// two unfused stages would produce, so results stay byte-identical
+/// with batching on or off.
+class BatchedJoinSource final : public RowSource {
+ public:
+  BatchedJoinSource(const Relation* outer_rel, const AtomSpec* outer_atom,
+                    const Relation* inner_rel, const AtomSpec* inner_atom,
+                    std::vector<bool>& bound, size_t window)
+      : outer_rel_(outer_rel), inner_rel_(inner_rel), window_(window) {
+    const std::vector<bool> bound_before_outer = bound;
+    outer_actions_ = BuildColActions(*outer_atom, bound);
+    outer_probe_col_ = PickProbeCol(*outer_rel, *outer_atom,
+                                    bound_before_outer);
+    if (outer_probe_col_ >= 0) {
+      // Nothing is bound before the first atom, so the key is a const.
+      outer_probe_const_ = outer_atom->terms[outer_probe_col_].constant;
+    }
+    const std::vector<bool> bound_before_inner = bound;
+    inner_actions_ = BuildColActions(*inner_atom, bound);
+    inner_probe_col_ = PickProbeCol(*inner_rel, *inner_atom,
+                                    bound_before_inner);
+    CARAC_CHECK(inner_probe_col_ >= 0);
+    const LocalTerm& key = inner_atom->terms[inner_probe_col_];
+    CARAC_CHECK(key.is_var);  // CanFuse gates on a variable key.
+    inner_probe_var_ = key.var;
+  }
+
+  void RestrictOuter(size_t begin, size_t end) override {
+    outer_begin_ = begin;
+    outer_end_ = end;
+  }
+
+  size_t SequenceSize(const std::vector<Value>& binding) const override {
+    (void)binding;
+    if (outer_probe_col_ < 0) return outer_rel_->NumRows();
+    return outer_rel_
+        ->Probe(static_cast<size_t>(outer_probe_col_), outer_probe_const_)
+        .size();
+  }
+
+  void Reset(std::vector<Value>& /*binding*/) override {
+    if (outer_probe_col_ >= 0) {
+      outer_bucket_ = outer_rel_->Probe(
+          static_cast<size_t>(outer_probe_col_), outer_probe_const_);
+      limit_ = std::min(outer_end_, outer_bucket_.size());
+    } else {
+      limit_ = std::min(outer_end_,
+                        static_cast<size_t>(outer_rel_->NumRows()));
+    }
+    pos_ = std::min(outer_begin_, limit_);
+    batch_rows_.clear();
+    batch_idx_ = 0;
+    cursor_ = RowCursor();
+    cursor_pos_ = 0;
+  }
+
+  bool Next(std::vector<Value>& binding) override {
+    for (;;) {
+      // Drain the current outer row's pre-resolved inner cursor.
+      while (cursor_pos_ < cursor_.size()) {
+        const RowId inner_row = cursor_[cursor_pos_++];
+        if (ApplyColActions(inner_actions_, inner_rel_->View(inner_row),
+                            binding)) {
+          return true;
+        }
+      }
+      // Advance to the next matched outer row of the window, restoring
+      // its binds (its checks passed during the fill pass).
+      if (batch_idx_ < batch_rows_.size()) {
+        const TupleView t = outer_rel_->View(batch_rows_[batch_idx_]);
+        for (const ColAction& action : outer_actions_) {
+          if (action.kind == ColAction::Kind::kBind) {
+            binding[action.var] = t[action.col];
+          }
+        }
+        cursor_ = batch_cursors_[batch_idx_];
+        cursor_pos_ = 0;
+        ++batch_idx_;
+        continue;
+      }
+      // Refill: window the next run of outer positions, collect the
+      // matching rows' probe keys, resolve them in one BatchProbe.
+      if (pos_ >= limit_) return false;
+      batch_rows_.clear();
+      batch_keys_.clear();
+      batch_idx_ = 0;
+      const size_t chunk_end = std::min(pos_ + window_, limit_);
+      for (; pos_ < chunk_end; ++pos_) {
+        const RowId row = outer_probe_col_ >= 0
+                              ? outer_bucket_[pos_]
+                              : static_cast<RowId>(pos_);
+        if (!ApplyColActions(outer_actions_, outer_rel_->View(row),
+                             binding)) {
+          continue;
+        }
+        batch_rows_.push_back(row);
+        batch_keys_.push_back(binding[inner_probe_var_]);
+      }
+      if (batch_rows_.empty()) continue;
+      if (batch_cursors_.size() < window_) batch_cursors_.resize(window_);
+      inner_rel_->BatchProbe(static_cast<size_t>(inner_probe_col_),
+                             batch_keys_.data(), batch_rows_.size(),
+                             batch_cursors_.data());
+    }
+  }
+
+ private:
+  const Relation* outer_rel_;
+  const Relation* inner_rel_;
+  std::vector<ColAction> outer_actions_;
+  std::vector<ColAction> inner_actions_;
+  int32_t outer_probe_col_ = -1;
+  Value outer_probe_const_ = 0;
+  int32_t inner_probe_col_ = -1;
+  LocalVar inner_probe_var_ = -1;
+  size_t window_;
+  size_t outer_begin_ = 0;
+  size_t outer_end_ = static_cast<size_t>(-1);
+  // Iteration state.
+  RowCursor outer_bucket_;
+  size_t pos_ = 0;
+  size_t limit_ = 0;
+  std::vector<RowId> batch_rows_;
+  std::vector<Value> batch_keys_;
+  std::vector<RowCursor> batch_cursors_;
+  size_t batch_idx_ = 0;
+  RowCursor cursor_;
+  size_t cursor_pos_ = 0;
+};
+
+/// True when atoms[0] and atoms[1] form the fusable index-join shape:
+/// both positive relational, and the access path ScanSource would pick
+/// for atom 1 probes on a variable (necessarily bound by atom 0 — the
+/// pipeline's first atom binds everything that is bound before the
+/// second). Const-key probes are loop-invariant lookups and keep the
+/// classic path.
+bool CanFuse(ExecContext& ctx, const IROp& op) {
+  if (ctx.probe_batch_window() == 0 || op.atoms.size() < 2) return false;
+  const AtomSpec& a0 = op.atoms[0];
+  const AtomSpec& a1 = op.atoms[1];
+  if (a0.is_builtin() || a0.negated) return false;
+  if (a1.is_builtin() || a1.negated) return false;
+  std::vector<bool> bound(op.num_locals, false);
+  for (const LocalTerm& t : a0.terms) {
+    if (t.is_var) bound[t.var] = true;
+  }
+  const Relation& rel1 = ctx.db().Get(a1.predicate, a1.source);
+  const int32_t probe_col = PickProbeCol(rel1, a1, bound);
+  return probe_col >= 0 && a1.terms[probe_col].is_var;
+}
+
 /// Builds the iterator pipeline, tracking static boundness per stage.
+/// When the leading two atoms are fusable and batching is enabled, they
+/// become one BatchedJoinSource.
 std::vector<std::unique_ptr<RowSource>> BuildPipeline(ExecContext& ctx,
                                                       const IROp& op) {
   std::vector<std::unique_ptr<RowSource>> pipeline;
   pipeline.reserve(op.atoms.size());
   std::vector<bool> bound(op.num_locals, false);
-  for (const AtomSpec& atom : op.atoms) {
+  size_t start = 0;
+  if (CanFuse(ctx, op)) {
+    const AtomSpec& a0 = op.atoms[0];
+    const AtomSpec& a1 = op.atoms[1];
+    pipeline.push_back(std::make_unique<BatchedJoinSource>(
+        &ctx.db().Get(a0.predicate, a0.source), &a0,
+        &ctx.db().Get(a1.predicate, a1.source), &a1, bound,
+        ctx.probe_batch_window()));
+    start = 2;
+  }
+  for (size_t i = start; i < op.atoms.size(); ++i) {
+    const AtomSpec& atom = op.atoms[i];
     if (atom.is_builtin()) {
       const LocalTerm& out =
           BuiltinBindsOutput(atom.builtin) ? atom.terms[2] : LocalTerm();
@@ -283,14 +483,13 @@ bool TryRunPullSharded(ExecContext& ctx, const IROp& op,
   if (op.atoms.empty()) return false;
   const AtomSpec& outer = op.atoms[0];
   if (outer.is_builtin() || outer.negated) return false;
-  // atoms[0] is a positive relational atom, so BuildPipeline made
-  // pipeline[0] a ScanSource; its own access path (not a re-derivation
-  // of it) sizes the shard windows. No variable is bound before stage 0,
-  // so the all-zero binding below can never be consulted for a probe key.
+  // atoms[0] is a positive relational atom, so pipeline[0] is a
+  // ScanSource or the fused BatchedJoinSource; either way its own access
+  // path (not a re-derivation of it) sizes the shard windows through the
+  // RowSource interface. No variable is bound before stage 0, so the
+  // all-zero binding below can never be consulted for a probe key.
   const std::vector<Value> binding_zero(op.num_locals, 0);
-  const size_t outer_rows =
-      static_cast<const ScanSource*>(pipeline[0].get())
-          ->SequenceSize(binding_zero);
+  const size_t outer_rows = pipeline[0]->SequenceSize(binding_zero);
 
   const Relation& derived = ctx.db().Get(op.target, storage::DbKind::kDerived);
   const Relation& delta_new =
@@ -300,8 +499,7 @@ bool TryRunPullSharded(ExecContext& ctx, const IROp& op,
       [&](int /*shard*/, size_t begin, size_t end,
           storage::StagingBuffer* staging, uint64_t* considered) {
         auto pipeline = BuildPipeline(ctx, op);
-        static_cast<ScanSource*>(pipeline[0].get())
-            ->RestrictOuter(begin, end);
+        pipeline[0]->RestrictOuter(begin, end);
         std::vector<Value> binding(op.num_locals, 0);
         uint64_t emitted = 0;
         Tuple head;

@@ -1,6 +1,18 @@
 #include "optimizer/selectivity.h"
 
+#include "optimizer/statistics.h"
+
 namespace carac::optimizer {
+
+storage::IndexKind ChooseIndexKind(const ColumnAccess& access,
+                                   uint64_t edb_rows, bool is_idb) {
+  if (access.range_uses == 0 || access.point_uses > 0) {
+    return storage::IndexKind::kHash;
+  }
+  if (is_idb) return storage::IndexKind::kBtree;
+  return edb_rows >= kSortedArrayMinRows ? storage::IndexKind::kSortedArray
+                                         : storage::IndexKind::kSorted;
+}
 
 int CountBoundConditions(const ir::AtomSpec& atom,
                          const std::set<ir::LocalVar>& bound) {

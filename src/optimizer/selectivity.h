@@ -1,11 +1,34 @@
 #ifndef CARAC_OPTIMIZER_SELECTIVITY_H_
 #define CARAC_OPTIMIZER_SELECTIVITY_H_
 
+#include <cstdint>
 #include <set>
 
 #include "ir/irop.h"
+#include "storage/index.h"
 
 namespace carac::optimizer {
+
+struct ColumnAccess;
+
+/// When an EDB relation is at least this large, a range-only column gets
+/// the immutable sorted-array organization instead of the ordered map:
+/// bulk-loaded facts stabilize once and then every probe is a binary
+/// search over contiguous memory. Below it the std::map's simplicity wins
+/// (the arrays' sort cost has nothing to amortize over).
+inline constexpr uint64_t kSortedArrayMinRows = 1024;
+
+/// Picks the index organization for one column from its access profile
+/// (statistics.h ProfileAccessPaths), the relation's current EDB row
+/// count, and whether rules derive into the relation. Deliberately
+/// conservative: any point-probe evidence keeps the paper's hash
+/// organization (point probes dominate Datalog joins and hash wins
+/// them); only range-ONLY columns — never point-probed by any rule — get
+/// an ordered kind. IDB relations grow during the fixpoint, which favors
+/// the B-tree's incremental inserts; stable EDB relations favor the
+/// sorted array once large enough to amortize stabilization.
+storage::IndexKind ChooseIndexKind(const ColumnAccess& access,
+                                   uint64_t edb_rows, bool is_idb);
 
 /// Carac's deliberately lightweight selectivity model (§IV): every join or
 /// filter condition contributes one constant reduction factor, assuming

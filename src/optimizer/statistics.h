@@ -3,12 +3,42 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
+#include <utility>
 #include <vector>
 
+#include "datalog/ast.h"
 #include "ir/irop.h"
 #include "storage/database.h"
 
 namespace carac::optimizer {
+
+/// How a rule set accesses one indexed column — the evidence index-kind
+/// selection (selectivity.h ChooseIndexKind) weighs at Prepare() time.
+struct ColumnAccess {
+  /// Point-probe evidence: a constant in this column, the column's
+  /// variable shared with another relational atom (a join key), or the
+  /// variable bound by an arithmetic builtin's output. All of these turn
+  /// into equality probes at evaluation time.
+  uint32_t point_uses = 0;
+  /// Range evidence: the column's variable appears as a comparison
+  /// builtin operand (x < y, x >= 3, ...).
+  uint32_t range_uses = 0;
+};
+
+/// Per-(predicate, column) access evidence for every column the lowering
+/// pass will declare an index on (ir/lowering.cc DeclareRuleIndexes uses
+/// the same trigger: constant term, or variable with >1 occurrence across
+/// the rule body).
+struct AccessPathProfile {
+  std::map<std::pair<datalog::PredicateId, size_t>, ColumnAccess> columns;
+};
+
+/// Walks the program's rules and classifies every to-be-indexed column's
+/// accesses. Purely syntactic — no evaluation has happened yet when the
+/// engine consumes this — which is exactly the paper's "offline" share of
+/// optimization cost.
+AccessPathProfile ProfileAccessPaths(const datalog::Program& program);
 
 /// An immutable snapshot of the statistics the join orderer consumes:
 /// live cardinalities of every store of every relation plus index

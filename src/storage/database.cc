@@ -58,13 +58,35 @@ const Relation& DatabaseSet::Get(RelationId id, DbKind kind) const {
   return const_cast<DatabaseSet*>(this)->Get(id, kind);
 }
 
+void DatabaseSet::SetIndexKindOverride(RelationId id, size_t column,
+                                       IndexKind kind) {
+  index_kind_overrides_[{id, column}] = kind;
+}
+
 void DatabaseSet::DeclareIndex(RelationId id, size_t column) {
+  const auto it = index_kind_overrides_.find({id, column});
+  DeclareIndex(id, column,
+               it != index_kind_overrides_.end() ? it->second : index_kind_);
+}
+
+void DatabaseSet::DeclareIndex(RelationId id, size_t column,
+                               IndexKind kind) {
   if (!indexing_enabled_) return;
   CARAC_CHECK(id < stores_.size());
   Store& store = stores_[id];
-  store.derived->DeclareIndex(column, index_kind_);
-  store.delta_known->DeclareIndex(column, index_kind_);
-  store.delta_new->DeclareIndex(column, index_kind_);
+  store.derived->DeclareIndex(column, kind);
+  store.delta_known->DeclareIndex(column, kind);
+  store.delta_new->DeclareIndex(column, kind);
+}
+
+void DatabaseSet::RedeclareIndex(RelationId id, size_t column,
+                                 IndexKind kind) {
+  if (!indexing_enabled_) return;
+  CARAC_CHECK(id < stores_.size());
+  Store& store = stores_[id];
+  store.derived->RedeclareIndex(column, kind);
+  store.delta_known->RedeclareIndex(column, kind);
+  store.delta_new->RedeclareIndex(column, kind);
 }
 
 bool DatabaseSet::InsertFact(RelationId id, Tuple tuple) {

@@ -2,8 +2,10 @@
 #define CARAC_STORAGE_DATABASE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "storage/relation.h"
@@ -47,14 +49,28 @@ class DatabaseSet {
   void SetIndexingEnabled(bool enabled) { indexing_enabled_ = enabled; }
   bool indexing_enabled() const { return indexing_enabled_; }
 
-  /// Organization used by subsequent DeclareIndex calls (hash by default;
-  /// kSorted is the Soufflé-style ordered-index extension).
+  /// Organization used by subsequent DeclareIndex calls that have no
+  /// per-column override (hash by default).
   void SetDefaultIndexKind(IndexKind kind) { index_kind_ = kind; }
   IndexKind default_index_kind() const { return index_kind_; }
 
-  /// Declares an index on `column` of all three stores of `id`, using the
-  /// default index kind.
+  /// Pins the organization of the index on (`id`, `column`), overriding
+  /// the default kind for subsequent DeclareIndex(id, column) calls. The
+  /// optimizer's auto policy and DSL index hints register through here
+  /// before lowering declares the rule indexes.
+  void SetIndexKindOverride(RelationId id, size_t column, IndexKind kind);
+
+  /// Declares an index on `column` of all three stores of `id`, using
+  /// the per-column override if one was set, else the default kind.
   void DeclareIndex(RelationId id, size_t column);
+
+  /// Declares an index on `column` of all three stores of `id` with an
+  /// explicit organization.
+  void DeclareIndex(RelationId id, size_t column, IndexKind kind);
+
+  /// Re-declares, replacing an existing declaration's kind on all three
+  /// stores (snapshot restore: the persisted kind is authoritative).
+  void RedeclareIndex(RelationId id, size_t column, IndexKind kind);
 
   /// Inserts an EDB (or precomputed) fact into Derived; returns true if
   /// new. InsertFact is the ONLY entry point that marks a tuple as EDB:
@@ -166,6 +182,10 @@ class DatabaseSet {
   uint64_t epoch_ = 0;
   bool indexing_enabled_ = true;
   IndexKind index_kind_ = IndexKind::kHash;
+  /// (relation, column) -> pinned organization; consulted by the
+  /// two-argument DeclareIndex. Small (a handful of declared indexes per
+  /// program), so an ordered map is plenty.
+  std::map<std::pair<RelationId, size_t>, IndexKind> index_kind_overrides_;
 };
 
 }  // namespace carac::storage

@@ -1,49 +1,374 @@
 #include "storage/index.h"
 
+#include <algorithm>
 #include <string>
+#include <utility>
 
 namespace carac::storage {
 
 const char* IndexKindName(IndexKind kind) {
-  return kind == IndexKind::kHash ? "hash" : "sorted";
+  switch (kind) {
+    case IndexKind::kHash:
+      return "hash";
+    case IndexKind::kSorted:
+      return "sorted";
+    case IndexKind::kBtree:
+      return "btree";
+    case IndexKind::kSortedArray:
+      return "sorted-array";
+  }
+  return "?";
 }
 
-void ColumnIndex::Add(RowId row, Value key) {
-  if (kind_ == IndexKind::kHash) {
-    hash_buckets_[key].push_back(row);
+bool ParseIndexKind(const std::string& name, IndexKind* out) {
+  if (name == "hash") {
+    *out = IndexKind::kHash;
+  } else if (name == "sorted") {
+    *out = IndexKind::kSorted;
+  } else if (name == "btree") {
+    *out = IndexKind::kBtree;
+  } else if (name == "sorted-array" || name == "sorted_array") {
+    *out = IndexKind::kSortedArray;
   } else {
-    sorted_buckets_[key].push_back(row);
+    return false;
+  }
+  return true;
+}
+
+// ---- IndexBase defaults ----
+
+util::Status IndexBase::RangeUnsupported() const {
+  return util::Status::FailedPrecondition(
+      "ProbeRange requires an ordered index, but column " +
+      std::to_string(column_) + " has a " + IndexKindName(kind_) +
+      " index; declare it with an ordered kind (kSorted, kBtree or "
+      "kSortedArray)");
+}
+
+util::Status IndexBase::ProbeRange(Value lo, Value hi,
+                                   std::vector<RowId>* out) const {
+  (void)lo;
+  (void)hi;
+  (void)out;
+  return RangeUnsupported();
+}
+
+void IndexBase::BatchProbe(const Value* keys, size_t n,
+                           RowCursor* out) const {
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0 && keys[i] == keys[i - 1]) {
+      out[i] = out[i - 1];  // Equal-adjacent run: reuse the cursor.
+      continue;
+    }
+    out[i] = Probe(keys[i]);
   }
 }
 
-const std::vector<RowId>& ColumnIndex::Probe(Value value) const {
-  static const std::vector<RowId> kEmpty;
-  if (kind_ == IndexKind::kHash) {
-    auto it = hash_buckets_.find(value);
-    return it == hash_buckets_.end() ? kEmpty : it->second;
-  }
-  auto it = sorted_buckets_.find(value);
-  return it == sorted_buckets_.end() ? kEmpty : it->second;
-}
+void IndexBase::Stabilize(RowId limit) { (void)limit; }
 
-util::Status ColumnIndex::ProbeRange(Value lo, Value hi,
+// ---- SortedIndex ----
+
+util::Status SortedIndex::ProbeRange(Value lo, Value hi,
                                      std::vector<RowId>* out) const {
-  if (kind_ != IndexKind::kSorted) {
-    return util::Status::FailedPrecondition(
-        "ProbeRange requires a sorted index, but column " +
-        std::to_string(column_) + " has a " + IndexKindName(kind_) +
-        " index; declare it with IndexKind::kSorted");
-  }
-  for (auto it = sorted_buckets_.lower_bound(lo);
-       it != sorted_buckets_.end() && it->first <= hi; ++it) {
+  for (auto it = buckets_.lower_bound(lo);
+       it != buckets_.end() && it->first <= hi; ++it) {
     out->insert(out->end(), it->second.begin(), it->second.end());
   }
   return util::Status::Ok();
 }
 
-void ColumnIndex::Clear() {
-  hash_buckets_.clear();
-  sorted_buckets_.clear();
+// ---- BtreeIndex ----
+
+void BtreeIndex::SplitChild(uint32_t parent_id, size_t pos) {
+  const uint32_t child_id = nodes_[parent_id].children[pos];
+  const uint32_t right_id = static_cast<uint32_t>(nodes_.size());
+  nodes_.emplace_back();  // May reallocate: take references afterwards.
+  Node& child = nodes_[child_id];
+  Node& right = nodes_[right_id];
+  right.leaf = child.leaf;
+  const size_t mid = kMaxKeys / 2;
+  Value up_key;
+  if (child.leaf) {
+    // Copy-up: the separator stays in the right leaf.
+    right.keys.assign(child.keys.begin() + mid, child.keys.end());
+    right.children.assign(child.children.begin() + mid,
+                          child.children.end());
+    child.keys.resize(mid);
+    child.children.resize(mid);
+    right.next = child.next;
+    child.next = right_id;
+    up_key = right.keys.front();
+  } else {
+    // Move-up: the separator leaves the node.
+    up_key = child.keys[mid];
+    right.keys.assign(child.keys.begin() + mid + 1, child.keys.end());
+    right.children.assign(child.children.begin() + mid + 1,
+                          child.children.end());
+    child.keys.resize(mid);
+    child.children.resize(mid + 1);
+  }
+  Node& parent = nodes_[parent_id];
+  parent.keys.insert(parent.keys.begin() + pos, up_key);
+  parent.children.insert(parent.children.begin() + pos + 1, right_id);
+}
+
+void BtreeIndex::AddFast(RowId row, Value key) {
+  if (root_ == kNoNode) {
+    root_ = static_cast<uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  if (nodes_[root_].keys.size() >= kMaxKeys) {
+    const uint32_t new_root = static_cast<uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    Node& top = nodes_[new_root];
+    top.leaf = false;
+    top.children.push_back(root_);
+    root_ = new_root;
+    SplitChild(new_root, 0);
+  }
+  // Preemptive-split descent: every node we enter has room, so the leaf
+  // insert never has to propagate back up.
+  uint32_t id = root_;
+  while (!nodes_[id].leaf) {
+    const Node& node = nodes_[id];
+    size_t pos = static_cast<size_t>(
+        std::upper_bound(node.keys.begin(), node.keys.end(), key) -
+        node.keys.begin());
+    uint32_t child = node.children[pos];
+    if (nodes_[child].keys.size() >= kMaxKeys) {
+      SplitChild(id, pos);
+      const Node& split_parent = nodes_[id];
+      // Keys equal to the promoted separator live in the right sibling
+      // (separators route key >= separator to the right, matching the
+      // upper_bound descent).
+      if (key >= split_parent.keys[pos]) ++pos;
+      child = split_parent.children[pos];
+    }
+    id = child;
+  }
+  Node& leaf = nodes_[id];
+  const size_t pos = static_cast<size_t>(
+      std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key) -
+      leaf.keys.begin());
+  if (pos < leaf.keys.size() && leaf.keys[pos] == key) {
+    buckets_[leaf.children[pos]].push_back(row);
+    return;
+  }
+  leaf.keys.insert(leaf.keys.begin() + pos, key);
+  leaf.children.insert(leaf.children.begin() + pos,
+                       static_cast<uint32_t>(buckets_.size()));
+  buckets_.emplace_back(1, row);
+}
+
+uint32_t BtreeIndex::FindLeaf(Value key) const {
+  if (root_ == kNoNode) return kNoNode;
+  uint32_t id = root_;
+  while (!nodes_[id].leaf) {
+    const Node& node = nodes_[id];
+    const size_t pos = static_cast<size_t>(
+        std::upper_bound(node.keys.begin(), node.keys.end(), key) -
+        node.keys.begin());
+    id = node.children[pos];
+  }
+  return id;
+}
+
+RowCursor BtreeIndex::ProbeFast(Value value) const {
+  const uint32_t id = FindLeaf(value);
+  if (id == kNoNode) return RowCursor();
+  const Node& leaf = nodes_[id];
+  const size_t pos = static_cast<size_t>(
+      std::lower_bound(leaf.keys.begin(), leaf.keys.end(), value) -
+      leaf.keys.begin());
+  if (pos >= leaf.keys.size() || leaf.keys[pos] != value) return RowCursor();
+  const std::vector<RowId>& bucket = buckets_[leaf.children[pos]];
+  return RowCursor(bucket.data(), bucket.size());
+}
+
+util::Status BtreeIndex::ProbeRange(Value lo, Value hi,
+                                    std::vector<RowId>* out) const {
+  uint32_t id = FindLeaf(lo);
+  if (id == kNoNode) return util::Status::Ok();
+  const Node* leaf = &nodes_[id];
+  size_t pos = static_cast<size_t>(
+      std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lo) -
+      leaf->keys.begin());
+  while (true) {
+    if (pos >= leaf->keys.size()) {
+      if (leaf->next == kNoNode) return util::Status::Ok();
+      leaf = &nodes_[leaf->next];
+      pos = 0;
+      continue;
+    }
+    if (leaf->keys[pos] > hi) return util::Status::Ok();
+    const std::vector<RowId>& bucket = buckets_[leaf->children[pos]];
+    out->insert(out->end(), bucket.begin(), bucket.end());
+    ++pos;
+  }
+}
+
+void BtreeIndex::BatchProbe(const Value* keys, size_t n,
+                            RowCursor* out) const {
+  // Probe in ascending key order so consecutive descents share upper
+  // tree levels and leaf cache lines, then scatter the cursors back.
+  if (n <= 2) {
+    IndexBase::BatchProbe(keys, n, out);
+    return;
+  }
+  std::vector<uint32_t> order(n);
+  for (uint32_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return keys[a] < keys[b] || (keys[a] == keys[b] && a < b);
+  });
+  bool have_last = false;
+  Value last_key = 0;
+  RowCursor last_cursor;
+  for (uint32_t idx : order) {
+    if (!have_last || keys[idx] != last_key) {
+      last_cursor = ProbeFast(keys[idx]);
+      last_key = keys[idx];
+      have_last = true;
+    }
+    out[idx] = last_cursor;
+  }
+}
+
+void BtreeIndex::Clear() {
+  nodes_.clear();
+  buckets_.clear();
+  root_ = kNoNode;
+}
+
+// ---- SortedArrayIndex ----
+
+RowCursor SortedArrayIndex::ProbeFast(Value value) const {
+  const auto range = std::equal_range(prefix_keys_.begin(),
+                                      prefix_keys_.end(), value);
+  const size_t begin =
+      static_cast<size_t>(range.first - prefix_keys_.begin());
+  const size_t count = static_cast<size_t>(range.second - range.first);
+  const RowId* prefix = count > 0 ? prefix_rows_.data() + begin : nullptr;
+  auto it = tail_.find(value);
+  if (it == tail_.end()) return RowCursor(prefix, count);
+  // Prefix rows are all < stable_limit_ <= every tail row, so the
+  // concatenation stays in ascending RowId order.
+  return RowCursor(prefix, count, it->second.data(), it->second.size());
+}
+
+util::Status SortedArrayIndex::ProbeRange(Value lo, Value hi,
+                                          std::vector<RowId>* out) const {
+  // The prefix run [lo, hi] is contiguous; tail keys in range are
+  // collected, sorted and merged in so the output stays in ascending
+  // (key, row) order.
+  size_t i = static_cast<size_t>(
+      std::lower_bound(prefix_keys_.begin(), prefix_keys_.end(), lo) -
+      prefix_keys_.begin());
+  const size_t end = static_cast<size_t>(
+      std::upper_bound(prefix_keys_.begin(), prefix_keys_.end(), hi) -
+      prefix_keys_.begin());
+  std::vector<std::pair<Value, const std::vector<RowId>*>> tails;
+  for (const auto& [key, rows] : tail_) {
+    if (key >= lo && key <= hi) tails.emplace_back(key, &rows);
+  }
+  if (tails.empty()) {
+    // No unstable rows in range: the prefix run is already in ascending
+    // (key, row) order, so it IS the answer — one contiguous copy. This
+    // is the range-scan fast path the immutable layout exists for.
+    out->insert(out->end(), prefix_rows_.begin() + static_cast<ptrdiff_t>(i),
+                prefix_rows_.begin() + static_cast<ptrdiff_t>(end));
+    return util::Status::Ok();
+  }
+  std::sort(tails.begin(), tails.end());
+  size_t t = 0;
+  while (i < end || t < tails.size()) {
+    if (t >= tails.size() ||
+        (i < end && prefix_keys_[i] <= tails[t].first)) {
+      const Value key = prefix_keys_[i];
+      while (i < end && prefix_keys_[i] == key) {
+        out->push_back(prefix_rows_[i]);
+        ++i;
+      }
+      if (t < tails.size() && tails[t].first == key) {
+        out->insert(out->end(), tails[t].second->begin(),
+                    tails[t].second->end());
+        ++t;
+      }
+    } else {
+      out->insert(out->end(), tails[t].second->begin(),
+                  tails[t].second->end());
+      ++t;
+    }
+  }
+  return util::Status::Ok();
+}
+
+void SortedArrayIndex::Stabilize(RowId limit) {
+  if (limit <= stable_limit_) return;
+  std::vector<std::pair<Value, RowId>> moved;
+  for (auto it = tail_.begin(); it != tail_.end();) {
+    std::vector<RowId>& bucket = it->second;
+    // Buckets are ascending, so the rows now below the stable limit are
+    // a prefix of the bucket.
+    const auto split =
+        std::lower_bound(bucket.begin(), bucket.end(), limit);
+    for (auto b = bucket.begin(); b != split; ++b) {
+      moved.emplace_back(it->first, *b);
+    }
+    bucket.erase(bucket.begin(), split);
+    it = bucket.empty() ? tail_.erase(it) : std::next(it);
+  }
+  stable_limit_ = limit;
+  if (moved.empty()) return;
+  std::sort(moved.begin(), moved.end());
+  // Two-way merge of the old prefix and the newly stable rows.
+  std::vector<Value> keys;
+  std::vector<RowId> rows;
+  keys.reserve(prefix_keys_.size() + moved.size());
+  rows.reserve(prefix_rows_.size() + moved.size());
+  size_t a = 0;
+  size_t b = 0;
+  while (a < prefix_keys_.size() || b < moved.size()) {
+    const bool take_prefix =
+        b >= moved.size() ||
+        (a < prefix_keys_.size() &&
+         (prefix_keys_[a] < moved[b].first ||
+          (prefix_keys_[a] == moved[b].first &&
+           prefix_rows_[a] < moved[b].second)));
+    if (take_prefix) {
+      keys.push_back(prefix_keys_[a]);
+      rows.push_back(prefix_rows_[a]);
+      ++a;
+    } else {
+      keys.push_back(moved[b].first);
+      rows.push_back(moved[b].second);
+      ++b;
+    }
+  }
+  prefix_keys_ = std::move(keys);
+  prefix_rows_ = std::move(rows);
+}
+
+void SortedArrayIndex::Clear() {
+  prefix_keys_.clear();
+  prefix_rows_.clear();
+  stable_limit_ = 0;
+  tail_.clear();
+}
+
+// ---- Factory ----
+
+std::unique_ptr<IndexBase> MakeIndex(size_t column, IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kHash:
+      return std::make_unique<HashIndex>(column);
+    case IndexKind::kSorted:
+      return std::make_unique<SortedIndex>(column);
+    case IndexKind::kBtree:
+      return std::make_unique<BtreeIndex>(column);
+    case IndexKind::kSortedArray:
+      return std::make_unique<SortedArrayIndex>(column);
+  }
+  return std::make_unique<HashIndex>(column);  // Unreachable.
 }
 
 }  // namespace carac::storage

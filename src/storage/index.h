@@ -2,7 +2,11 @@
 #define CARAC_STORAGE_INDEX_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -13,45 +17,286 @@ namespace carac::storage {
 
 /// Index organization. Carac's paper implementation uses one hash map per
 /// indexed column (java.util.HashMap); Soufflé's specialized B-trees are
-/// cited as an orthogonal optimization (§VI-D). We provide both: kHash
-/// gives O(1) point probes; kSorted (an ordered map standing in for the
-/// B-tree) adds ordered range probes at a log-factor point-probe cost.
-enum class IndexKind : uint8_t { kHash = 0, kSorted = 1 };
+/// cited as an orthogonal optimization (§VI-D), and KVell demonstrates the
+/// value of swapping index shapes behind one interface. Four kinds live
+/// behind IndexBase:
+///
+///   kHash        — unordered_map buckets; O(1) point probes, no ranges.
+///   kSorted      — std::map buckets; ordered range probes at a
+///                  log-factor, pointer-chasing point-probe cost.
+///   kBtree       — cache-friendly B+tree (fanout kBtreeMaxKeys, leaf
+///                  chain); ordered ranges with contiguous key arrays per
+///                  node instead of one heap node per key.
+///   kSortedArray — immutable sorted (key, row) arrays over the
+///                  epoch-stable prefix plus a small hash tail for rows
+///                  appended since the last Stabilize(); point probes are
+///                  a binary search into contiguous memory, range scans
+///                  are a single sequential sweep.
+enum class IndexKind : uint8_t {
+  kHash = 0,
+  kSorted = 1,
+  kBtree = 2,
+  kSortedArray = 3,
+};
 
 const char* IndexKindName(IndexKind kind);
 
-/// A per-column secondary index: value -> RowIds of the tuples with that
-/// value in the column. RowIds address the owning relation's arena and are
-/// stable across arena growth and hash-table rehash, so the index never
-/// needs rebuilding — unlike the pointer-bucket design it replaced.
-class ColumnIndex {
+/// Parses "hash", "sorted", "btree", "sorted-array" (or the
+/// identifier-safe spelling "sorted_array"). Returns false on anything
+/// else, leaving *out untouched.
+bool ParseIndexKind(const std::string& name, IndexKind* out);
+
+/// True for kinds that keep their keys ordered (ProbeRange works).
+inline bool IndexKindIsOrdered(IndexKind kind) {
+  return kind != IndexKind::kHash;
+}
+
+/// The result of one index probe: a lightweight view of the matching
+/// RowIds. Most kinds hand back one contiguous span; kSortedArray hands
+/// back two (stable prefix + fresh tail), which is why this is a
+/// two-span cursor rather than a bare pointer pair. RowIds appear in
+/// ascending order for every kind (rows enter an index in RowId order
+/// and the prefix/tail split preserves it), so all kinds drive the
+/// evaluators through identical insertion sequences.
+///
+/// Validity: a cursor borrows the index's internal arrays and stays
+/// valid until the owning relation gains rows — the same aliasing rule
+/// as TupleView. The evaluators never violate it: rules probe
+/// Derived/DeltaKnown and write DeltaNew.
+class RowCursor {
  public:
-  ColumnIndex(size_t column, IndexKind kind)
-      : column_(column), kind_(kind) {}
+  RowCursor() = default;
+  RowCursor(const RowId* data, size_t size) : data0_(data), size0_(size) {}
+  RowCursor(const RowId* data0, size_t size0, const RowId* data1,
+            size_t size1)
+      : data0_(data0), size0_(size0), data1_(data1), size1_(size1) {}
+
+  size_t size() const { return size0_ + size1_; }
+  bool empty() const { return size0_ == 0 && size1_ == 0; }
+  RowId operator[](size_t i) const {
+    return i < size0_ ? data0_[i] : data1_[i - size0_];
+  }
+
+  /// Raw spans, for hot loops that want two tight inner loops instead of
+  /// a per-element branch.
+  const RowId* span0() const { return data0_; }
+  size_t size0() const { return size0_; }
+  const RowId* span1() const { return data1_; }
+  size_t size1() const { return size1_; }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < size0_; ++i) fn(data0_[i]);
+    for (size_t i = 0; i < size1_; ++i) fn(data1_[i]);
+  }
+
+  /// Range-for support (cold paths; hot loops use ForEach or the spans).
+  class Iterator {
+   public:
+    Iterator(const RowCursor* cursor, size_t pos)
+        : cursor_(cursor), pos_(pos) {}
+    RowId operator*() const { return (*cursor_)[pos_]; }
+    Iterator& operator++() {
+      ++pos_;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const {
+      return pos_ != other.pos_;
+    }
+
+   private:
+    const RowCursor* cursor_;
+    size_t pos_;
+  };
+  Iterator begin() const { return Iterator(this, 0); }
+  Iterator end() const { return Iterator(this, size()); }
+
+ private:
+  const RowId* data0_ = nullptr;
+  size_t size0_ = 0;
+  const RowId* data1_ = nullptr;
+  size_t size1_ = 0;
+};
+
+/// A per-column secondary index: value -> RowIds of the tuples with that
+/// value in the column. RowIds address the owning relation's arena and
+/// are stable across arena growth and dedup-table rehash, so an index
+/// never needs rebuilding — incremental maintenance on insert is all
+/// that is needed. Concrete organizations subclass this; relations hold
+/// them through the interface and the factory (MakeIndex) keys on
+/// IndexKind, so adding an organization touches only this file.
+class IndexBase {
+ public:
+  IndexBase(size_t column, IndexKind kind) : column_(column), kind_(kind) {}
+  virtual ~IndexBase() = default;
 
   size_t column() const { return column_; }
   IndexKind kind() const { return kind_; }
 
-  /// Registers `row`, whose indexed column holds `key`.
-  void Add(RowId row, Value key);
+  /// Registers `row`, whose indexed column holds `key`. Rows arrive in
+  /// ascending RowId order (the relation appends monotonically).
+  virtual void Add(RowId row, Value key) = 0;
 
-  /// Rows whose column equals `value`; empty if none.
-  const std::vector<RowId>& Probe(Value value) const;
+  /// Rows whose column equals `value`; empty cursor if none.
+  virtual RowCursor Probe(Value value) const = 0;
 
   /// Rows whose column lies in [lo, hi], appended to `out` in ascending
-  /// column order. Only a kSorted index keeps its buckets ordered, so a
-  /// range probe against a kHash index is a caller bug; it is reported as
-  /// a FailedPrecondition naming the offending kind instead of silently
-  /// returning garbage.
-  util::Status ProbeRange(Value lo, Value hi, std::vector<RowId>* out) const;
+  /// (column value, RowId) order. Only ordered kinds keep their keys
+  /// sorted, so a range probe against a kHash index is a caller bug; it
+  /// is reported as a FailedPrecondition naming the offending kind
+  /// instead of silently returning garbage.
+  virtual util::Status ProbeRange(Value lo, Value hi,
+                                  std::vector<RowId>* out) const;
 
-  void Clear();
+  /// Resolves a window of `n` probe keys in one call, writing one cursor
+  /// per key. Amortizes virtual dispatch and lets ordered kinds exploit
+  /// key locality; every implementation skips the lookup entirely for
+  /// runs of equal adjacent keys (common when outer rows share a join
+  /// key). The cursors obey the same validity rule as Probe.
+  virtual void BatchProbe(const Value* keys, size_t n, RowCursor* out) const;
+
+  virtual void Clear() = 0;
+
+  /// Hints that rows below `limit` are epoch-stable (will never be
+  /// removed before the next Clear). kSortedArray rebuilds its immutable
+  /// prefix here; other kinds ignore it. Called only at quiescent points
+  /// (bulk build, watermark advance, snapshot load) — never during a
+  /// probe — so concurrent shard readers never observe a rebuild.
+  virtual void Stabilize(RowId limit);
+
+ protected:
+  util::Status RangeUnsupported() const;
 
  private:
   size_t column_;
   IndexKind kind_;
-  std::unordered_map<Value, std::vector<RowId>> hash_buckets_;
-  std::map<Value, std::vector<RowId>> sorted_buckets_;
+};
+
+/// Creates an index of the requested organization.
+std::unique_ptr<IndexBase> MakeIndex(size_t column, IndexKind kind);
+
+/// kHash: one unordered_map bucket vector per key. Defined in the header
+/// so Relation's kind-dispatched hot paths inline the probe and the
+/// per-insert maintenance (AddFast/ProbeFast are the devirtualized entry
+/// points; the virtuals forward to them).
+class HashIndex final : public IndexBase {
+ public:
+  explicit HashIndex(size_t column) : IndexBase(column, IndexKind::kHash) {}
+
+  void AddFast(RowId row, Value key) { buckets_[key].push_back(row); }
+  RowCursor ProbeFast(Value value) const {
+    auto it = buckets_.find(value);
+    if (it == buckets_.end()) return RowCursor();
+    return RowCursor(it->second.data(), it->second.size());
+  }
+
+  void Add(RowId row, Value key) override { AddFast(row, key); }
+  RowCursor Probe(Value value) const override { return ProbeFast(value); }
+  void Clear() override { buckets_.clear(); }
+
+ private:
+  std::unordered_map<Value, std::vector<RowId>> buckets_;
+};
+
+/// kSorted: one std::map bucket vector per key — the ordered-map
+/// reference organization the B-tree and sorted-array kinds are measured
+/// against.
+class SortedIndex final : public IndexBase {
+ public:
+  explicit SortedIndex(size_t column)
+      : IndexBase(column, IndexKind::kSorted) {}
+
+  void AddFast(RowId row, Value key) { buckets_[key].push_back(row); }
+  RowCursor ProbeFast(Value value) const {
+    auto it = buckets_.find(value);
+    if (it == buckets_.end()) return RowCursor();
+    return RowCursor(it->second.data(), it->second.size());
+  }
+
+  void Add(RowId row, Value key) override { AddFast(row, key); }
+  RowCursor Probe(Value value) const override { return ProbeFast(value); }
+  util::Status ProbeRange(Value lo, Value hi,
+                          std::vector<RowId>* out) const override;
+  void Clear() override { buckets_.clear(); }
+
+ private:
+  std::map<Value, std::vector<RowId>> buckets_;
+};
+
+/// kBtree: a B+tree with contiguous key arrays per node and a chained
+/// leaf level for range scans. Nodes live in one vector and refer to each
+/// other by id (growth-safe: splitting never invalidates an id); RowId
+/// buckets live in a deque so a probe's span survives later inserts.
+class BtreeIndex final : public IndexBase {
+ public:
+  explicit BtreeIndex(size_t column) : IndexBase(column, IndexKind::kBtree) {}
+
+  void AddFast(RowId row, Value key);
+  RowCursor ProbeFast(Value value) const;
+
+  void Add(RowId row, Value key) override { AddFast(row, key); }
+  RowCursor Probe(Value value) const override { return ProbeFast(value); }
+  util::Status ProbeRange(Value lo, Value hi,
+                          std::vector<RowId>* out) const override;
+  void BatchProbe(const Value* keys, size_t n, RowCursor* out) const override;
+  void Clear() override;
+
+ private:
+  // 32 keys/node keeps a node's key array within four cache lines while
+  // staying shallow (a million keys is a 4-level tree).
+  static constexpr size_t kMaxKeys = 32;
+  static constexpr uint32_t kNoNode = 0xFFFFFFFFu;
+
+  struct Node {
+    bool leaf = true;
+    std::vector<Value> keys;
+    /// Leaf: bucket ids, parallel to keys. Internal: child node ids,
+    /// keys.size() + 1 of them.
+    std::vector<uint32_t> children;
+    uint32_t next = kNoNode;  // Next leaf in key order.
+  };
+
+  /// Splits the full child at `parent`'s slot `pos` (B+tree style:
+  /// leaves copy the separator up, internals move it up).
+  void SplitChild(uint32_t parent_id, size_t pos);
+  /// Leaf that would hold `key`, or kNoNode when empty.
+  uint32_t FindLeaf(Value key) const;
+
+  std::vector<Node> nodes_;
+  std::deque<std::vector<RowId>> buckets_;
+  uint32_t root_ = kNoNode;
+};
+
+/// kSortedArray: an immutable index over the epoch-stable prefix — two
+/// parallel arrays sorted by (key, row) — plus a hash tail for rows that
+/// arrived after the last Stabilize(). Point probes binary-search
+/// contiguous memory; range probes sweep one contiguous run (merging in
+/// whatever the tail holds). Stabilize() migrates tail rows below the
+/// new stable limit into the prefix; the watermark machinery makes every
+/// completed epoch's rows stable, so on EDB-heavy workloads the tail
+/// stays empty and probes never touch a hash table at all.
+class SortedArrayIndex final : public IndexBase {
+ public:
+  explicit SortedArrayIndex(size_t column)
+      : IndexBase(column, IndexKind::kSortedArray) {}
+
+  void AddFast(RowId row, Value key) { tail_[key].push_back(row); }
+  RowCursor ProbeFast(Value value) const;
+
+  void Add(RowId row, Value key) override { AddFast(row, key); }
+  RowCursor Probe(Value value) const override { return ProbeFast(value); }
+  util::Status ProbeRange(Value lo, Value hi,
+                          std::vector<RowId>* out) const override;
+  void Clear() override;
+  void Stabilize(RowId limit) override;
+
+ private:
+  /// Sorted by (key, row); every row here is < stable_limit_.
+  std::vector<Value> prefix_keys_;
+  std::vector<RowId> prefix_rows_;
+  RowId stable_limit_ = 0;
+  /// Rows >= stable_limit_, in insertion (ascending RowId) order.
+  std::unordered_map<Value, std::vector<RowId>> tail_;
 };
 
 }  // namespace carac::storage

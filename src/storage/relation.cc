@@ -17,6 +17,41 @@ size_t NextPowerOfTwo(size_t n, size_t k_min) {
   return p;
 }
 
+/// Kind-dispatched index maintenance: one predictable switch instead of
+/// a virtual call per indexed column per insert. The Fast entry points of
+/// the header-defined kinds inline here.
+inline void IndexAdd(IndexBase* index, RowId row, Value key) {
+  switch (index->kind()) {
+    case IndexKind::kHash:
+      static_cast<HashIndex*>(index)->AddFast(row, key);
+      return;
+    case IndexKind::kSorted:
+      static_cast<SortedIndex*>(index)->AddFast(row, key);
+      return;
+    case IndexKind::kBtree:
+      static_cast<BtreeIndex*>(index)->AddFast(row, key);
+      return;
+    case IndexKind::kSortedArray:
+      static_cast<SortedArrayIndex*>(index)->AddFast(row, key);
+      return;
+  }
+}
+
+/// Kind-dispatched probe, same rationale as IndexAdd.
+inline RowCursor IndexProbe(const IndexBase& index, Value value) {
+  switch (index.kind()) {
+    case IndexKind::kHash:
+      return static_cast<const HashIndex&>(index).ProbeFast(value);
+    case IndexKind::kSorted:
+      return static_cast<const SortedIndex&>(index).ProbeFast(value);
+    case IndexKind::kBtree:
+      return static_cast<const BtreeIndex&>(index).ProbeFast(value);
+    case IndexKind::kSortedArray:
+      return static_cast<const SortedArrayIndex&>(index).ProbeFast(value);
+  }
+  return RowCursor();  // Unreachable.
+}
+
 }  // namespace
 
 void Relation::Reserve(size_t rows) {
@@ -44,8 +79,8 @@ bool Relation::Insert(TupleView tuple) {
   CARAC_CHECK(num_rows_ < kEmptySlot);
   slots_[slot] = num_rows_;
   arena_.insert(arena_.end(), tuple.begin(), tuple.end());
-  for (ColumnIndex& index : indexes_) {
-    index.Add(num_rows_, tuple[index.column()]);
+  for (const std::unique_ptr<IndexBase>& index : indexes_) {
+    IndexAdd(index.get(), num_rows_, tuple[index->column()]);
   }
   ++num_rows_;
   return true;
@@ -93,27 +128,54 @@ void Relation::DeclareIndex(size_t column, IndexKind kind) {
     index_by_column_.resize(arity_, kNoIndex);
   }
   index_by_column_[column] = indexes_.size();
-  indexes_.emplace_back(column, kind);
-  ColumnIndex& index = indexes_.back();
+  indexes_.push_back(MakeIndex(column, kind));
+  IndexBase& index = *indexes_.back();
   for (RowId row = 0; row < num_rows_; ++row) {
     index.Add(row, RowData(row)[column]);
   }
+  // A bulk build is a quiescent point: everything present is stable.
+  index.Stabilize(num_rows_);
 }
 
-const std::vector<RowId>& Relation::Probe(size_t column, Value value) const {
+void Relation::RedeclareIndex(size_t column, IndexKind kind) {
+  if (HasIndex(column) && IndexKindOf(column) != kind) {
+    std::unique_ptr<IndexBase>& slot = indexes_[index_by_column_[column]];
+    slot = MakeIndex(column, kind);
+    for (RowId row = 0; row < num_rows_; ++row) {
+      slot->Add(row, RowData(row)[column]);
+    }
+    slot->Stabilize(num_rows_);
+    return;
+  }
+  DeclareIndex(column, kind);
+}
+
+RowCursor Relation::Probe(size_t column, Value value) const {
   CARAC_CHECK(HasIndex(column));
-  return indexes_[index_by_column_[column]].Probe(value);
+  return IndexProbe(*indexes_[index_by_column_[column]], value);
+}
+
+void Relation::BatchProbe(size_t column, const Value* keys, size_t n,
+                          RowCursor* out) const {
+  CARAC_CHECK(HasIndex(column));
+  indexes_[index_by_column_[column]]->BatchProbe(keys, n, out);
 }
 
 IndexKind Relation::IndexKindOf(size_t column) const {
   CARAC_CHECK(HasIndex(column));
-  return indexes_[index_by_column_[column]].kind();
+  return indexes_[index_by_column_[column]]->kind();
 }
 
 util::Status Relation::ProbeRange(size_t column, Value lo, Value hi,
                                   std::vector<RowId>* out) const {
   CARAC_CHECK(HasIndex(column));
-  return indexes_[index_by_column_[column]].ProbeRange(lo, hi, out);
+  return indexes_[index_by_column_[column]]->ProbeRange(lo, hi, out);
+}
+
+void Relation::StabilizeIndexes() {
+  for (const std::unique_ptr<IndexBase>& index : indexes_) {
+    index->Stabilize(num_rows_);
+  }
 }
 
 void Relation::Clear() {
@@ -121,7 +183,7 @@ void Relation::Clear() {
   watermark_ = 0;
   arena_.clear();
   std::fill(slots_.begin(), slots_.end(), kEmptySlot);
-  for (ColumnIndex& index : indexes_) index.Clear();
+  for (const std::unique_ptr<IndexBase>& index : indexes_) index->Clear();
 }
 
 void Relation::Absorb(Relation* other) {
@@ -148,8 +210,8 @@ size_t Relation::InsertStaged(const StagingBuffer& staged,
 }
 
 void Relation::CopyIndexDeclarations(const Relation& other) {
-  for (const ColumnIndex& index : other.indexes_) {
-    DeclareIndex(index.column(), index.kind());
+  for (const std::unique_ptr<IndexBase>& index : other.indexes_) {
+    DeclareIndex(index->column(), index->kind());
   }
 }
 
@@ -162,11 +224,13 @@ void Relation::LoadContents(std::vector<Value> arena, uint32_t num_rows,
   watermark_ = watermark;
   // Rebuild the dedup table at the same load factor Reserve() targets.
   Rehash(NextPowerOfTwo(num_rows + num_rows / 3 + 1, kMinSlots));
-  for (ColumnIndex& index : indexes_) {
-    index.Clear();
+  for (const std::unique_ptr<IndexBase>& index : indexes_) {
+    index->Clear();
     for (RowId row = 0; row < num_rows_; ++row) {
-      index.Add(row, RowData(row)[index.column()]);
+      index->Add(row, RowData(row)[index->column()]);
     }
+    // Snapshot load is a quiescent point: the loaded rows are stable.
+    index->Stabilize(num_rows_);
   }
 }
 

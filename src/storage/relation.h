@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -123,8 +124,19 @@ class Relation {
   /// top of the append-only arena.
   RowId watermark() const { return watermark_; }
 
-  /// Records the current row count as the epoch boundary.
-  void AdvanceWatermark() { watermark_ = num_rows_; }
+  /// Records the current row count as the epoch boundary and lets the
+  /// indexes compact over the now-stable row prefix (kSortedArray
+  /// rebuilds its immutable arrays here — a quiescent point, so no
+  /// reader ever observes the rebuild).
+  void AdvanceWatermark() {
+    watermark_ = num_rows_;
+    StabilizeIndexes();
+  }
+
+  /// Tells every index that all current rows are stable (append-only
+  /// arenas never remove rows before Clear). Must only be called at
+  /// quiescent points — never while probe cursors are live.
+  void StabilizeIndexes();
 
   // ---- Indexes ----
 
@@ -132,23 +144,40 @@ class Relation {
   /// kind wins) and builds it over the current contents.
   void DeclareIndex(size_t column, IndexKind kind = IndexKind::kHash);
 
+  /// Declares an index on `column` with `kind`, REPLACING an existing
+  /// declaration of a different kind (rebuilt over current contents).
+  /// Snapshot restore uses this: the persisted per-index kind is
+  /// authoritative over whatever the engine declared at Prepare().
+  void RedeclareIndex(size_t column, IndexKind kind);
+
   bool HasIndex(size_t column) const {
     return column < index_by_column_.size() &&
            index_by_column_[column] != kNoIndex;
   }
 
-  /// Probes the index on `column` for `value`, returning the matching
-  /// RowIds. Requires HasIndex(column).
-  const std::vector<RowId>& Probe(size_t column, Value value) const;
+  /// Probes the index on `column` for `value`, returning a cursor over
+  /// the matching RowIds (valid until this relation gains rows — the
+  /// TupleView aliasing rule). Requires HasIndex(column).
+  RowCursor Probe(size_t column, Value value) const;
+
+  /// Resolves `n` probe keys against the index on `column` in one call,
+  /// writing one cursor per key (see IndexBase::BatchProbe). Requires
+  /// HasIndex(column).
+  void BatchProbe(size_t column, const Value* keys, size_t n,
+                  RowCursor* out) const;
 
   /// Kind of the index on `column`. Requires HasIndex(column).
   IndexKind IndexKindOf(size_t column) const;
 
   /// Range probe [lo, hi] in ascending column order. Requires
   /// HasIndex(column); fails with FailedPrecondition (naming the kind) if
-  /// the index is not kSorted.
+  /// the index kind is not ordered.
   util::Status ProbeRange(size_t column, Value lo, Value hi,
                           std::vector<RowId>* out) const;
+
+  /// Index declarations in declaration order (snapshot serialization).
+  size_t NumIndexes() const { return indexes_.size(); }
+  const IndexBase& IndexAt(size_t i) const { return *indexes_[i]; }
 
   // ---- Bulk maintenance ----
 
@@ -223,7 +252,9 @@ class Relation {
   /// Power-of-two size; linear probing on HashSpan of the row.
   std::vector<uint32_t> slots_;
   size_t slot_mask_ = 0;
-  std::vector<ColumnIndex> indexes_;
+  /// Owned through the interface; the concrete organization is chosen at
+  /// declaration time (storage/index.h factory).
+  std::vector<std::unique_ptr<IndexBase>> indexes_;
   // Maps column -> position in indexes_, or kNoIndex.
   std::vector<size_t> index_by_column_;
 };

@@ -1,5 +1,6 @@
 #include "storage/snapshot.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -76,6 +77,23 @@ util::Status DatabaseSet::SaveSnapshot(const std::string& path) const {
     head.PutU32(static_cast<uint32_t>(rel.arity()));
     head.PutU32(rel.NumRows());
     head.PutU32(rel.watermark());
+    // Index declarations (v2): column and per-index KIND, sorted by
+    // column so the bytes don't depend on declaration order (a reopened
+    // set may have declared, then redeclared, in a different sequence).
+    // Contents are rebuilt at open; the organization choice is state
+    // worth keeping (statistics or hints picked it).
+    std::vector<std::pair<uint32_t, uint8_t>> decls;
+    decls.reserve(rel.NumIndexes());
+    for (size_t i = 0; i < rel.NumIndexes(); ++i) {
+      decls.emplace_back(static_cast<uint32_t>(rel.IndexAt(i).column()),
+                         static_cast<uint8_t>(rel.IndexAt(i).kind()));
+    }
+    std::sort(decls.begin(), decls.end());
+    head.PutU32(static_cast<uint32_t>(decls.size()));
+    for (const auto& [column, kind] : decls) {
+      head.PutU32(column);
+      head.PutU8(kind);
+    }
     WireBuf tail;
     tail.PutU32(static_cast<uint32_t>(edb_rows_[id].size()));
     for (RowId row : edb_rows_[id]) tail.PutU32(row);
@@ -204,9 +222,25 @@ util::Status DatabaseSet::OpenSnapshot(const std::string& path) {
     uint32_t arity = 0;
     uint32_t num_rows = 0;
     uint32_t watermark = 0;
+    uint32_t index_count = 0;
     if (!r.GetString(&name) || !r.GetU32(&arity) || !r.GetU32(&num_rows) ||
-        !r.GetU32(&watermark)) {
+        !r.GetU32(&watermark) || !r.GetU32(&index_count)) {
       return Corrupt(path, "truncated relation header");
+    }
+    std::vector<std::pair<uint32_t, IndexKind>> index_decls;
+    index_decls.reserve(index_count);
+    for (uint32_t i = 0; i < index_count; ++i) {
+      uint32_t column = 0;
+      uint8_t kind = 0;
+      if (!r.GetU32(&column) || !r.GetU8(&kind)) {
+        return Corrupt(path, "truncated index declarations for " + name);
+      }
+      if (column >= arity || kind > static_cast<uint8_t>(
+                                        IndexKind::kSortedArray)) {
+        return Corrupt(path, "relation " + name +
+                                 " has an invalid index declaration");
+      }
+      index_decls.emplace_back(column, static_cast<IndexKind>(kind));
     }
     const uint64_t num_values = static_cast<uint64_t>(num_rows) * arity;
     if (num_values > r.remaining() / 8) {
@@ -246,6 +280,16 @@ util::Status DatabaseSet::OpenSnapshot(const std::string& path) {
                                "/" + std::to_string(arity) +
                                ", database has " + RelationName(id) + "/" +
                                std::to_string(RelationArity(id)));
+    }
+    // The persisted per-index kinds are authoritative: a restore into an
+    // engine-prepared set replaces any kind Prepare() chose, so a
+    // mixed-kind database survives save/open byte-identically. Declared
+    // BEFORE LoadContents so the rebuild below populates the right
+    // organization once instead of building one and replacing it.
+    if (indexing_enabled_) {
+      for (const auto& [column, kind] : index_decls) {
+        RedeclareIndex(id, column, kind);
+      }
     }
     Store& store = stores_[id];
     store.derived->LoadContents(std::move(arena), num_rows, watermark);

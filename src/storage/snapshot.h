@@ -11,7 +11,7 @@
 // derivable in memory (the open-addressing dedup table, the column
 // indexes) is rebuilt at open instead of being persisted.
 //
-// All integers are little-endian. Layout (version 1):
+// All integers are little-endian. Layout (version 2):
 //
 //   [header]
 //     magic          8 bytes  "CARACSNP"
@@ -29,6 +29,12 @@
 //     arity          u32
 //     num_rows       u32
 //     watermark      u32      epoch watermark (<= num_rows)
+//     index_count    u32      declared indexes on the Derived store
+//     indexes        index_count * (column u32, kind u8) in declaration
+//                    order — contents are still rebuilt at open, but the
+//                    per-index ORGANIZATION is data (the optimizer or a
+//                    DSL hint chose it), so a mixed-kind database
+//                    round-trips byte-identically (v2 addition)
 //     arena          num_rows * arity * 8 bytes, row-major, verbatim
 //     edb_count      u32
 //     edb_rows       edb_count * u32  RowIds inserted via InsertFact
@@ -46,7 +52,7 @@
 
 namespace carac::storage {
 
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 
 }  // namespace carac::storage
 

@@ -87,6 +87,36 @@ expect_cli(min_rows_zero 2 "parallel-min-outer-rows" run fibonacci
 # Usage documents the new flags.
 expect_cli(usage_mentions_threads 2 "--threads=N")
 
+# --index-kind: every valid kind (and auto) is accepted; anything else is
+# a configuration error with a diagnostic that lists the choices. The
+# flag must also appear in usage.
+expect_cli(index_kind_hash 0 "Fibonacci" run fibonacci --scale=2
+  --index-kind=hash)
+expect_cli(index_kind_sorted 0 "Fibonacci" run fibonacci --scale=2
+  --index-kind=sorted)
+expect_cli(index_kind_btree 0 "Fibonacci" run fibonacci --scale=2
+  --index-kind=btree)
+expect_cli(index_kind_sorted_array 0 "Fibonacci" run fibonacci --scale=2
+  --index-kind=sorted-array)
+expect_cli(index_kind_auto 0 "Fibonacci" run fibonacci --scale=2
+  --index-kind=auto)
+expect_cli(index_kind_garbage 2 "invalid --index-kind=lsm" run fibonacci
+  --index-kind=lsm)
+expect_cli(index_kind_empty 2 "invalid --index-kind" run fibonacci
+  --index-kind=)
+expect_cli(usage_mentions_index_kind 2 "--index-kind=")
+
+# --probe-batch-window: strict integer >= 0 (0 disables batching and must
+# still evaluate correctly).
+expect_cli(probe_window_off 0 "Fibonacci" run fibonacci --scale=2
+  --probe-batch-window=0)
+expect_cli(probe_window_garbage 2 "probe-batch-window" run fibonacci
+  --probe-batch-window=abc)
+expect_cli(probe_window_negative 2 "probe-batch-window" run fibonacci
+  --probe-batch-window=-1)
+expect_cli(probe_window_trailing 2 "probe-batch-window" run fibonacci
+  --probe-batch-window=8x)
+
 # Happy paths still work.
 expect_cli(list_ok 0 "fibonacci" list)
 expect_cli(run_ok 0 "Fibonacci" run fibonacci --scale=2)

@@ -311,10 +311,13 @@ TEST_P(FuzzDifferential, AllConfigurationsAgree) {
     config.engine_style = ir::EngineStyle::kPull;
     EXPECT_EQ(Evaluate(seed, config), reference) << "pull";
   }
-  {
+  for (storage::IndexKind kind :
+       {storage::IndexKind::kSorted, storage::IndexKind::kBtree,
+        storage::IndexKind::kSortedArray}) {
     core::EngineConfig config;
-    config.index_kind = storage::IndexKind::kSorted;
-    EXPECT_EQ(Evaluate(seed, config), reference) << "sorted index";
+    config.index_kind = kind;
+    EXPECT_EQ(Evaluate(seed, config), reference)
+        << storage::IndexKindName(kind) << " index";
   }
   {
     core::EngineConfig config;
@@ -354,7 +357,8 @@ TEST_P(FuzzDifferential, AllConfigurationsAgree) {
     for (ir::EngineStyle style :
          {ir::EngineStyle::kPush, ir::EngineStyle::kPull}) {
       for (storage::IndexKind kind :
-           {storage::IndexKind::kHash, storage::IndexKind::kSorted}) {
+           {storage::IndexKind::kHash, storage::IndexKind::kBtree,
+            storage::IndexKind::kSortedArray}) {
         core::EngineConfig config;
         config.num_threads = threads;
         config.parallel_min_outer_rows = 1;

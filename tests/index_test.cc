@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <vector>
+
 #include "analysis/programs.h"
 #include "core/engine.h"
 #include "storage/index.h"
@@ -8,60 +12,93 @@
 namespace carac::storage {
 namespace {
 
-TEST(ColumnIndexTest, HashProbe) {
-  // Rows (RowIds 0..2) with column-0 keys 1, 1, 2.
-  ColumnIndex index(0, IndexKind::kHash);
-  index.Add(0, 1);
-  index.Add(1, 1);
-  index.Add(2, 2);
-  EXPECT_EQ(index.Probe(1).size(), 2u);
-  EXPECT_EQ(index.Probe(2).size(), 1u);
-  EXPECT_TRUE(index.Probe(3).empty());
-  EXPECT_EQ(index.kind(), IndexKind::kHash);
-}
+constexpr IndexKind kAllKinds[] = {IndexKind::kHash, IndexKind::kSorted,
+                                   IndexKind::kBtree, IndexKind::kSortedArray};
+constexpr IndexKind kOrderedKinds[] = {IndexKind::kSorted, IndexKind::kBtree,
+                                       IndexKind::kSortedArray};
 
-TEST(ColumnIndexTest, ProbeReturnsRowIdsInInsertionOrder) {
-  ColumnIndex index(0, IndexKind::kHash);
-  index.Add(4, 9);
-  index.Add(7, 9);
-  index.Add(2, 9);
-  const std::vector<RowId>& bucket = index.Probe(9);
-  ASSERT_EQ(bucket.size(), 3u);
-  EXPECT_EQ(bucket[0], 4u);
-  EXPECT_EQ(bucket[1], 7u);
-  EXPECT_EQ(bucket[2], 2u);
-}
-
-TEST(ColumnIndexTest, SortedProbe) {
-  ColumnIndex index(0, IndexKind::kSorted);
-  index.Add(0, 5);
-  index.Add(1, 7);
-  index.Add(2, 5);
-  EXPECT_EQ(index.Probe(5).size(), 2u);
-  EXPECT_EQ(index.Probe(7).size(), 1u);
-  EXPECT_TRUE(index.Probe(6).empty());
-}
-
-TEST(ColumnIndexTest, RangeProbeAscending) {
-  const Value keys[] = {3, 1, 7, 5, 5};
-  ColumnIndex index(0, IndexKind::kSorted);
-  for (RowId row = 0; row < 5; ++row) index.Add(row, keys[row]);
+std::vector<RowId> Collect(const RowCursor& cursor) {
   std::vector<RowId> out;
-  ASSERT_TRUE(index.ProbeRange(2, 6, &out).ok());
-  ASSERT_EQ(out.size(), 3u);  // Keys 3, 5, 5 -> rows 0, 3, 4.
-  EXPECT_EQ(out[0], 0u);
-  EXPECT_EQ(out[1], 3u);
-  EXPECT_EQ(out[2], 4u);
-  out.clear();
-  ASSERT_TRUE(index.ProbeRange(100, 200, &out).ok());
-  EXPECT_TRUE(out.empty());
+  cursor.ForEach([&](RowId row) { out.push_back(row); });
+  return out;
+}
+
+TEST(IndexKindTest, NamesAndParsingRoundTrip) {
+  for (IndexKind kind : kAllKinds) {
+    IndexKind parsed;
+    ASSERT_TRUE(ParseIndexKind(IndexKindName(kind), &parsed))
+        << IndexKindName(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  IndexKind parsed = IndexKind::kHash;
+  EXPECT_TRUE(ParseIndexKind("sorted_array", &parsed));  // Identifier form.
+  EXPECT_EQ(parsed, IndexKind::kSortedArray);
+  EXPECT_FALSE(ParseIndexKind("b-tree", &parsed));
+  EXPECT_FALSE(ParseIndexKind("", &parsed));
+  EXPECT_FALSE(IndexKindIsOrdered(IndexKind::kHash));
+  for (IndexKind kind : kOrderedKinds) EXPECT_TRUE(IndexKindIsOrdered(kind));
+}
+
+TEST(IndexKindTest, FactoryProducesRequestedKind) {
+  for (IndexKind kind : kAllKinds) {
+    std::unique_ptr<IndexBase> index = MakeIndex(2, kind);
+    ASSERT_NE(index, nullptr);
+    EXPECT_EQ(index->kind(), kind);
+    EXPECT_EQ(index->column(), 2u);
+  }
+}
+
+TEST(ColumnIndexTest, PointProbeEveryKind) {
+  for (IndexKind kind : kAllKinds) {
+    std::unique_ptr<IndexBase> index = MakeIndex(0, kind);
+    // Rows (RowIds 0..2) with column-0 keys 1, 1, 2.
+    index->Add(0, 1);
+    index->Add(1, 1);
+    index->Add(2, 2);
+    EXPECT_EQ(index->Probe(1).size(), 2u) << IndexKindName(kind);
+    EXPECT_EQ(index->Probe(2).size(), 1u) << IndexKindName(kind);
+    EXPECT_TRUE(index->Probe(3).empty()) << IndexKindName(kind);
+  }
+}
+
+TEST(ColumnIndexTest, ProbeReturnsAscendingRowIds) {
+  // Rows enter an index in ascending RowId order (relations append
+  // monotonically); every kind must hand them back in that order — it is
+  // what keeps evaluation byte-identical across kinds.
+  for (IndexKind kind : kAllKinds) {
+    std::unique_ptr<IndexBase> index = MakeIndex(0, kind);
+    for (RowId row = 0; row < 64; ++row) index->Add(row, 9);
+    index->Stabilize(40);  // Split kSortedArray across prefix and tail.
+    const std::vector<RowId> rows = Collect(index->Probe(9));
+    ASSERT_EQ(rows.size(), 64u) << IndexKindName(kind);
+    for (RowId row = 0; row < 64; ++row) {
+      EXPECT_EQ(rows[row], row) << IndexKindName(kind);
+    }
+  }
+}
+
+TEST(ColumnIndexTest, RangeProbeAscendingEveryOrderedKind) {
+  const Value keys[] = {3, 1, 7, 5, 5};
+  for (IndexKind kind : kOrderedKinds) {
+    std::unique_ptr<IndexBase> index = MakeIndex(0, kind);
+    for (RowId row = 0; row < 5; ++row) index->Add(row, keys[row]);
+    std::vector<RowId> out;
+    ASSERT_TRUE(index->ProbeRange(2, 6, &out).ok()) << IndexKindName(kind);
+    ASSERT_EQ(out.size(), 3u) << IndexKindName(kind);
+    EXPECT_EQ(out[0], 0u);  // Keys 3, 5, 5 -> rows 0, 3, 4.
+    EXPECT_EQ(out[1], 3u);
+    EXPECT_EQ(out[2], 4u);
+    out.clear();
+    ASSERT_TRUE(index->ProbeRange(100, 200, &out).ok());
+    EXPECT_TRUE(out.empty()) << IndexKindName(kind);
+  }
 }
 
 TEST(ColumnIndexTest, RangeProbeOnHashIndexFailsWithKindInMessage) {
-  ColumnIndex index(3, IndexKind::kHash);
-  index.Add(0, 1);
+  std::unique_ptr<IndexBase> index = MakeIndex(3, IndexKind::kHash);
+  index->Add(0, 1);
   std::vector<RowId> out;
-  const util::Status status = index.ProbeRange(0, 10, &out);
+  const util::Status status = index->ProbeRange(0, 10, &out);
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
   // The diagnostic must name the offending kind and column so the caller
@@ -73,29 +110,129 @@ TEST(ColumnIndexTest, RangeProbeOnHashIndexFailsWithKindInMessage) {
   EXPECT_TRUE(out.empty());
 }
 
-TEST(ColumnIndexTest, ClearEmptiesBothOrganizations) {
-  for (IndexKind kind : {IndexKind::kHash, IndexKind::kSorted}) {
-    ColumnIndex index(0, kind);
-    index.Add(0, 1);
-    EXPECT_EQ(index.Probe(1).size(), 1u);
-    index.Clear();
-    EXPECT_TRUE(index.Probe(1).empty());
+TEST(ColumnIndexTest, BatchProbeMatchesPointProbes) {
+  // Repeated adjacent keys exercise the equal-adjacent memo; absent keys
+  // must yield empty cursors in place, not be skipped.
+  const Value batch[] = {5, 5, 2, 99, 2, 2, 7, 5};
+  constexpr size_t kBatch = sizeof(batch) / sizeof(batch[0]);
+  for (IndexKind kind : kAllKinds) {
+    std::unique_ptr<IndexBase> index = MakeIndex(0, kind);
+    const Value keys[] = {5, 2, 7, 5, 2, 5};
+    for (RowId row = 0; row < 6; ++row) index->Add(row, keys[row]);
+    index->Stabilize(3);
+    std::vector<RowCursor> cursors(kBatch);
+    index->BatchProbe(batch, kBatch, cursors.data());
+    for (size_t i = 0; i < kBatch; ++i) {
+      EXPECT_EQ(Collect(cursors[i]), Collect(index->Probe(batch[i])))
+          << IndexKindName(kind) << " key " << batch[i];
+    }
   }
 }
 
-TEST(RelationIndexKindTest, SortedIndexOnRelation) {
-  Relation rel("R", 2);
-  rel.DeclareIndex(0, IndexKind::kSorted);
-  for (int64_t i = 0; i < 20; ++i) rel.Insert({i % 5, i});
-  EXPECT_EQ(rel.IndexKindOf(0), IndexKind::kSorted);
-  EXPECT_EQ(rel.Probe(0, 3).size(), 4u);
-  std::vector<RowId> out;
-  ASSERT_TRUE(rel.ProbeRange(0, 1, 3, &out).ok());
-  EXPECT_EQ(out.size(), 12u);  // Keys 1,2,3 with 4 rows each.
-  for (RowId row : out) {
-    const Value key = rel.View(row)[0];
-    EXPECT_GE(key, 1);
-    EXPECT_LE(key, 3);
+TEST(ColumnIndexTest, ClearEmptiesEveryKind) {
+  for (IndexKind kind : kAllKinds) {
+    std::unique_ptr<IndexBase> index = MakeIndex(0, kind);
+    index->Add(0, 1);
+    index->Stabilize(1);
+    index->Add(1, 1);
+    EXPECT_EQ(index->Probe(1).size(), 2u) << IndexKindName(kind);
+    index->Clear();
+    EXPECT_TRUE(index->Probe(1).empty()) << IndexKindName(kind);
+    index->Add(0, 1);  // Usable again after Clear.
+    EXPECT_EQ(index->Probe(1).size(), 1u) << IndexKindName(kind);
+  }
+}
+
+TEST(BtreeIndexTest, SplitStressAgainstSortedReference) {
+  // Enough distinct keys to force several levels of splits (fanout 32),
+  // inserted in a scrambled but deterministic order via a multiplicative
+  // walk of the key space.
+  constexpr Value kKeys = 5000;
+  std::unique_ptr<IndexBase> btree = MakeIndex(0, IndexKind::kBtree);
+  std::unique_ptr<IndexBase> reference = MakeIndex(0, IndexKind::kSorted);
+  for (RowId row = 0; row < 2 * kKeys; ++row) {
+    const Value key = (static_cast<Value>(row) * 2654435761u) % kKeys;
+    btree->Add(row, key);
+    reference->Add(row, key);
+  }
+  for (Value key = 0; key < kKeys; key += 17) {
+    EXPECT_EQ(Collect(btree->Probe(key)), Collect(reference->Probe(key)))
+        << "key " << key;
+  }
+  EXPECT_TRUE(btree->Probe(kKeys + 1).empty());
+  for (Value lo = 0; lo < kKeys; lo += 611) {
+    std::vector<RowId> got, want;
+    ASSERT_TRUE(btree->ProbeRange(lo, lo + 300, &got).ok());
+    ASSERT_TRUE(reference->ProbeRange(lo, lo + 300, &want).ok());
+    EXPECT_EQ(got, want) << "range [" << lo << ", " << lo + 300 << "]";
+  }
+}
+
+TEST(SortedArrayIndexTest, StabilizeIsInvisibleToProbes) {
+  std::unique_ptr<IndexBase> index = MakeIndex(0, IndexKind::kSortedArray);
+  std::unique_ptr<IndexBase> reference = MakeIndex(0, IndexKind::kSorted);
+  auto check_all = [&](const char* when) {
+    for (Value key = 0; key < 12; ++key) {
+      EXPECT_EQ(Collect(index->Probe(key)), Collect(reference->Probe(key)))
+          << when << ", key " << key;
+      std::vector<RowId> got, want;
+      ASSERT_TRUE(index->ProbeRange(key, key + 3, &got).ok());
+      ASSERT_TRUE(reference->ProbeRange(key, key + 3, &want).ok());
+      EXPECT_EQ(got, want) << when << ", range from " << key;
+    }
+  };
+  // Epoch 1: rows 0..99, then the watermark advances (Stabilize).
+  for (RowId row = 0; row < 100; ++row) {
+    index->Add(row, row % 10);
+    reference->Add(row, row % 10);
+  }
+  check_all("tail only");
+  index->Stabilize(100);
+  check_all("all stable");
+  // Epoch 2: more rows, some with brand-new keys, probed while they
+  // straddle the prefix/tail boundary, then stabilized again.
+  for (RowId row = 100; row < 160; ++row) {
+    index->Add(row, row % 12);
+    reference->Add(row, row % 12);
+  }
+  check_all("prefix + tail");
+  index->Stabilize(130);  // Partial: rows 130..159 stay in the tail.
+  check_all("partial stabilize");
+  index->Stabilize(160);
+  check_all("restabilized");
+}
+
+TEST(RelationIndexKindTest, DeclaredKindDrivesRelationProbes) {
+  for (IndexKind kind : kAllKinds) {
+    Relation rel("R", 2);
+    rel.DeclareIndex(0, kind);
+    for (int64_t i = 0; i < 20; ++i) rel.Insert({i % 5, i});
+    EXPECT_EQ(rel.IndexKindOf(0), kind);
+    EXPECT_EQ(rel.Probe(0, 3).size(), 4u) << IndexKindName(kind);
+    if (!IndexKindIsOrdered(kind)) continue;
+    std::vector<RowId> out;
+    ASSERT_TRUE(rel.ProbeRange(0, 1, 3, &out).ok()) << IndexKindName(kind);
+    EXPECT_EQ(out.size(), 12u);  // Keys 1,2,3 with 4 rows each.
+    for (RowId row : out) {
+      const Value key = rel.View(row)[0];
+      EXPECT_GE(key, 1);
+      EXPECT_LE(key, 3);
+    }
+  }
+}
+
+TEST(RelationIndexKindTest, BatchProbeMatchesPointProbesOnRelation) {
+  for (IndexKind kind : kAllKinds) {
+    Relation rel("R", 2);
+    rel.DeclareIndex(0, kind);
+    for (int64_t i = 0; i < 30; ++i) rel.Insert({i % 7, i});
+    const Value keys[] = {3, 3, 6, 42, 0, 0};
+    RowCursor cursors[6];
+    rel.BatchProbe(0, keys, 6, cursors);
+    for (size_t i = 0; i < 6; ++i) {
+      EXPECT_EQ(Collect(cursors[i]), Collect(rel.Probe(0, keys[i])))
+          << IndexKindName(kind) << " key " << keys[i];
+    }
   }
 }
 
@@ -117,6 +254,23 @@ TEST(RelationIndexKindTest, FirstDeclarationWins) {
   EXPECT_EQ(rel.IndexKindOf(0), IndexKind::kSorted);
 }
 
+TEST(RelationIndexKindTest, RedeclareReplacesKindAndRebuilds) {
+  Relation rel("R", 2);
+  rel.DeclareIndex(0, IndexKind::kHash);
+  for (int64_t i = 0; i < 20; ++i) rel.Insert({i % 5, i});
+  rel.RedeclareIndex(0, IndexKind::kBtree);
+  EXPECT_EQ(rel.IndexKindOf(0), IndexKind::kBtree);
+  EXPECT_EQ(rel.Probe(0, 3).size(), 4u);  // Rebuilt over existing rows.
+  std::vector<RowId> out;
+  ASSERT_TRUE(rel.ProbeRange(0, 1, 3, &out).ok());
+  EXPECT_EQ(out.size(), 12u);
+  // Redeclaring the current kind is a no-op, and the index keeps
+  // following subsequent inserts either way.
+  rel.RedeclareIndex(0, IndexKind::kBtree);
+  rel.Insert({3, 100});
+  EXPECT_EQ(rel.Probe(0, 3).size(), 5u);
+}
+
 TEST(DatabaseIndexKindTest, DefaultKindAppliesToAllStores) {
   DatabaseSet db;
   const RelationId r = db.AddRelation("R", 2);
@@ -127,9 +281,22 @@ TEST(DatabaseIndexKindTest, DefaultKindAppliesToAllStores) {
             IndexKind::kSorted);
   EXPECT_STREQ(IndexKindName(IndexKind::kSorted), "sorted");
   EXPECT_STREQ(IndexKindName(IndexKind::kHash), "hash");
+  EXPECT_STREQ(IndexKindName(IndexKind::kBtree), "btree");
+  EXPECT_STREQ(IndexKindName(IndexKind::kSortedArray), "sorted-array");
 }
 
-TEST(EngineIndexKindTest, SortedIndexesProduceSameResults) {
+TEST(DatabaseIndexKindTest, PerColumnOverrideBeatsDefault) {
+  DatabaseSet db;
+  const RelationId r = db.AddRelation("R", 2);
+  db.SetIndexKindOverride(r, 0, IndexKind::kSortedArray);
+  db.DeclareIndex(r, 0);
+  db.DeclareIndex(r, 1);
+  EXPECT_EQ(db.Get(r, DbKind::kDerived).IndexKindOf(0),
+            IndexKind::kSortedArray);
+  EXPECT_EQ(db.Get(r, DbKind::kDerived).IndexKindOf(1), IndexKind::kHash);
+}
+
+TEST(EngineIndexKindTest, EveryKindProducesSameResults) {
   auto run = [](IndexKind kind) {
     analysis::CspaConfig config;
     config.total_tuples = 200;
@@ -142,10 +309,13 @@ TEST(EngineIndexKindTest, SortedIndexesProduceSameResults) {
     CARAC_CHECK_OK(engine.Run());
     return engine.Results(w.output);
   };
-  EXPECT_EQ(run(IndexKind::kHash), run(IndexKind::kSorted));
+  const auto want = run(IndexKind::kHash);
+  EXPECT_EQ(want, run(IndexKind::kSorted));
+  EXPECT_EQ(want, run(IndexKind::kBtree));
+  EXPECT_EQ(want, run(IndexKind::kSortedArray));
 }
 
-TEST(EngineIndexKindTest, SortedIndexesWorkUnderJit) {
+TEST(EngineIndexKindTest, OrderedKindsWorkUnderJit) {
   auto run = [](IndexKind kind) {
     analysis::Workload w =
         analysis::MakeAckermann(29, analysis::RuleOrder::kUnoptimized);
@@ -158,7 +328,9 @@ TEST(EngineIndexKindTest, SortedIndexesWorkUnderJit) {
     CARAC_CHECK_OK(engine.Run());
     return engine.Results(w.output);
   };
-  EXPECT_EQ(run(IndexKind::kHash), run(IndexKind::kSorted));
+  const auto want = run(IndexKind::kHash);
+  EXPECT_EQ(want, run(IndexKind::kBtree));
+  EXPECT_EQ(want, run(IndexKind::kSortedArray));
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "datalog/dsl.h"
+#include "datalog/parser.h"
 #include "ir/lowering.h"
 #include "optimizer/freshness.h"
 #include "optimizer/join_order.h"
@@ -259,6 +260,61 @@ TEST(JoinOrderSubtreeTest, ReordersEverySubquery) {
   JoinOrderConfig config;
   const int changed = ReorderSubtree(stats, config, irp.root.get());
   EXPECT_GE(changed, 1);
+}
+
+datalog::PredicateId PredByName(const datalog::Program& p,
+                                const std::string& name) {
+  for (datalog::PredicateId id = 0; id < p.NumPredicates(); ++id) {
+    if (p.PredicateName(id) == name) return id;
+  }
+  ADD_FAILURE() << "no predicate " << name;
+  return 0;
+}
+
+TEST(AccessPathProfileTest, ClassifiesPointAndRangeUses) {
+  datalog::Program p;
+  ASSERT_TRUE(datalog::ParseDatalog(R"(
+    Edge(1, 2).
+    Path(x, y) :- Edge(x, y).
+    Path(x, z) :- Path(x, y), Edge(y, z).
+    Num(1).
+    InRange(x) :- Num(x), x >= 0, x <= 9.
+  )", &p).ok());
+  const AccessPathProfile profile = ProfileAccessPaths(p);
+
+  // y joins Path and Edge: both sides of the join are point-probed.
+  const auto edge0 = profile.columns.find({PredByName(p, "Edge"), 0});
+  ASSERT_NE(edge0, profile.columns.end());
+  EXPECT_GE(edge0->second.point_uses, 1u);
+  EXPECT_EQ(edge0->second.range_uses, 0u);
+  const auto path1 = profile.columns.find({PredByName(p, "Path"), 1});
+  ASSERT_NE(path1, profile.columns.end());
+  EXPECT_GE(path1->second.point_uses, 1u);
+
+  // x in the InRange rule is only ever compared: a range-only column.
+  const auto num0 = profile.columns.find({PredByName(p, "Num"), 0});
+  ASSERT_NE(num0, profile.columns.end());
+  EXPECT_EQ(num0->second.point_uses, 0u);
+  EXPECT_GE(num0->second.range_uses, 1u);
+}
+
+TEST(ChooseIndexKindTest, OnlyRangeOnlyColumnsLeaveHash) {
+  const ColumnAccess range_only{/*point_uses=*/0, /*range_uses=*/2};
+  EXPECT_EQ(ChooseIndexKind(range_only, /*edb_rows=*/10, /*is_idb=*/true),
+            storage::IndexKind::kBtree);
+  EXPECT_EQ(ChooseIndexKind(range_only, /*edb_rows=*/10, /*is_idb=*/false),
+            storage::IndexKind::kSorted);
+  EXPECT_EQ(ChooseIndexKind(range_only, kSortedArrayMinRows,
+                            /*is_idb=*/false),
+            storage::IndexKind::kSortedArray);
+
+  // Any point evidence keeps the O(1) organization, range uses or not.
+  const ColumnAccess mixed{/*point_uses=*/1, /*range_uses=*/2};
+  EXPECT_EQ(ChooseIndexKind(mixed, kSortedArrayMinRows, /*is_idb=*/true),
+            storage::IndexKind::kHash);
+  const ColumnAccess point_only{/*point_uses=*/3, /*range_uses=*/0};
+  EXPECT_EQ(ChooseIndexKind(point_only, 10, /*is_idb=*/false),
+            storage::IndexKind::kHash);
 }
 
 }  // namespace

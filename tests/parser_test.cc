@@ -4,6 +4,7 @@
 
 #include "core/engine.h"
 #include "datalog/parser.h"
+#include "storage/index.h"
 
 namespace carac::datalog {
 namespace {
@@ -137,6 +138,54 @@ TEST(ParserTest, RejectsSyntaxErrors) {
 TEST(ParserTest, RejectsNegatedHead) {
   Program p;
   EXPECT_FALSE(ParseDatalog("!A(x) :- B(x).", &p).ok());
+}
+
+TEST(ParserTest, IndexPragmaRegistersHint) {
+  Program p;
+  ASSERT_TRUE(ParseDatalog(R"(
+    Edge(1, 2).
+    Path(x, y) :- Edge(x, y).
+    Path(x, z) :- Path(x, y), Edge(y, z).
+    @index(Edge, 0, btree).
+    @index(Path, 1, sorted_array).
+  )", &p).ok());
+  ASSERT_EQ(p.index_hints().size(), 2u);
+  EXPECT_EQ(p.index_hints()[0].column, 0u);
+  EXPECT_EQ(p.index_hints()[0].kind, storage::IndexKind::kBtree);
+  EXPECT_EQ(p.PredicateName(p.index_hints()[0].predicate), "Edge");
+  EXPECT_EQ(p.index_hints()[1].column, 1u);
+  EXPECT_EQ(p.index_hints()[1].kind, storage::IndexKind::kSortedArray);
+  EXPECT_EQ(p.PredicateName(p.index_hints()[1].predicate), "Path");
+  // The hinted program still evaluates normally.
+  EXPECT_EQ(RunAndGet(&p, "Path").size(), 1u);
+}
+
+TEST(ParserTest, IndexPragmaRejectsUnknownPragma) {
+  Program p;
+  util::Status s = ParseDatalog("Edge(1, 2).\n@frobnicate(Edge).", &p);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("@index"), std::string::npos);
+}
+
+TEST(ParserTest, IndexPragmaRejectsUnknownRelation) {
+  Program p;
+  util::Status s = ParseDatalog("@index(Edge, 0, hash).", &p);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("fact or rule first"), std::string::npos);
+}
+
+TEST(ParserTest, IndexPragmaRejectsColumnOutOfRange) {
+  Program p;
+  util::Status s = ParseDatalog("Edge(1, 2).\n@index(Edge, 2, hash).", &p);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("out of range"), std::string::npos);
+}
+
+TEST(ParserTest, IndexPragmaRejectsUnknownKind) {
+  Program p;
+  util::Status s = ParseDatalog("Edge(1, 2).\n@index(Edge, 0, lsm).", &p);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unknown index kind"), std::string::npos);
 }
 
 TEST(ParserTest, FileRoundTrip) {

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -93,7 +94,9 @@ void WriteFileBytes(const std::string& path,
 /// `config` in a fresh program, applies the remaining batches through
 /// Update(), and requires the final rows to be byte-identical to the
 /// SAME golden the never-persisted incremental and one-shot suites pin.
-void CheckTcPersistedUpdate(const core::EngineConfig& base_config) {
+void CheckTcPersistedUpdate(
+    const core::EngineConfig& base_config,
+    const std::function<void(analysis::Workload&)>& customize = {}) {
   const auto edges = analysis::GenerateSparseGraph(
       /*seed=*/11, /*num_vertices=*/300, /*num_edges=*/900, /*zipf_s=*/1.1);
   const size_t delta = edges.size() / 100;
@@ -111,6 +114,7 @@ void CheckTcPersistedUpdate(const core::EngineConfig& base_config) {
   {
     analysis::Workload w = analysis::MakeTransitiveClosure(
         head, analysis::RuleOrder::kHandOptimized);
+    if (customize) customize(w);
     core::Engine engine(w.program.get(), config);
     CARAC_CHECK_OK(engine.Prepare());
     CARAC_CHECK_OK(engine.Run());
@@ -129,6 +133,7 @@ void CheckTcPersistedUpdate(const core::EngineConfig& base_config) {
   // snapshot + log, then absorb the final batch incrementally.
   analysis::Workload w = analysis::MakeTransitiveClosure(
       head, analysis::RuleOrder::kHandOptimized);
+  if (customize) customize(w);
   core::Engine engine(w.program.get(), config);
   CARAC_CHECK_OK(engine.Prepare());
   core::RestoreInfo info;
@@ -597,6 +602,87 @@ TEST(PersistenceContractTest, OpenSnapshotIntoEmptySetAdoptsSchema) {
   EXPECT_EQ(db.RelationArity(0), 2u);
   EXPECT_EQ(db.Get(0, storage::DbKind::kDerived).SortedRows(),
             (std::vector<Tuple>{{1, 2}, {2, 3}}));
+}
+
+TEST(PersistenceContractTest, MixedIndexKindsSurviveSaveOpenByteIdentically) {
+  // A database whose indexes use different organizations per column must
+  // come back with exactly those kinds — even when the opening engine
+  // declared different ones — and a re-save of the restored state must
+  // reproduce the snapshot byte for byte.
+  using storage::IndexKind;
+  const std::string dir = ScratchDir("mixed_kinds");
+  const std::string path = dir + "/snapshot.bin";
+  {
+    storage::DatabaseSet db;
+    const storage::RelationId edge = db.AddRelation("Edge", 2);
+    const storage::RelationId cost = db.AddRelation("Cost", 2);
+    db.DeclareIndex(edge, 0, IndexKind::kHash);
+    db.DeclareIndex(edge, 1, IndexKind::kBtree);
+    db.DeclareIndex(cost, 1, IndexKind::kSortedArray);
+    for (int64_t i = 0; i < 50; ++i) {
+      db.Get(edge, storage::DbKind::kDerived).Insert({i, i % 7});
+      db.Get(cost, storage::DbKind::kDerived).Insert({i, i * 3});
+    }
+    db.Get(edge, storage::DbKind::kDerived).AdvanceWatermark();
+    CARAC_CHECK_OK(db.SaveSnapshot(path));
+  }
+
+  storage::DatabaseSet db;
+  db.AddRelation("Edge", 2);
+  db.AddRelation("Cost", 2);
+  // The opening engine chose differently; the persisted kinds must win.
+  db.DeclareIndex(0, 1, IndexKind::kHash);
+  db.DeclareIndex(1, 1, IndexKind::kSorted);
+  CARAC_CHECK_OK(db.OpenSnapshot(path));
+  const storage::Relation& edge = db.Get(0, storage::DbKind::kDerived);
+  const storage::Relation& cost = db.Get(1, storage::DbKind::kDerived);
+  EXPECT_EQ(edge.IndexKindOf(0), IndexKind::kHash);
+  EXPECT_EQ(edge.IndexKindOf(1), IndexKind::kBtree);
+  EXPECT_EQ(cost.IndexKindOf(1), IndexKind::kSortedArray);
+  // The restored indexes actually work over the restored contents.
+  EXPECT_EQ(edge.Probe(1, 3).size(), 7u);
+  std::vector<storage::RowId> rows;
+  CARAC_CHECK_OK(cost.ProbeRange(1, 30, 60, &rows));
+  EXPECT_EQ(rows.size(), 11u);  // Costs 30, 33, ..., 60.
+
+  const std::string resaved = dir + "/resaved.bin";
+  CARAC_CHECK_OK(db.SaveSnapshot(resaved));
+  EXPECT_EQ(ReadFileBytes(path), ReadFileBytes(resaved));
+}
+
+TEST(PersistenceContractTest, AdoptedSnapshotCarriesIndexKinds) {
+  // Opening into an EMPTY set adopts the schema — index declarations
+  // included, so a snapshot-only restart probes exactly like the saved
+  // process did.
+  using storage::IndexKind;
+  const std::string path = ScratchDir("adopt_kinds") + "/snapshot.bin";
+  {
+    storage::DatabaseSet db;
+    const storage::RelationId r = db.AddRelation("R", 2);
+    db.DeclareIndex(r, 0, IndexKind::kBtree);
+    for (int64_t i = 0; i < 10; ++i) {
+      db.Get(r, storage::DbKind::kDerived).Insert({i % 3, i});
+    }
+    CARAC_CHECK_OK(db.SaveSnapshot(path));
+  }
+  storage::DatabaseSet db;
+  CARAC_CHECK_OK(db.OpenSnapshot(path));
+  const storage::Relation& r = db.Get(0, storage::DbKind::kDerived);
+  ASSERT_TRUE(r.HasIndex(0));
+  EXPECT_EQ(r.IndexKindOf(0), IndexKind::kBtree);
+  EXPECT_EQ(r.Probe(0, 0).size(), 4u);  // Keys 0: rows 0, 3, 6, 9.
+}
+
+TEST(PersistenceGoldenTest, TcMixedKindsViaHints) {
+  // End-to-end: per-column hints give the engine mixed-kind indexes; the
+  // persisted run and the restored run pin the SAME golden as the
+  // all-hash suites, and restore keeps the hinted kinds.
+  CheckTcPersistedUpdate(core::EngineConfig{}, [](analysis::Workload& w) {
+    w.program->HintIndexKind(w.relations.at("Edge"), 0,
+                             storage::IndexKind::kBtree);
+    w.program->HintIndexKind(w.relations.at("Path"), 1,
+                             storage::IndexKind::kSortedArray);
+  });
 }
 
 TEST(PersistenceContractTest, OpenSnapshotSchemaMismatchIsDiagnostic) {

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
 #include <set>
 #include <tuple>
 #include <vector>
@@ -13,6 +15,7 @@
 #include "analysis/programs.h"
 #include "core/engine.h"
 #include "datalog/dsl.h"
+#include "storage/index.h"
 #include "storage/staging_buffer.h"
 #include "util/rng.h"
 
@@ -324,6 +327,149 @@ TEST(HashTableProperty, StagingBufferMatchesSetModel) {
     ASSERT_TRUE(buffer.empty());
     for (const storage::Tuple& t : model) {
       ASSERT_FALSE(buffer.Contains(t));
+    }
+  }
+}
+
+// ---- Index oracle (storage/index.h, all four organizations) ----
+//
+// Every IndexKind must agree with a std::multimap<key, row> model under
+// interleaved Add/Probe/ProbeRange/BatchProbe, with Stabilize() calls
+// thrown in at random quiescent points (kSortedArray migrates tail rows
+// into its immutable prefix there; the others must treat it as a no-op).
+// Rows enter in ascending RowId order, so for any key the model's
+// equal_range — which preserves insertion order — IS the expected
+// ascending-RowId probe result.
+
+std::vector<storage::RowId> CursorRows(const storage::RowCursor& cursor) {
+  std::vector<storage::RowId> rows;
+  cursor.ForEach([&](storage::RowId row) { rows.push_back(row); });
+  return rows;
+}
+
+TEST(IndexOracleProperty, EveryKindMatchesMultimapModel) {
+  using storage::IndexKind;
+  using storage::RowId;
+  using storage::Value;
+  for (IndexKind kind :
+       {IndexKind::kHash, IndexKind::kSorted, IndexKind::kBtree,
+        IndexKind::kSortedArray}) {
+    for (uint64_t seed = 41; seed <= 46; ++seed) {
+      util::Rng rng(seed);
+      std::unique_ptr<storage::IndexBase> index = storage::MakeIndex(0, kind);
+      std::multimap<Value, RowId> model;
+      RowId next_row = 0;
+      auto model_probe = [&](Value key) {
+        std::vector<RowId> rows;
+        auto [lo, hi] = model.equal_range(key);
+        for (auto it = lo; it != hi; ++it) rows.push_back(it->second);
+        return rows;
+      };
+      // A narrow key domain makes shared keys (multi-row buckets) and
+      // repeated batch keys common; enough inserts to push the B-tree
+      // through several levels of splits.
+      auto random_key = [&]() {
+        return static_cast<Value>(rng.NextBounded(60)) - 30;
+      };
+      for (int i = 0; i < 3000; ++i) {
+        switch (rng.NextBounded(8)) {
+          case 0:
+          case 1:
+          case 2:
+          case 3: {
+            const Value key = random_key();
+            index->Add(next_row, key);
+            model.emplace(key, next_row);
+            ++next_row;
+            break;
+          }
+          case 4: {
+            const Value key = random_key();
+            ASSERT_EQ(CursorRows(index->Probe(key)), model_probe(key))
+                << storage::IndexKindName(kind) << " seed " << seed;
+            break;
+          }
+          case 5: {
+            const Value lo = random_key();
+            const Value hi = lo + static_cast<Value>(rng.NextBounded(12));
+            std::vector<RowId> got;
+            const util::Status status = index->ProbeRange(lo, hi, &got);
+            if (kind == IndexKind::kHash) {
+              ASSERT_EQ(status.code(),
+                        util::StatusCode::kFailedPrecondition);
+              break;
+            }
+            ASSERT_TRUE(status.ok());
+            std::vector<RowId> want;
+            for (auto it = model.lower_bound(lo);
+                 it != model.end() && it->first <= hi; ++it) {
+              want.push_back(it->second);
+            }
+            ASSERT_EQ(got, want) << storage::IndexKindName(kind) << " seed "
+                                 << seed << " range [" << lo << ", " << hi
+                                 << "]";
+            break;
+          }
+          case 6: {
+            Value keys[16];
+            const size_t n = 1 + rng.NextBounded(16);
+            for (size_t k = 0; k < n; ++k) {
+              // Duplicate the previous key half the time: adjacent-equal
+              // runs are the case BatchProbe elides lookups for.
+              keys[k] = (k > 0 && rng.NextBool(0.5)) ? keys[k - 1]
+                                                     : random_key();
+            }
+            storage::RowCursor cursors[16];
+            index->BatchProbe(keys, n, cursors);
+            for (size_t k = 0; k < n; ++k) {
+              ASSERT_EQ(CursorRows(cursors[k]), model_probe(keys[k]))
+                  << storage::IndexKindName(kind) << " seed " << seed
+                  << " batch slot " << k;
+            }
+            break;
+          }
+          case 7:
+            // A quiescent point: no cursors are live across this call.
+            index->Stabilize(next_row == 0
+                                 ? 0
+                                 : static_cast<RowId>(
+                                       rng.NextBounded(next_row + 1)));
+            break;
+        }
+      }
+      // Full final sweep over the key domain.
+      index->Stabilize(next_row);
+      for (Value key = -31; key <= 31; ++key) {
+        ASSERT_EQ(CursorRows(index->Probe(key)), model_probe(key))
+            << storage::IndexKindName(kind) << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(IndexOracleProperty, GrowthBoundaryWalkEveryKind) {
+  // Dense sequential inserts walk the B-tree across every node-split
+  // boundary (fanout 32) and the sorted array across repeated
+  // stabilize-merge cycles; after every insert the freshly crossed
+  // state must still answer exact point probes for all earlier keys.
+  using storage::IndexKind;
+  using storage::RowId;
+  for (IndexKind kind :
+       {IndexKind::kHash, IndexKind::kSorted, IndexKind::kBtree,
+        IndexKind::kSortedArray}) {
+    std::unique_ptr<storage::IndexBase> index = storage::MakeIndex(0, kind);
+    for (RowId row = 0; row < 400; ++row) {
+      index->Add(row, static_cast<storage::Value>(row));
+      if (row % 64 == 63) index->Stabilize(row / 2);
+      // Probe a stride of earlier keys plus the just-inserted one.
+      for (RowId probe = row % 7; probe <= row; probe += 7) {
+        const std::vector<RowId> rows =
+            CursorRows(index->Probe(static_cast<storage::Value>(probe)));
+        ASSERT_EQ(rows, std::vector<RowId>{probe})
+            << storage::IndexKindName(kind) << " after row " << row;
+      }
+      ASSERT_TRUE(
+          index->Probe(static_cast<storage::Value>(row) + 1).empty());
     }
   }
 }

@@ -20,6 +20,7 @@
 #include "analysis/programs.h"
 #include "core/engine.h"
 #include "harness/runner.h"
+#include "storage/index.h"
 
 #ifndef CARAC_GOLDEN_DIR
 #error "CARAC_GOLDEN_DIR must point at tests/goldens"
@@ -111,6 +112,50 @@ TEST(StorageGoldenTest, TransitiveClosureAllBackends) {
 TEST(StorageGoldenTest, AndersenAllBackends) {
   CheckAgainstGolden("andersen", MakeAndersenWorkload);
 }
+
+// Every index organization must reproduce the committed goldens exactly:
+// probe results come back in ascending RowId order regardless of how the
+// index stores its postings, so the insertion sequence — and therefore
+// the rendered output — cannot move when the index kind does.
+void CheckGoldenUnderKind(const std::string& golden_name,
+                          const WorkloadFn& make, storage::IndexKind kind) {
+  core::EngineConfig config = harness::InterpretedConfig(true);
+  config.index_kind = kind;
+  const std::string got = RunBackend(make, config);
+
+  const std::string path =
+      std::string(CARAC_GOLDEN_DIR) + "/" + golden_name + ".golden";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden " << path;
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), got)
+      << golden_name << " under " << storage::IndexKindName(kind);
+}
+
+class StorageGoldenKindTest
+    : public ::testing::TestWithParam<storage::IndexKind> {};
+
+TEST_P(StorageGoldenKindTest, TransitiveClosureMatchesGolden) {
+  CheckGoldenUnderKind("tc", MakeTcWorkload, GetParam());
+}
+
+TEST_P(StorageGoldenKindTest, AndersenMatchesGolden) {
+  CheckGoldenUnderKind("andersen", MakeAndersenWorkload, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, StorageGoldenKindTest,
+    ::testing::Values(storage::IndexKind::kHash, storage::IndexKind::kSorted,
+                      storage::IndexKind::kBtree,
+                      storage::IndexKind::kSortedArray),
+    [](const ::testing::TestParamInfo<storage::IndexKind>& info) {
+      std::string name = storage::IndexKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
 
 }  // namespace
 }  // namespace carac

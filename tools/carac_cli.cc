@@ -17,6 +17,13 @@
 //   --async                compile on the compiler thread
 //   --snippet              snippet compilation (default: full)
 //   --no-indexes           disable hash indexes
+//   --index-kind=K         hash | sorted | btree | sorted-array | auto
+//                          index organization for every declared index
+//                          (default auto: hash for point-probed columns,
+//                          statistics pick an ordered kind for
+//                          range-only columns)
+//   --probe-batch-window=N outer rows per batched index probe
+//                          (default 64; 0 = tuple-at-a-time probes)
 //   --pull                 pull-based relational engine (default: push)
 //   --aot[=rules]          ahead-of-time planning (facts+rules, or rules only)
 //   --scale=N              workload size multiplier (default 1)
@@ -92,6 +99,12 @@ struct Options {
   // Raw --checkpoint-every value; -1 marks "invalid" (diagnostic + exit 2).
   int64_t checkpoint_every = 0;
   std::string checkpoint_every_arg;
+  // Raw --index-kind / --probe-batch-window values; the bools mark
+  // "invalid" (diagnostic + exit 2, same contract as --scale).
+  bool index_kind_invalid = false;
+  std::string index_kind_arg;
+  int64_t probe_batch_window = 64;
+  std::string probe_batch_window_arg;
   bool snapshot_dir_empty = false;  // --snapshot-dir= with no path.
   bool print_ir = false;
   bool print_stats = false;
@@ -105,7 +118,10 @@ int Usage() {
                "       carac serve <program.dl> [options]\n"
                "       carac list\n"
                "options include --threads=N and --parallel-min-outer-rows=N\n"
-               "(evaluation threads / parallel dispatch threshold) and\n"
+               "(evaluation threads / parallel dispatch threshold),\n"
+               "--index-kind={hash,sorted,btree,sorted-array,auto} and\n"
+               "--probe-batch-window=N (index organization / batched\n"
+               "probe window) and\n"
                "--snapshot-dir=DIR / --checkpoint-every=N (durable state:\n"
                "serve gains save/open commands and crash recovery);\n"
                "see the header of tools/carac_cli.cc for the full list\n");
@@ -156,6 +172,25 @@ bool ParseFlag(const std::string& arg, Options* opts) {
     opts->config.jit.mode = backends::CompileMode::kSnippet;
   } else if (arg == "--no-indexes") {
     opts->config.use_indexes = false;
+  } else if (const char* k = value_of("--index-kind=")) {
+    opts->index_kind_arg = k;
+    // Strict: a typo'd kind must not silently fall back to the default
+    // organization (benchmark ablations would measure the wrong thing).
+    storage::IndexKind kind;
+    if (opts->index_kind_arg == "auto") {
+      opts->config.index_kind.reset();
+    } else if (storage::ParseIndexKind(opts->index_kind_arg, &kind)) {
+      opts->config.index_kind = kind;
+    } else {
+      opts->index_kind_invalid = true;
+    }
+  } else if (const char* w = value_of("--probe-batch-window=")) {
+    opts->probe_batch_window_arg = w;
+    if (!util::ParseInt64(w, &opts->probe_batch_window) ||
+        opts->probe_batch_window < 0 ||
+        opts->probe_batch_window > std::numeric_limits<uint32_t>::max()) {
+      opts->probe_batch_window = -1;
+    }
   } else if (arg == "--pull") {
     opts->config.engine_style = ir::EngineStyle::kPull;
   } else if (arg == "--aot" || arg == "--aot=facts") {
@@ -493,6 +528,22 @@ int main(int argc, char** argv) {
                      std::numeric_limits<uint32_t>::max()));
     return 2;
   }
+  if (opts.index_kind_invalid) {
+    std::fprintf(stderr,
+                 "invalid --index-kind=%s: expected hash, sorted, btree, "
+                 "sorted-array or auto\n",
+                 opts.index_kind_arg.c_str());
+    return 2;
+  }
+  if (opts.probe_batch_window < 0) {
+    std::fprintf(stderr,
+                 "invalid --probe-batch-window=%s: expected an integer in "
+                 "[0, %llu]\n",
+                 opts.probe_batch_window_arg.c_str(),
+                 static_cast<unsigned long long>(
+                     std::numeric_limits<uint32_t>::max()));
+    return 2;
+  }
   if (opts.snapshot_dir_empty) {
     std::fprintf(stderr, "invalid --snapshot-dir=: needs a directory path\n");
     return 2;
@@ -511,6 +562,8 @@ int main(int argc, char** argv) {
                  "(nowhere to write the checkpoint)\n");
     return 2;
   }
+  opts.config.probe_batch_window =
+      static_cast<uint32_t>(opts.probe_batch_window);
   opts.config.num_threads = static_cast<int>(opts.threads);
   opts.config.parallel_min_outer_rows =
       static_cast<uint32_t>(opts.parallel_min_rows);
