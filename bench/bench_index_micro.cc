@@ -11,6 +11,12 @@
 //            skips equal-adjacent keys entirely; on duplicate-heavy
 //            outer sequences (the shape of a skewed join) it beats the
 //            point-probe loop — the probe-dominated win.
+//   upoint   point probes over a UNIQUE-key relation (every key one row,
+//            the classic learned-index setting): at this cardinality the
+//            hash table outgrows cache while the learned model's segment
+//            directory plus a ±ε window stays within a few lines — where
+//            kLearned closes on (or beats) kHash and leaves the
+//            kSorted/kBtree binary searches behind.
 //
 // Machine-readable INDEX lines feed the "index" section of
 // scripts/run_benches.sh's JSON snapshot (carac-bench/v5). `--micro`
@@ -38,7 +44,8 @@ using storage::RowId;
 using storage::Value;
 
 constexpr IndexKind kAllKinds[] = {IndexKind::kHash, IndexKind::kSorted,
-                                   IndexKind::kBtree, IndexKind::kSortedArray};
+                                   IndexKind::kBtree, IndexKind::kSortedArray,
+                                   IndexKind::kLearned};
 
 double Median(std::vector<double> v) {
   std::sort(v.begin(), v.end());
@@ -74,6 +81,41 @@ void BuildRelation(IndexKind kind, const Sizes& s, Relation* rel,
   }
   *insert_s = timer.ElapsedSeconds();
   rel->AdvanceWatermark();
+}
+
+/// Unique-key key function: strictly increasing (gap >= 3), mildly
+/// nonlinear so the learned fit needs real segments, not one line.
+Value UniqueKey(int64_t i) { return i * 13 + (i % 11); }
+
+/// Unique-key relation, scrambled insertion order (fair to the B-tree's
+/// split path and the hash table's growth path alike); the watermark
+/// advance stabilizes and fits the ordered kinds.
+void BuildUniqueRelation(IndexKind kind, const Sizes& s, Relation* rel) {
+  rel->DeclareIndex(0, kind);
+  for (int64_t j = 0; j < s.rows; ++j) {
+    const int64_t i = (j * 48271) % s.rows;  // 48271 coprime to the sizes.
+    rel->Insert({UniqueKey(i), i});
+  }
+  rel->AdvanceWatermark();
+}
+
+double MeasureUniquePointProbe(const Relation& rel, const Sizes& s) {
+  std::vector<double> times;
+  for (int rep = 0; rep < s.reps; ++rep) {
+    util::Timer timer;
+    size_t hits = 0;
+    for (int64_t j = 0; j < s.rows; ++j) {
+      const int64_t i = (j * 2654435761) % s.rows;  // Random-order keys.
+      hits += rel.Probe(0, UniqueKey(i)).size();
+    }
+    times.push_back(timer.ElapsedSeconds());
+    if (hits != static_cast<size_t>(s.rows)) {
+      std::fprintf(stderr, "error: unique probe lost rows (%zu != %lld)\n",
+                   hits, static_cast<long long>(s.rows));
+      std::exit(1);
+    }
+  }
+  return Median(times);
 }
 
 double MeasurePointProbe(const Relation& rel, const Sizes& s) {
@@ -196,6 +238,16 @@ int main(int argc, char** argv) {
                 storage::IndexKindName(kind),
                 static_cast<long long>(s.rows), insert_s,
                 Mops(s.rows, insert_s));
+
+    {
+      Relation urel("U", 2);
+      BuildUniqueRelation(kind, s, &urel);
+      const double upoint_s = MeasureUniquePointProbe(urel, s);
+      std::printf("INDEX %s upoint rows=%lld seconds=%.6f mprobes=%.2f\n",
+                  storage::IndexKindName(kind),
+                  static_cast<long long>(s.rows), upoint_s,
+                  Mops(s.rows, upoint_s));
+    }
 
     double range_s = 0;
     size_t range_rows = 0;

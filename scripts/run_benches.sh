@@ -5,13 +5,14 @@
 # Usage:
 #   scripts/run_benches.sh [--quick] [--large] [--build-dir DIR] [--out FILE]
 #                          [--baseline FILE] [--threads N] [--sweeps N]
+#                          [--ab OLD_BUILD_DIR]
 #
 #   --quick       skip the benches that take >20s at small scale
 #   --large       run with CARAC_BENCH_SCALE=large (paper-sized inputs)
 #   --build-dir   directory containing bench/ binaries
 #                 (default: autodetect build, build/release)
-#   --out         output JSON path (default: <repo>/BENCH_pr5.json)
-#   --baseline    snapshot to diff against (default: <repo>/BENCH_pr4.json;
+#   --out         output JSON path (default: <repo>/BENCH_pr7.json)
+#   --baseline    snapshot to diff against (default: <repo>/BENCH_pr6.json;
 #                 a per-bench delta table is printed when it exists)
 #   --threads N   evaluation threads passed to the benches that accept the
 #                 flag (fig6/fig8/table2); recorded as "threads" in the
@@ -23,6 +24,14 @@
 #                 median wall-clock (default 1). Use on noisy/shared
 #                 hosts, where single draws swing ±10-20%; the chosen N
 #                 is recorded as "sweeps" in the JSON.
+#   --ab DIR      interleaved A/B mode: DIR holds an OLD build's bench
+#                 binaries; every sweep runs both builds back-to-back
+#                 (alternating which goes first, so thermal/frequency
+#                 drift hits both sides equally — the failure mode of
+#                 comparing two snapshots taken hours apart on a shared
+#                 host). The old build's median lands in the JSON as
+#                 "ab_seconds" per bench and a new-vs-old delta table is
+#                 printed. Pair with --sweeps 3+ for stable medians.
 #
 # Each bench binary's stdout is saved next to the JSON under bench_logs/.
 #
@@ -37,6 +46,10 @@
 # bench_index_micro's INDEX lines: per-IndexKind insert/probe/range/
 # batched-probe throughput (metric "batch" carries the batched-vs-point
 # speedup).
+# Schema carac-bench/v6 adds an "adaptive" section lifted from
+# bench_adaptive_convergence's ADAPTIVE lines (per-phase static sweep vs
+# the self-tuning policy, re-kind events, steady-state ratios), plus the
+# optional per-bench "ab_seconds" field written by --ab mode.
 
 set -u -o pipefail
 
@@ -44,10 +57,11 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 mode=full
 scale=small
 build_dir=""
-out="$repo_root/BENCH_pr6.json"
-baseline="$repo_root/BENCH_pr5.json"
+out="$repo_root/BENCH_pr7.json"
+baseline="$repo_root/BENCH_pr6.json"
 threads=1
 sweeps=1
+ab_dir=""
 
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -78,13 +92,16 @@ while [ $# -gt 0 ]; do
     --build-dir)
       [ $# -ge 2 ] || { echo "error: --build-dir needs a value" >&2; exit 2; }
       build_dir="$2"; shift ;;
+    --ab)
+      [ $# -ge 2 ] || { echo "error: --ab needs a build dir" >&2; exit 2; }
+      ab_dir="$2"; shift ;;
     --out)
       [ $# -ge 2 ] || { echo "error: --out needs a value" >&2; exit 2; }
       out="$2"; shift ;;
     --baseline)
       [ $# -ge 2 ] || { echo "error: --baseline needs a value" >&2; exit 2; }
       baseline="$2"; shift ;;
-    -h|--help) sed -n '2,27p;29,39p' "$0"; exit 0 ;;
+    -h|--help) sed -n '2,36p' "$0"; exit 0 ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
   shift
@@ -98,6 +115,10 @@ fi
 if [ -z "$build_dir" ] || [ ! -d "$build_dir/bench" ]; then
   echo "error: no built bench/ directory found." >&2
   echo "build first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+if [ -n "$ab_dir" ] && [ ! -d "$ab_dir/bench" ]; then
+  echo "error: --ab dir has no bench/ subdirectory: $ab_dir" >&2
   exit 1
 fi
 
@@ -116,11 +137,12 @@ benches=(
   bench_storage_micro
   bench_incremental
   bench_index_micro
+  bench_adaptive_convergence
   bench_parallel_scaling
   bench_persistence
 )
 # >20s each at small scale; dropped in --quick mode.
-slow_benches=" bench_fig6_macro_unopt bench_table1_interpreted bench_ablation_freshness "
+slow_benches=" bench_fig6_macro_unopt bench_table1_interpreted bench_ablation_freshness bench_adaptive_convergence "
 # Benches that accept --threads (the Carac-side thread dimension).
 threaded_benches=" bench_fig6_macro_unopt bench_fig8_macro_opt bench_table2_sota bench_incremental bench_persistence "
 
@@ -139,6 +161,7 @@ scaling_ran=false
 incremental_ran=false
 persistence_ran=false
 index_ran=false
+adaptive_ran=false
 for bench in "${benches[@]}"; do
   exe="$build_dir/bench/$bench"
   skipped=false
@@ -163,25 +186,57 @@ for bench in "${benches[@]}"; do
     bench_args=(--threads "$threads")
   fi
 
+  # In --ab mode the same bench from the old build runs inside the same
+  # sweep (old log lands in <bench>.old.txt). A bench the old build does
+  # not have (newly added this PR) just runs single-armed.
+  ab_exe=""
+  if [ -n "$ab_dir" ] && [ -x "$ab_dir/bench/$bench" ]; then
+    ab_exe="$ab_dir/bench/$bench"
+  fi
+
   printf 'run   %s ... ' "$bench"
   # Median wall-clock of --sweeps back-to-back runs (worst exit code
   # wins; the log keeps the last run's stdout). Same principle the
   # harness's MeasureMedian applies inside a bench, applied to whole
   # binaries so one noisy draw on a shared host cannot skew a snapshot.
   sweep_times=""
+  ab_times=""
   code=0
+  ab_code=0
   for _sweep in $(seq 1 "$sweeps"); do
-    start_ns=$(date +%s%N)
-    if "$exe" ${bench_args[@]+"${bench_args[@]}"} \
-        > "$log_dir/$bench.txt" 2>&1; then
-      sweep_code=0
+    # A/B arms alternate which build goes first each sweep, so frequency
+    # ramps and cache warmth cannot systematically favor one side.
+    if [ -z "$ab_exe" ]; then
+      arms="new"
+    elif [ $((_sweep % 2)) -eq 0 ]; then
+      arms="old new"
     else
-      sweep_code=$?
+      arms="new old"
     fi
-    end_ns=$(date +%s%N)
-    sweep_times="$sweep_times $(awk -v d=$((end_ns - start_ns)) \
-      'BEGIN{printf "%.3f", d/1e9}')"
-    [ "$sweep_code" -ne 0 ] && code=$sweep_code
+    for arm in $arms; do
+      if [ "$arm" = new ]; then
+        arm_exe="$exe"; arm_log="$log_dir/$bench.txt"
+      else
+        arm_exe="$ab_exe"; arm_log="$log_dir/$bench.old.txt"
+      fi
+      start_ns=$(date +%s%N)
+      if "$arm_exe" ${bench_args[@]+"${bench_args[@]}"} \
+          > "$arm_log" 2>&1; then
+        sweep_code=0
+      else
+        sweep_code=$?
+      fi
+      end_ns=$(date +%s%N)
+      arm_secs=$(awk -v d=$((end_ns - start_ns)) \
+        'BEGIN{printf "%.3f", d/1e9}')
+      if [ "$arm" = new ]; then
+        sweep_times="$sweep_times $arm_secs"
+        [ "$sweep_code" -ne 0 ] && code=$sweep_code
+      else
+        ab_times="$ab_times $arm_secs"
+        [ "$sweep_code" -ne 0 ] && ab_code=$sweep_code
+      fi
+    done
   done
   if [ "$code" -ne 0 ]; then
     failures=$((failures + 1))
@@ -198,12 +253,32 @@ for bench in "${benches[@]}"; do
   if [ "$bench" = bench_index_micro ] && [ "$code" = 0 ]; then
     index_ran=true
   fi
+  if [ "$bench" = bench_adaptive_convergence ] && [ "$code" = 0 ]; then
+    adaptive_ran=true
+  fi
   # shellcheck disable=SC2086
   seconds=$(printf '%s\n' $sweep_times | sort -n |
     awk '{a[NR]=$1} END{print a[int((NR+1)/2)]}')
-  echo "${seconds}s (exit $code, median of $sweeps)"
+  ab_field=""
+  if [ -n "$ab_exe" ] && [ "$ab_code" -eq 0 ]; then
+    # shellcheck disable=SC2086
+    ab_seconds=$(printf '%s\n' $ab_times | sort -n |
+      awk '{a[NR]=$1} END{print a[int((NR+1)/2)]}')
+    ab_delta=$(awk -v n="$seconds" -v o="$ab_seconds" \
+      'BEGIN{if (o > 0) printf "%+.1f%%", 100*(n-o)/o; else printf "-"}')
+    echo "${seconds}s vs old ${ab_seconds}s ($ab_delta, exit $code," \
+      "median of $sweeps)"
+    ab_field=" \"ab_seconds\": $ab_seconds,"
+  elif [ -n "$ab_exe" ]; then
+    echo "${seconds}s (exit $code, median of $sweeps; old arm FAILED," \
+      "exit $ab_code)"
+  elif [ -n "$ab_dir" ]; then
+    echo "${seconds}s (exit $code, median of $sweeps; no old binary)"
+  else
+    echo "${seconds}s (exit $code, median of $sweeps)"
+  fi
   rows="$rows    {\"name\": \"$bench\", \"skipped\": false,"
-  rows="$rows \"seconds\": $seconds, \"exit_code\": $code},\n"
+  rows="$rows \"seconds\": $seconds,$ab_field \"exit_code\": $code},\n"
 done
 rows="${rows%,\\n}"
 
@@ -269,14 +344,41 @@ if [ "$index_ran" = true ] && [ -f "$index_log" ]; then
   index_rows="${index_rows%,}"
 fi
 
+# Self-tuning-policy measurements, lifted from ADAPTIVE lines of
+# bench_adaptive_convergence. Lines carry either a bare record word
+# (rekind / steady / summary) or start straight at key=value fields
+# (the per-config phase timings); string-valued fields (kind names,
+# config/phase labels) are quoted, numerics pass through. Same
+# staleness gate as the other sections.
+adaptive_rows=""
+adaptive_log="$log_dir/bench_adaptive_convergence.txt"
+if [ "$adaptive_ran" = true ] && [ -f "$adaptive_log" ]; then
+  adaptive_rows=$(awk '/^ADAPTIVE /{
+    if ($2 ~ /=/) { printf "    {\"record\": \"phase\""; first = 2 }
+    else          { printf "    {\"record\": \"%s\"", $2; first = 3 }
+    for (i = first; i <= NF; ++i) {
+      split($i, kv, "=")
+      if (kv[2] ~ /^-?[0-9]+([.][0-9]+)?$/)
+        printf ", \"%s\": %s", kv[1], kv[2]
+      else
+        printf ", \"%s\": \"%s\"", kv[1], kv[2]
+    }
+    printf "},\n"
+  }' "$adaptive_log")
+  adaptive_rows="${adaptive_rows%,}"
+fi
+
 {
   echo "{"
-  echo "  \"schema\": \"carac-bench/v5\","
+  echo "  \"schema\": \"carac-bench/v6\","
   echo "  \"timestamp_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
   echo "  \"mode\": \"$mode\","
   echo "  \"scale\": \"$scale\","
   echo "  \"threads\": $threads,"
   echo "  \"sweeps\": $sweeps,"
+  if [ -n "$ab_dir" ]; then
+    echo "  \"ab_build_dir\": \"$ab_dir\","
+  fi
   echo "  \"host\": {"
   echo "    \"uname\": \"$(uname -srm)\","
   echo "    \"nproc\": $(nproc),"
@@ -296,6 +398,9 @@ fi
   echo "  ],"
   echo "  \"index\": ["
   if [ -n "$index_rows" ]; then printf '%s\n' "$index_rows"; fi
+  echo "  ],"
+  echo "  \"adaptive\": ["
+  if [ -n "$adaptive_rows" ]; then printf '%s\n' "$adaptive_rows"; fi
   echo "  ]"
   echo "}"
 } > "$out"

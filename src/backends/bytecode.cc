@@ -33,6 +33,10 @@ struct IterState {
   Value memo_key = 0;
   uint64_t memo_gen = 0;
   bool memo_valid = false;
+  // Counter slot for the memoized (relation, column); re-resolved only
+  // when the slot's target changes, so a memo hit costs nothing and a
+  // memo miss pays one pointer increment on top of the probe itself.
+  ir::ColumnProbeStats* probe_stats = nullptr;
 
   void OpenScan(const Relation* relation) {
     rel = relation;
@@ -42,7 +46,8 @@ struct IterState {
   }
 
   void OpenProbe(const Relation* relation, size_t col, Value value,
-                 uint64_t gen, bool memoizable) {
+                 uint64_t gen, bool memoizable, datalog::PredicateId pred,
+                 ir::AccessProfiler* profiler) {
     if (!relation->HasIndex(col)) {
       // No index (unindexed configuration): degrade to a scan; the CHECK
       // instructions emitted alongside the probe still filter correctly
@@ -55,6 +60,11 @@ struct IterState {
     if (!(memo_valid && memo_rel == relation && memo_col == col &&
           memo_key == value && memo_gen == gen)) {
       bucket = relation->Probe(col, value);
+      if (probe_stats == nullptr || memo_rel != relation || memo_col != col) {
+        probe_stats = profiler->Slot(pred, col);
+      }
+      probe_stats->point_probes++;
+      probe_stats->point_hits += !bucket.empty();
       memo_rel = relation;
       memo_col = col;
       memo_key = value;
@@ -109,7 +119,8 @@ void RunBytecode(const BytecodeProgram& program, ir::ExecContext& ctx,
             &db.Get(static_cast<datalog::PredicateId>(insn.b),
                     static_cast<storage::DbKind>(insn.c)),
             static_cast<size_t>(insn.d), insn.imm, probe_gen,
-            static_cast<storage::DbKind>(insn.c) != storage::DbKind::kDeltaNew);
+            static_cast<storage::DbKind>(insn.c) != storage::DbKind::kDeltaNew,
+            static_cast<datalog::PredicateId>(insn.b), &ctx.profiler());
         ++pc;
         break;
       case Insn::Op::kProbeOpenReg:
@@ -117,7 +128,8 @@ void RunBytecode(const BytecodeProgram& program, ir::ExecContext& ctx,
             &db.Get(static_cast<datalog::PredicateId>(insn.b),
                     static_cast<storage::DbKind>(insn.c)),
             static_cast<size_t>(insn.d), regs[insn.e], probe_gen,
-            static_cast<storage::DbKind>(insn.c) != storage::DbKind::kDeltaNew);
+            static_cast<storage::DbKind>(insn.c) != storage::DbKind::kDeltaNew,
+            static_cast<datalog::PredicateId>(insn.b), &ctx.profiler());
         ++pc;
         break;
       case Insn::Op::kNext:

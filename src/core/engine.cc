@@ -65,6 +65,10 @@ util::Status Engine::Prepare() {
     ctx_->set_parallel_min_rows(config_.parallel_min_outer_rows);
   }
   driver_ = std::make_unique<FixpointDriver>(&irp_, ctx_.get(), jit_.get());
+  if (config_.adaptive_indexes && config_.use_indexes) {
+    adaptive_policy_ =
+        std::make_unique<optimizer::AdaptiveIndexPolicy>(config_.adaptive);
+  }
   prepared_ = true;
   return util::Status::Ok();
 }
@@ -79,6 +83,12 @@ util::Status Engine::Run() {
   // before compilation is ready".
   util::Status status = driver_->RunFull(&last_epoch_);
   evaluated_ = true;
+  // Epoch close is a quiescent point (no cursors live): let the adaptive
+  // policy digest this epoch's observed access mix and migrate index
+  // organizations before anything probes again.
+  if (adaptive_policy_ != nullptr && status.ok()) {
+    adaptive_policy_->ObserveEpoch(&program_->db(), ctx_->profiler());
+  }
   // The epoch closed (AdvanceEpoch ran) even when an async JIT error is
   // being surfaced — evaluation itself kept interpreting — so the log
   // commit must not be skipped or the log would fall out of step with
@@ -138,6 +148,9 @@ util::Status Engine::Update(EpochReport* report) {
   util::Status status = evaluated_ ? driver_->RunUpdateEpoch(&last_epoch_)
                                    : driver_->RunFull(&last_epoch_);
   evaluated_ = true;
+  if (adaptive_policy_ != nullptr && status.ok()) {
+    adaptive_policy_->ObserveEpoch(&program_->db(), ctx_->profiler());
+  }
   if (report != nullptr) *report = last_epoch_;
   if (persistence_enabled() && !replaying_) {
     util::Status commit_status = CommitEpochToLog();

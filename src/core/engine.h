@@ -15,6 +15,7 @@
 #include "ir/exec_context.h"
 #include "ir/interpreter.h"
 #include "ir/irop.h"
+#include "optimizer/adaptive.h"
 #include "storage/factlog.h"
 #include "util/status.h"
 
@@ -43,6 +44,16 @@ struct EngineConfig {
   /// Outer-window size for batch-at-a-time index probes (see
   /// ir::ExecContext::probe_batch_window); 0 disables batching.
   uint32_t probe_batch_window = 64;
+  /// Self-tuning indexes: at every epoch close, compare each indexed
+  /// column's OBSERVED probe/range mix (runtime access profiling) against
+  /// its current organization and migrate it when the evidence says
+  /// another kind wins (optimizer/adaptive.h). Composes with any of the
+  /// static choices above — they pick the starting kind, the policy
+  /// refines it. Results stay byte-identical under any re-kinding
+  /// schedule (the ascending-RowId index contract).
+  bool adaptive_indexes = false;
+  /// Thresholds and hysteresis for the adaptive policy.
+  optimizer::AdaptiveIndexConfig adaptive;
   /// Which relational engine executes subqueries (§V-D: push or pull).
   ir::EngineStyle engine_style = ir::EngineStyle::kPush;
   JitConfig jit;
@@ -169,6 +180,17 @@ class Engine {
   ir::IRProgram& ir() { return irp_; }
   Jit* jit() { return jit_.get(); }
 
+  /// Cumulative per-(relation, column) probe counters (runtime access
+  /// profiling; serve `stats` prints them).
+  const ir::AccessProfiler& profiler() const { return ctx_->profiler(); }
+
+  /// The adaptive re-kinding policy, or nullptr when
+  /// EngineConfig::adaptive_indexes is off. Its events() are the
+  /// migration history.
+  const optimizer::AdaptiveIndexPolicy* adaptive_policy() const {
+    return adaptive_policy_.get();
+  }
+
   /// Sorted Derived rows of a relation (test/report convenience).
   std::vector<storage::Tuple> Results(datalog::PredicateId predicate) const;
   size_t ResultSize(datalog::PredicateId predicate) const;
@@ -198,6 +220,7 @@ class Engine {
   std::unique_ptr<Jit> jit_;
   std::unique_ptr<WorkerPool> pool_;
   std::unique_ptr<FixpointDriver> driver_;
+  std::unique_ptr<optimizer::AdaptiveIndexPolicy> adaptive_policy_;
   EpochReport last_epoch_;
   bool prepared_ = false;
   bool evaluated_ = false;

@@ -309,9 +309,9 @@ class Parser {
   }
 
   /// `@index(Rel, col, kind).` — hints the index organization for one
-  /// column. `kind` is an identifier (hash, sorted, btree,
-  /// sorted_array); the relation must already be known so the column
-  /// can be validated against its arity.
+  /// column. `kind` is any name in storage::kIndexKindTable (hash,
+  /// sorted, btree, sorted_array, learned); the relation must already be
+  /// known so the column can be validated against its arity.
   util::Status ParsePragma() {
     if (Current().kind != Token::Kind::kIdent || Current().text != "index") {
       return Error("unknown pragma '@" + Current().text +
@@ -347,7 +347,8 @@ class Parser {
     if (Current().kind != Token::Kind::kIdent ||
         !storage::ParseIndexKind(Current().text, &kind)) {
       return Error("unknown index kind '" + Current().text +
-                   "' in @index (hash, sorted, btree or sorted_array)");
+                   "' in @index (one of: " + storage::IndexKindNameList() +
+                   ")");
     }
     Advance();
     if (!ConsumePunct(")")) return Error("expected ')'");

@@ -15,6 +15,9 @@ std::vector<storage::StagingBuffer>& ExecContext::StagingFor(int shards,
   if (staging_.size() < static_cast<size_t>(shards)) {
     staging_.resize(static_cast<size_t>(shards));
   }
+  if (shard_profilers_.size() < static_cast<size_t>(shards)) {
+    shard_profilers_.resize(static_cast<size_t>(shards));
+  }
   for (int i = 0; i < shards; ++i) staging_[i].Reset(arity);
   return staging_;
 }
@@ -31,6 +34,14 @@ void MergeStagedDelta(ExecContext& ctx, storage::RelationId target,
   for (int shard = 0; shard < shards; ++shard) {
     inserted += delta_new.InsertStaged(buffers[shard], &derived);
     emitted += considered[shard];
+    // Fold this worker's probe counters into the context's profiler at
+    // the same serial point that merges its staged rows: workers only
+    // ever touch their own profiler, so no probe increment needs atomics.
+    ir::AccessProfiler* shard_profiler = ctx.ShardProfiler(shard);
+    if (!shard_profiler->empty()) {
+      ctx.profiler().MergeFrom(*shard_profiler);
+      shard_profiler->Clear();
+    }
   }
   ctx.stats().tuples_considered += emitted;
   ctx.stats().tuples_inserted += inserted;

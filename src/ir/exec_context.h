@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "storage/database.h"
@@ -33,6 +35,71 @@ struct ExecStats {
   /// across epochs; per-epoch accounting subtracts a snapshot taken at
   /// epoch entry.
   static ExecStats Delta(const ExecStats& after, const ExecStats& before);
+};
+
+/// Runtime access counters for one indexed (relation, column): how the
+/// evaluators actually touched it, as opposed to the syntactic access-path
+/// profile the optimizer computes at Prepare(). Plain (non-atomic)
+/// counters: on the single-threaded path each evaluator increments the
+/// context's profiler directly; parallel shards increment a per-worker
+/// profiler that is merged at staging-merge time, so the hot path never
+/// pays for synchronization.
+struct ColumnProbeStats {
+  uint64_t point_probes = 0;   ///< Point lookups (BatchProbe keys included).
+  uint64_t point_hits = 0;     ///< Point lookups that matched >= 1 row.
+  uint64_t range_probes = 0;   ///< ProbeRange calls.
+  uint64_t batch_windows = 0;  ///< BatchProbe windows resolved.
+
+  uint64_t total() const { return point_probes + range_probes; }
+
+  void MergeFrom(const ColumnProbeStats& other) {
+    point_probes += other.point_probes;
+    point_hits += other.point_hits;
+    range_probes += other.range_probes;
+    batch_windows += other.batch_windows;
+  }
+
+  /// Field-wise `*this - before` (counters are cumulative; per-epoch
+  /// accounting subtracts a snapshot, mirroring ExecStats::Delta).
+  ColumnProbeStats DeltaSince(const ColumnProbeStats& before) const {
+    ColumnProbeStats d;
+    d.point_probes = point_probes - before.point_probes;
+    d.point_hits = point_hits - before.point_hits;
+    d.range_probes = range_probes - before.range_probes;
+    d.batch_windows = batch_windows - before.batch_windows;
+    return d;
+  }
+};
+
+/// Per-(relation, column) probe counters with pointer-stable slots: the
+/// evaluators resolve a ColumnProbeStats* once at plan-build time (a map
+/// lookup), then hot loops pay one or two plain increments per probe. The
+/// node-based map keeps slot pointers valid for the profiler's lifetime.
+class AccessProfiler {
+ public:
+  using Key = std::pair<storage::RelationId, uint32_t>;
+
+  /// Counters for (rel, column), created zeroed on first use. The
+  /// returned pointer stays valid until Clear().
+  ColumnProbeStats* Slot(storage::RelationId rel, size_t column) {
+    return &counters_[Key(rel, static_cast<uint32_t>(column))];
+  }
+
+  const std::map<Key, ColumnProbeStats>& counters() const {
+    return counters_;
+  }
+  bool empty() const { return counters_.empty(); }
+
+  void MergeFrom(const AccessProfiler& other) {
+    for (const auto& [key, stats] : other.counters_) {
+      counters_[key].MergeFrom(stats);
+    }
+  }
+
+  void Clear() { counters_.clear(); }
+
+ private:
+  std::map<Key, ColumnProbeStats> counters_;
 };
 
 /// Which relational engine executes subqueries (§V-D: Carac's relational
@@ -80,8 +147,25 @@ class ExecContext {
 
   /// Per-worker staging buffers, lazily sized to `shards` and re-armed
   /// for `arity`-wide rows. Capacity persists across subqueries, so
-  /// steady-state parallel evaluation allocates nothing here.
+  /// steady-state parallel evaluation allocates nothing here. Also sizes
+  /// the per-shard profiler array (ShardProfiler) to match.
   std::vector<storage::StagingBuffer>& StagingFor(int shards, size_t arity);
+
+  // ---- Runtime access profiling ----
+
+  /// Cumulative per-(relation, column) probe counters for this context's
+  /// lifetime. The evaluators feed it; the adaptive index policy and
+  /// `serve stats` read it.
+  AccessProfiler& profiler() { return profiler_; }
+  const AccessProfiler& profiler() const { return profiler_; }
+
+  /// Worker-private profiler for `shard`, merged into profiler() by
+  /// MergeStagedDelta — the same merge point that keeps staged inserts
+  /// deterministic also keeps counter aggregation race-free. Valid after
+  /// StagingFor sized at least `shard + 1` shards.
+  AccessProfiler* ShardProfiler(int shard) {
+    return &shard_profilers_[static_cast<size_t>(shard)];
+  }
 
   // ---- Batched probe cursors ----
 
@@ -104,6 +188,8 @@ class ExecContext {
   uint32_t parallel_min_rows_ = 128;
   uint32_t probe_batch_window_ = 64;
   std::vector<storage::StagingBuffer> staging_;
+  AccessProfiler profiler_;
+  std::vector<AccessProfiler> shard_profilers_;
 };
 
 /// Merges the first `shards` staging buffers into `target`'s DeltaNew in

@@ -48,12 +48,17 @@ struct AtomPlan {
   Value probe_const = 0;
   LocalVar probe_var = -1;
   OutMode out_mode = OutMode::kBind;  // Arithmetic builtins only.
+  // Runtime access counters for (predicate, probe_col), resolved at
+  // plan-build time so the join loops pay plain increments. Non-null iff
+  // probe_col >= 0.
+  ColumnProbeStats* probe_stats = nullptr;
 };
 
 /// The join executor. Stack-allocated per subquery evaluation.
 class SubqueryRun {
  public:
-  SubqueryRun(ExecContext& ctx, const IROp& op) : ctx_(ctx), op_(op) {}
+  SubqueryRun(ExecContext& ctx, const IROp& op)
+      : ctx_(ctx), op_(op), profiler_(&ctx.profiler()) {}
 
   void Run() {
     ctx_.stats().spj_executions++;
@@ -135,6 +140,8 @@ class SubqueryRun {
       const size_t end = std::min(begin + chunk, outer_rows);
       if (begin >= end) return;
       SubqueryRun worker(ctx_, op_);
+      // Worker-private counters, merged by MergeStagedDelta below.
+      worker.profiler_ = ctx_.ShardProfiler(shard);
       worker.RunShard(begin, end, &staging[shard], &considered[shard]);
     });
     MergeStagedDelta(ctx_, op_.target, staging, shards, considered.data());
@@ -198,6 +205,10 @@ class SubqueryRun {
           p.probe_var = action.var;
         }
         p.actions.push_back(action);
+      }
+      if (p.probe_col >= 0) {
+        p.probe_stats = profiler_->Slot(atom.predicate,
+                                        static_cast<size_t>(p.probe_col));
       }
       plan_.push_back(std::move(p));
     }
@@ -273,7 +284,11 @@ class SubqueryRun {
     if (p.probe_col >= 0) {
       const Value key =
           p.probe_is_const ? p.probe_const : binding_[p.probe_var];
-      for (RowId row : rel.Probe(static_cast<size_t>(p.probe_col), key)) {
+      const storage::RowCursor bucket =
+          rel.Probe(static_cast<size_t>(p.probe_col), key);
+      p.probe_stats->point_probes++;
+      p.probe_stats->point_hits += !bucket.empty();
+      for (RowId row : bucket) {
         match(rel.View(row));
       }
     } else {
@@ -315,6 +330,8 @@ class SubqueryRun {
       // No variable is bound before atom 0, so the probe key is a const.
       const storage::RowCursor bucket =
           rel.Probe(static_cast<size_t>(p.probe_col), p.probe_const);
+      p.probe_stats->point_probes++;
+      p.probe_stats->point_hits += !bucket.empty();
       const size_t limit = std::min(end, bucket.size());
       for (size_t pos = std::min(begin, limit); pos < limit; ++pos) {
         match(rel.View(bucket[pos]));
@@ -387,6 +404,8 @@ class SubqueryRun {
       // No variable is bound before atom 0: the key is a const.
       outer_bucket = outer_rel.Probe(static_cast<size_t>(outer.probe_col),
                                      outer.probe_const);
+      outer.probe_stats->point_probes++;
+      outer.probe_stats->point_hits += !outer_bucket.empty();
       limit = std::min(end, outer_bucket.size());
     } else {
       limit = std::min(end, static_cast<size_t>(outer_rel.NumRows()));
@@ -411,7 +430,10 @@ class SubqueryRun {
       if (batch_rows_.empty()) continue;
       inner_rel.BatchProbe(inner_col, batch_keys_.data(),
                            batch_rows_.size(), batch_cursors_.data());
+      inner.probe_stats->batch_windows++;
+      inner.probe_stats->point_probes += batch_rows_.size();
       for (size_t k = 0; k < batch_rows_.size(); ++k) {
+        inner.probe_stats->point_hits += !batch_cursors_[k].empty();
         const TupleView t = outer_rel.View(batch_rows_[k]);
         for (const TermAction& action : outer.actions) {
           if (action.kind == TermAction::Kind::kBind) {
@@ -510,6 +532,9 @@ class SubqueryRun {
 
   ExecContext& ctx_;
   const IROp& op_;
+  // Destination for probe counters: the context's profiler on the
+  // single-threaded path, the worker's shard profiler when sharded.
+  AccessProfiler* profiler_;
   std::vector<AtomPlan> plan_;
   std::vector<Value> binding_;
   Tuple scratch_;

@@ -125,11 +125,16 @@ class RowSource {
 class ScanSource : public RowSource {
  public:
   ScanSource(const Relation* rel, const AtomSpec* atom,
-             const std::vector<bool>& bound_before)
+             const std::vector<bool>& bound_before,
+             AccessProfiler* profiler)
       : rel_(rel), atom_(atom) {
     std::vector<bool> bound = bound_before;
     actions_ = BuildColActions(*atom, bound);
     probe_col_ = PickProbeCol(*rel, *atom, bound_before);
+    if (probe_col_ >= 0) {
+      probe_stats_ = profiler->Slot(atom->predicate,
+                                    static_cast<size_t>(probe_col_));
+    }
   }
 
   void RestrictOuter(size_t begin, size_t end) override {
@@ -154,6 +159,8 @@ class ScanSource : public RowSource {
       const LocalTerm& key = atom_->terms[probe_col_];
       bucket_ = rel_->Probe(static_cast<size_t>(probe_col_),
                             key.is_var ? binding[key.var] : key.constant);
+      probe_stats_->point_probes++;
+      probe_stats_->point_hits += !bucket_.empty();
       bucket_limit_ = std::min(outer_end_, bucket_.size());
       bucket_pos_ = std::min(outer_begin_, bucket_limit_);
     } else {
@@ -183,6 +190,7 @@ class ScanSource : public RowSource {
   const AtomSpec* atom_;
   std::vector<ColAction> actions_;
   int32_t probe_col_ = -1;
+  ColumnProbeStats* probe_stats_ = nullptr;  // Non-null iff probe_col_ >= 0.
   RowCursor bucket_;
   size_t bucket_pos_ = 0;
   size_t bucket_limit_ = 0;
@@ -262,7 +270,8 @@ class BatchedJoinSource final : public RowSource {
  public:
   BatchedJoinSource(const Relation* outer_rel, const AtomSpec* outer_atom,
                     const Relation* inner_rel, const AtomSpec* inner_atom,
-                    std::vector<bool>& bound, size_t window)
+                    std::vector<bool>& bound, size_t window,
+                    AccessProfiler* profiler)
       : outer_rel_(outer_rel), inner_rel_(inner_rel), window_(window) {
     const std::vector<bool> bound_before_outer = bound;
     outer_actions_ = BuildColActions(*outer_atom, bound);
@@ -271,12 +280,16 @@ class BatchedJoinSource final : public RowSource {
     if (outer_probe_col_ >= 0) {
       // Nothing is bound before the first atom, so the key is a const.
       outer_probe_const_ = outer_atom->terms[outer_probe_col_].constant;
+      outer_probe_stats_ = profiler->Slot(
+          outer_atom->predicate, static_cast<size_t>(outer_probe_col_));
     }
     const std::vector<bool> bound_before_inner = bound;
     inner_actions_ = BuildColActions(*inner_atom, bound);
     inner_probe_col_ = PickProbeCol(*inner_rel, *inner_atom,
                                     bound_before_inner);
     CARAC_CHECK(inner_probe_col_ >= 0);
+    inner_probe_stats_ = profiler->Slot(
+        inner_atom->predicate, static_cast<size_t>(inner_probe_col_));
     const LocalTerm& key = inner_atom->terms[inner_probe_col_];
     CARAC_CHECK(key.is_var);  // CanFuse gates on a variable key.
     inner_probe_var_ = key.var;
@@ -299,6 +312,8 @@ class BatchedJoinSource final : public RowSource {
     if (outer_probe_col_ >= 0) {
       outer_bucket_ = outer_rel_->Probe(
           static_cast<size_t>(outer_probe_col_), outer_probe_const_);
+      outer_probe_stats_->point_probes++;
+      outer_probe_stats_->point_hits += !outer_bucket_.empty();
       limit_ = std::min(outer_end_, outer_bucket_.size());
     } else {
       limit_ = std::min(outer_end_,
@@ -358,6 +373,11 @@ class BatchedJoinSource final : public RowSource {
       inner_rel_->BatchProbe(static_cast<size_t>(inner_probe_col_),
                              batch_keys_.data(), batch_rows_.size(),
                              batch_cursors_.data());
+      inner_probe_stats_->batch_windows++;
+      inner_probe_stats_->point_probes += batch_rows_.size();
+      for (size_t k = 0; k < batch_rows_.size(); ++k) {
+        inner_probe_stats_->point_hits += !batch_cursors_[k].empty();
+      }
     }
   }
 
@@ -368,7 +388,9 @@ class BatchedJoinSource final : public RowSource {
   std::vector<ColAction> inner_actions_;
   int32_t outer_probe_col_ = -1;
   Value outer_probe_const_ = 0;
+  ColumnProbeStats* outer_probe_stats_ = nullptr;
   int32_t inner_probe_col_ = -1;
+  ColumnProbeStats* inner_probe_stats_ = nullptr;
   LocalVar inner_probe_var_ = -1;
   size_t window_;
   size_t outer_begin_ = 0;
@@ -408,9 +430,11 @@ bool CanFuse(ExecContext& ctx, const IROp& op) {
 
 /// Builds the iterator pipeline, tracking static boundness per stage.
 /// When the leading two atoms are fusable and batching is enabled, they
-/// become one BatchedJoinSource.
-std::vector<std::unique_ptr<RowSource>> BuildPipeline(ExecContext& ctx,
-                                                      const IROp& op) {
+/// become one BatchedJoinSource. Probe counters go to `profiler` — the
+/// context's own on the single-threaded path, a worker-private one when
+/// the pipeline runs inside a shard.
+std::vector<std::unique_ptr<RowSource>> BuildPipeline(
+    ExecContext& ctx, const IROp& op, AccessProfiler* profiler) {
   std::vector<std::unique_ptr<RowSource>> pipeline;
   pipeline.reserve(op.atoms.size());
   std::vector<bool> bound(op.num_locals, false);
@@ -421,7 +445,7 @@ std::vector<std::unique_ptr<RowSource>> BuildPipeline(ExecContext& ctx,
     pipeline.push_back(std::make_unique<BatchedJoinSource>(
         &ctx.db().Get(a0.predicate, a0.source), &a0,
         &ctx.db().Get(a1.predicate, a1.source), &a1, bound,
-        ctx.probe_batch_window()));
+        ctx.probe_batch_window(), profiler));
     start = 2;
   }
   for (size_t i = start; i < op.atoms.size(); ++i) {
@@ -440,7 +464,8 @@ std::vector<std::unique_ptr<RowSource>> BuildPipeline(ExecContext& ctx,
           &ctx.db().Get(atom.predicate, atom.source), &atom));
     } else {
       pipeline.push_back(std::make_unique<ScanSource>(
-          &ctx.db().Get(atom.predicate, atom.source), &atom, bound));
+          &ctx.db().Get(atom.predicate, atom.source), &atom, bound,
+          profiler));
       for (const LocalTerm& t : atom.terms) {
         if (t.is_var) bound[t.var] = true;
       }
@@ -496,9 +521,9 @@ bool TryRunPullSharded(ExecContext& ctx, const IROp& op,
       ctx.db().Get(op.target, storage::DbKind::kDeltaNew);
   return ShardSubqueryAcrossPool(
       ctx, op.target, outer_rows, op.head_terms.size(),
-      [&](int /*shard*/, size_t begin, size_t end,
+      [&](int shard, size_t begin, size_t end,
           storage::StagingBuffer* staging, uint64_t* considered) {
-        auto pipeline = BuildPipeline(ctx, op);
+        auto pipeline = BuildPipeline(ctx, op, ctx.ShardProfiler(shard));
         pipeline[0]->RestrictOuter(begin, end);
         std::vector<Value> binding(op.num_locals, 0);
         uint64_t emitted = 0;
@@ -524,7 +549,8 @@ void RunSubqueryPull(ExecContext& ctx, const IROp& op) {
   CARAC_CHECK(op.kind == OpKind::kSpj);
   ctx.stats().spj_executions++;
 
-  std::vector<std::unique_ptr<RowSource>> pipeline = BuildPipeline(ctx, op);
+  std::vector<std::unique_ptr<RowSource>> pipeline =
+      BuildPipeline(ctx, op, &ctx.profiler());
   if (TryRunPullSharded(ctx, op, pipeline)) return;
 
   storage::DatabaseSet& db = ctx.db();

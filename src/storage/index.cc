@@ -1,38 +1,40 @@
 #include "storage/index.h"
 
 #include <algorithm>
+#include <limits>
 #include <string>
 #include <utility>
 
 namespace carac::storage {
 
 const char* IndexKindName(IndexKind kind) {
-  switch (kind) {
-    case IndexKind::kHash:
-      return "hash";
-    case IndexKind::kSorted:
-      return "sorted";
-    case IndexKind::kBtree:
-      return "btree";
-    case IndexKind::kSortedArray:
-      return "sorted-array";
+  for (const IndexKindInfo& info : kIndexKindTable) {
+    if (info.kind == kind) return info.name;
   }
   return "?";
 }
 
 bool ParseIndexKind(const std::string& name, IndexKind* out) {
-  if (name == "hash") {
-    *out = IndexKind::kHash;
-  } else if (name == "sorted") {
-    *out = IndexKind::kSorted;
-  } else if (name == "btree") {
-    *out = IndexKind::kBtree;
-  } else if (name == "sorted-array" || name == "sorted_array") {
-    *out = IndexKind::kSortedArray;
-  } else {
-    return false;
+  for (const IndexKindInfo& info : kIndexKindTable) {
+    if (name == info.name ||
+        (info.alt_name != nullptr && name == info.alt_name)) {
+      *out = info.kind;
+      return true;
+    }
   }
-  return true;
+  return false;
+}
+
+const std::string& IndexKindNameList() {
+  static const std::string list = [] {
+    std::string s;
+    for (const IndexKindInfo& info : kIndexKindTable) {
+      if (!s.empty()) s += ", ";
+      s += info.name;
+    }
+    return s;
+  }();
+  return list;
 }
 
 // ---- IndexBase defaults ----
@@ -41,8 +43,8 @@ util::Status IndexBase::RangeUnsupported() const {
   return util::Status::FailedPrecondition(
       "ProbeRange requires an ordered index, but column " +
       std::to_string(column_) + " has a " + IndexKindName(kind_) +
-      " index; declare it with an ordered kind (kSorted, kBtree or "
-      "kSortedArray)");
+      " index; declare it with an ordered kind (kSorted, kBtree, "
+      "kSortedArray or kLearned)");
 }
 
 util::Status IndexBase::ProbeRange(Value lo, Value hi,
@@ -355,6 +357,148 @@ void SortedArrayIndex::Clear() {
   tail_.clear();
 }
 
+// ---- LearnedIndex ----
+
+void LearnedIndex::RefitModel() {
+  segments_.clear();
+  min_key_ = 0;
+  max_key_ = 0;
+  const size_t n = prefix_keys_.size();
+  if (n == 0) return;
+  min_key_ = prefix_keys_.front();
+  max_key_ = prefix_keys_.back();
+  // Fit against a slightly tighter bound than the probe window so
+  // floating-point rounding at probe time can never push a trained key
+  // outside ±kEpsilon.
+  const double eps = static_cast<double>(kEpsilon) - 1.0;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Greedy shrinking-cone pass over the (distinct key, first position)
+  // points: a segment absorbs keys while some slope keeps every absorbed
+  // point within ±eps of the line through the segment's first point;
+  // when the feasible slope interval empties, the segment closes and the
+  // breaking key starts the next one. One pass, O(#distinct keys).
+  size_t i = 0;
+  while (i < n) {
+    const Value first_key = prefix_keys_[i];
+    const double first_pos = static_cast<double>(i);
+    double lo = 0.0;
+    double hi = kInf;
+    size_t j = i;
+    while (j < n && prefix_keys_[j] == first_key) ++j;
+    while (j < n) {
+      const Value key = prefix_keys_[j];
+      const double dx =
+          static_cast<double>(key) - static_cast<double>(first_key);
+      const double dy = static_cast<double>(j) - first_pos;
+      const double new_lo = std::max(lo, (dy - eps) / dx);
+      const double new_hi = std::min(hi, (dy + eps) / dx);
+      if (new_lo > new_hi) break;  // Cone collapsed: close the segment.
+      lo = new_lo;
+      hi = new_hi;
+      while (j < n && prefix_keys_[j] == key) ++j;
+    }
+    Segment seg;
+    seg.first_key = first_key;
+    seg.intercept = first_pos;
+    seg.slope = hi == kInf ? 0.0 : 0.5 * (lo + hi);
+    segments_.push_back(seg);
+    i = j;
+  }
+}
+
+bool LearnedIndex::PredictPosition(Value value, size_t* pos) const {
+  if (segments_.empty() || value < min_key_ || value > max_key_) {
+    return false;
+  }
+  // Last segment whose first_key <= value. The min_key_ gate above makes
+  // the directory search start past begin().
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), value,
+      [](Value v, const Segment& s) { return v < s.first_key; });
+  const Segment& seg = *(it - 1);
+  const double dx =
+      static_cast<double>(value) - static_cast<double>(seg.first_key);
+  const double predicted = seg.intercept + seg.slope * dx;
+  size_t p = predicted <= 0.0 ? 0 : static_cast<size_t>(predicted);
+  if (p >= prefix_keys_.size()) p = prefix_keys_.size() - 1;
+  *pos = p;
+  return true;
+}
+
+RowCursor LearnedIndex::ProbeFast(Value value) const {
+  const RowId* prefix = nullptr;
+  size_t count = 0;
+  const size_t n = prefix_keys_.size();
+  size_t predicted;
+  if (n != 0 && PredictPosition(value, &predicted)) {
+    size_t begin;
+    bool located = false;
+    const size_t wlo = predicted > kEpsilon ? predicted - kEpsilon : 0;
+    const size_t whi = std::min(n, predicted + kEpsilon + 1);
+    // Bracket check: the global lower_bound lies inside [wlo, whi] iff
+    // everything before the window is < value and the first key at or
+    // past its end is >= value. Trained keys always pass (the fit bounds
+    // their error); an untrained key that misses falls back to the full
+    // binary search, so the model is never load-bearing for correctness.
+    if ((wlo == 0 || prefix_keys_[wlo - 1] < value) &&
+        (whi == n || prefix_keys_[whi] >= value)) {
+      begin = static_cast<size_t>(
+          std::lower_bound(prefix_keys_.begin() +
+                               static_cast<ptrdiff_t>(wlo),
+                           prefix_keys_.begin() + static_cast<ptrdiff_t>(whi),
+                           value) -
+          prefix_keys_.begin());
+      located = true;
+    }
+    if (!located) {
+      begin = static_cast<size_t>(
+          std::lower_bound(prefix_keys_.begin(), prefix_keys_.end(), value) -
+          prefix_keys_.begin());
+    }
+    if (begin < n && prefix_keys_[begin] == value) {
+      // Duplicate runs can outrun the window. Gallop for the run's end —
+      // doubling probes stay inside the run (cache-local), then a binary
+      // search over the last doubling span pins it: O(log run) versus a
+      // binary search scattered across the whole remaining suffix.
+      size_t off = 1;
+      while (begin + off < n && prefix_keys_[begin + off] == value) {
+        off <<= 1;
+      }
+      const size_t lo_idx = begin + (off >> 1);
+      const size_t hi_idx = std::min(n, begin + off);
+      const size_t end = static_cast<size_t>(
+          std::upper_bound(prefix_keys_.begin() +
+                               static_cast<ptrdiff_t>(lo_idx),
+                           prefix_keys_.begin() +
+                               static_cast<ptrdiff_t>(hi_idx),
+                           value) -
+          prefix_keys_.begin());
+      prefix = prefix_rows_.data() + begin;
+      count = end - begin;
+    }
+  }
+  if (tail_.empty()) return RowCursor(prefix, count);  // The common case
+  // on a stabilized column: skip even the hash of `value`.
+  auto it = tail_.find(value);
+  if (it == tail_.end()) return RowCursor(prefix, count);
+  // Prefix rows are all < stable_limit_ <= every tail row, so the
+  // concatenation stays in ascending RowId order.
+  return RowCursor(prefix, count, it->second.data(), it->second.size());
+}
+
+void LearnedIndex::Stabilize(RowId limit) {
+  const size_t before = prefix_keys_.size();
+  SortedArrayIndex::Stabilize(limit);
+  if (prefix_keys_.size() != before) RefitModel();
+}
+
+void LearnedIndex::Clear() {
+  SortedArrayIndex::Clear();
+  segments_.clear();
+  min_key_ = 0;
+  max_key_ = 0;
+}
+
 // ---- Factory ----
 
 std::unique_ptr<IndexBase> MakeIndex(size_t column, IndexKind kind) {
@@ -367,6 +511,8 @@ std::unique_ptr<IndexBase> MakeIndex(size_t column, IndexKind kind) {
       return std::make_unique<BtreeIndex>(column);
     case IndexKind::kSortedArray:
       return std::make_unique<SortedArrayIndex>(column);
+    case IndexKind::kLearned:
+      return std::make_unique<LearnedIndex>(column);
   }
   return std::make_unique<HashIndex>(column);  // Unreachable.
 }

@@ -18,7 +18,7 @@ namespace carac::storage {
 /// Index organization. Carac's paper implementation uses one hash map per
 /// indexed column (java.util.HashMap); Soufflé's specialized B-trees are
 /// cited as an orthogonal optimization (§VI-D), and KVell demonstrates the
-/// value of swapping index shapes behind one interface. Four kinds live
+/// value of swapping index shapes behind one interface. Five kinds live
 /// behind IndexBase:
 ///
 ///   kHash        — unordered_map buckets; O(1) point probes, no ranges.
@@ -32,19 +32,50 @@ namespace carac::storage {
 ///                  appended since the last Stabilize(); point probes are
 ///                  a binary search into contiguous memory, range scans
 ///                  are a single sequential sweep.
+///   kLearned     — kSortedArray's layout with a piecewise-linear model
+///                  (bounded error ε) fit over the stable prefix at
+///                  Stabilize(); point probes predict a position and
+///                  correct within ±ε instead of binary-searching the
+///                  whole prefix. Range scans and the mutable tail are
+///                  inherited unchanged.
 enum class IndexKind : uint8_t {
   kHash = 0,
   kSorted = 1,
   kBtree = 2,
   kSortedArray = 3,
+  kLearned = 4,
 };
+
+/// One row of the canonical kind table below.
+struct IndexKindInfo {
+  IndexKind kind;
+  const char* name;      // Canonical spelling ("sorted-array").
+  const char* alt_name;  // Identifier-safe alias, or nullptr.
+};
+
+/// The single source of truth for kind names: `--index-kind` parsing, the
+/// `@index` pragma diagnostic and snapshot kind validation all consume
+/// this table, so adding a kind here updates every surface at once.
+inline constexpr IndexKindInfo kIndexKindTable[] = {
+    {IndexKind::kHash, "hash", nullptr},
+    {IndexKind::kSorted, "sorted", nullptr},
+    {IndexKind::kBtree, "btree", nullptr},
+    {IndexKind::kSortedArray, "sorted-array", "sorted_array"},
+    {IndexKind::kLearned, "learned", nullptr},
+};
+inline constexpr size_t kNumIndexKinds =
+    sizeof(kIndexKindTable) / sizeof(kIndexKindTable[0]);
 
 const char* IndexKindName(IndexKind kind);
 
-/// Parses "hash", "sorted", "btree", "sorted-array" (or the
-/// identifier-safe spelling "sorted_array"). Returns false on anything
-/// else, leaving *out untouched.
+/// Parses any canonical or alias spelling from kIndexKindTable ("hash",
+/// "sorted", "btree", "sorted-array"/"sorted_array", "learned"). Returns
+/// false on anything else, leaving *out untouched.
 bool ParseIndexKind(const std::string& name, IndexKind* out);
+
+/// Comma-separated canonical names ("hash, sorted, btree, sorted-array,
+/// learned") for diagnostics that enumerate the valid kinds.
+const std::string& IndexKindNameList();
 
 /// True for kinds that keep their keys ordered (ProbeRange works).
 inline bool IndexKindIsOrdered(IndexKind kind) {
@@ -275,7 +306,7 @@ class BtreeIndex final : public IndexBase {
 /// new stable limit into the prefix; the watermark machinery makes every
 /// completed epoch's rows stable, so on EDB-heavy workloads the tail
 /// stays empty and probes never touch a hash table at all.
-class SortedArrayIndex final : public IndexBase {
+class SortedArrayIndex : public IndexBase {
  public:
   explicit SortedArrayIndex(size_t column)
       : IndexBase(column, IndexKind::kSortedArray) {}
@@ -290,13 +321,67 @@ class SortedArrayIndex final : public IndexBase {
   void Clear() override;
   void Stabilize(RowId limit) override;
 
- private:
+ protected:
+  /// For kLearned, which reuses the prefix+tail layout wholesale and only
+  /// changes how the prefix is searched.
+  SortedArrayIndex(size_t column, IndexKind kind) : IndexBase(column, kind) {}
+
   /// Sorted by (key, row); every row here is < stable_limit_.
   std::vector<Value> prefix_keys_;
   std::vector<RowId> prefix_rows_;
   RowId stable_limit_ = 0;
   /// Rows >= stable_limit_, in insertion (ascending RowId) order.
   std::unordered_map<Value, std::vector<RowId>> tail_;
+};
+
+/// kLearned: SortedArrayIndex's prefix+tail layout with a RMI/ALEX-style
+/// piecewise-linear approximation over the stable prefix. Stabilize()
+/// refits the model: a greedy shrinking-cone pass over the (distinct key,
+/// first position) points yields segments guaranteeing
+/// |predicted - actual| <= kEpsilon for every trained key. A point probe
+/// then binary-searches only the segment directory (typically a handful
+/// of entries) plus a ±ε window of the prefix instead of the whole array.
+/// A bracket check falls back to a full binary search for keys outside
+/// the model's cone (only possible for untrained keys), so correctness
+/// never depends on the model.
+class LearnedIndex final : public SortedArrayIndex {
+ public:
+  /// Maximum |predicted - actual| the fit guarantees for trained keys.
+  /// 24 positions sit inside two or three cache lines of the key array —
+  /// the final window search stays cheap while segments stay few.
+  static constexpr size_t kEpsilon = 24;
+
+  explicit LearnedIndex(size_t column)
+      : SortedArrayIndex(column, IndexKind::kLearned) {}
+
+  RowCursor ProbeFast(Value value) const;
+
+  RowCursor Probe(Value value) const override { return ProbeFast(value); }
+  void Clear() override;
+  void Stabilize(RowId limit) override;
+
+  /// Model introspection, for tests and `serve stats`.
+  size_t NumSegments() const { return segments_.size(); }
+
+  /// Test hook: predicted prefix position for `value` (clamped), or
+  /// false when the model is empty or `value` lies outside its cone.
+  bool PredictPosition(Value value, size_t* pos) const;
+
+ private:
+  /// One linear piece: predicts positions for keys in
+  /// [first_key, next segment's first_key).
+  struct Segment {
+    Value first_key;
+    double slope;
+    double intercept;  // Predicted position at key == first_key.
+  };
+
+  void RefitModel();
+
+  std::vector<Segment> segments_;
+  /// Keys outside [min_key_, max_key_] skip the model entirely.
+  Value min_key_ = 0;
+  Value max_key_ = 0;
 };
 
 }  // namespace carac::storage

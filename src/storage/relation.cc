@@ -34,6 +34,10 @@ inline void IndexAdd(IndexBase* index, RowId row, Value key) {
     case IndexKind::kSortedArray:
       static_cast<SortedArrayIndex*>(index)->AddFast(row, key);
       return;
+    case IndexKind::kLearned:
+      // Inherited tail append; the model only covers the stable prefix.
+      static_cast<LearnedIndex*>(index)->AddFast(row, key);
+      return;
   }
 }
 
@@ -48,6 +52,8 @@ inline RowCursor IndexProbe(const IndexBase& index, Value value) {
       return static_cast<const BtreeIndex&>(index).ProbeFast(value);
     case IndexKind::kSortedArray:
       return static_cast<const SortedArrayIndex&>(index).ProbeFast(value);
+    case IndexKind::kLearned:
+      return static_cast<const LearnedIndex&>(index).ProbeFast(value);
   }
   return RowCursor();  // Unreachable.
 }

@@ -235,8 +235,7 @@ util::Status DatabaseSet::OpenSnapshot(const std::string& path) {
       if (!r.GetU32(&column) || !r.GetU8(&kind)) {
         return Corrupt(path, "truncated index declarations for " + name);
       }
-      if (column >= arity || kind > static_cast<uint8_t>(
-                                        IndexKind::kSortedArray)) {
+      if (column >= arity || kind >= static_cast<uint8_t>(kNumIndexKinds)) {
         return Corrupt(path, "relation " + name +
                                  " has an invalid index declaration");
       }

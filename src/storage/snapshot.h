@@ -11,7 +11,10 @@
 // derivable in memory (the open-addressing dedup table, the column
 // indexes) is rebuilt at open instead of being persisted.
 //
-// All integers are little-endian. Layout (version 2):
+// All integers are little-endian. Layout (version 3 — identical to
+// version 2 except the index-kind byte's valid range, which grew when
+// IndexKind::kLearned was added; the version bump keeps a learned-kind
+// snapshot from decoding as garbage on a version-2 build):
 //
 //   [header]
 //     magic          8 bytes  "CARACSNP"
@@ -52,7 +55,7 @@
 
 namespace carac::storage {
 
-inline constexpr uint32_t kSnapshotFormatVersion = 2;
+inline constexpr uint32_t kSnapshotFormatVersion = 3;
 
 }  // namespace carac::storage
 

@@ -98,6 +98,8 @@ expect_cli(index_kind_btree 0 "Fibonacci" run fibonacci --scale=2
   --index-kind=btree)
 expect_cli(index_kind_sorted_array 0 "Fibonacci" run fibonacci --scale=2
   --index-kind=sorted-array)
+expect_cli(index_kind_learned 0 "Fibonacci" run fibonacci --scale=2
+  --index-kind=learned)
 expect_cli(index_kind_auto 0 "Fibonacci" run fibonacci --scale=2
   --index-kind=auto)
 expect_cli(index_kind_garbage 2 "invalid --index-kind=lsm" run fibonacci
@@ -105,6 +107,13 @@ expect_cli(index_kind_garbage 2 "invalid --index-kind=lsm" run fibonacci
 expect_cli(index_kind_empty 2 "invalid --index-kind" run fibonacci
   --index-kind=)
 expect_cli(usage_mentions_index_kind 2 "--index-kind=")
+
+# --adaptive-indexes: accepted on runs, documented in usage. The policy
+# only migrates on evidence, so the happy path is just "evaluates the
+# same workload correctly".
+expect_cli(adaptive_run_ok 0 "Fibonacci" run fibonacci --scale=2
+  --adaptive-indexes)
+expect_cli(usage_mentions_adaptive 2 "--adaptive-indexes")
 
 # --probe-batch-window: strict integer >= 0 (0 disables batching and must
 # still evaluate correctly).
@@ -177,6 +186,52 @@ if(NOT serve_code STREQUAL "0" OR NOT serve_out MATCHES "alpha"
     "got exit ${serve_code}:\n${serve_out}${serve_err}")
 else()
   message(STATUS "[serve_dump_symbols] ok (exit ${serve_code})")
+endif()
+
+# serve stats: per-column index kinds, the probe counters the update's
+# evaluation recorded, and the adaptive section — "adaptive off" without
+# the flag, a rekind-events count with it. Trailing junk after stats is
+# rejected like the other zero-argument commands.
+file(WRITE "${WORK_DIR}/serve_stats.txt"
+  "update\n"
+  "stats\n"
+  "stats now\n"
+  "quit\n")
+execute_process(
+  COMMAND "${CARAC_CLI}" serve "${WORK_DIR}/good.dl"
+  INPUT_FILE "${WORK_DIR}/serve_stats.txt"
+  OUTPUT_VARIABLE serve_out
+  ERROR_VARIABLE serve_err
+  RESULT_VARIABLE serve_code
+  TIMEOUT 60)
+if(NOT serve_code STREQUAL "0")
+  message(SEND_ERROR "[serve_stats] expected exit 0, got ${serve_code}\n"
+    "${serve_out}${serve_err}")
+endif()
+foreach(needle "index Edge col0" "probes Edge col0 points=" "adaptive off")
+  if(NOT serve_out MATCHES "${needle}")
+    message(SEND_ERROR
+      "[serve_stats] output missing '${needle}':\n${serve_out}${serve_err}")
+  endif()
+endforeach()
+if(NOT serve_err MATCHES "stats takes no arguments")
+  message(SEND_ERROR "[serve_stats] trailing junk not rejected:\n"
+    "${serve_out}${serve_err}")
+else()
+  message(STATUS "[serve_stats] ok (exit ${serve_code})")
+endif()
+execute_process(
+  COMMAND "${CARAC_CLI}" serve "${WORK_DIR}/good.dl" --adaptive-indexes
+  INPUT_FILE "${WORK_DIR}/serve_stats.txt"
+  OUTPUT_VARIABLE serve_out
+  ERROR_VARIABLE serve_err
+  RESULT_VARIABLE serve_code
+  TIMEOUT 60)
+if(NOT serve_code STREQUAL "0" OR NOT serve_out MATCHES "rekind-events ")
+  message(SEND_ERROR "[serve_stats_adaptive] expected a rekind-events "
+    "count, got exit ${serve_code}:\n${serve_out}${serve_err}")
+else()
+  message(STATUS "[serve_stats_adaptive] ok (exit ${serve_code})")
 endif()
 
 # serve error contract: malformed input prints a diagnostic and the

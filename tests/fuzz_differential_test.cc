@@ -313,11 +313,22 @@ TEST_P(FuzzDifferential, AllConfigurationsAgree) {
   }
   for (storage::IndexKind kind :
        {storage::IndexKind::kSorted, storage::IndexKind::kBtree,
-        storage::IndexKind::kSortedArray}) {
+        storage::IndexKind::kSortedArray, storage::IndexKind::kLearned}) {
     core::EngineConfig config;
     config.index_kind = kind;
     EXPECT_EQ(Evaluate(seed, config), reference)
         << storage::IndexKindName(kind) << " index";
+  }
+  {
+    // Self-tuning: the adaptive policy may re-kind columns between
+    // epochs; answers must not move. The evidence gate is dropped so
+    // these tiny programs can actually trigger migrations.
+    core::EngineConfig config;
+    config.adaptive_indexes = true;
+    config.adaptive.min_probes = 1;
+    config.adaptive.hysteresis_epochs = 1;
+    config.adaptive.cooldown_epochs = 0;
+    EXPECT_EQ(Evaluate(seed, config), reference) << "adaptive";
   }
   {
     core::EngineConfig config;
@@ -358,7 +369,7 @@ TEST_P(FuzzDifferential, AllConfigurationsAgree) {
          {ir::EngineStyle::kPush, ir::EngineStyle::kPull}) {
       for (storage::IndexKind kind :
            {storage::IndexKind::kHash, storage::IndexKind::kBtree,
-            storage::IndexKind::kSortedArray}) {
+            storage::IndexKind::kSortedArray, storage::IndexKind::kLearned}) {
         core::EngineConfig config;
         config.num_threads = threads;
         config.parallel_min_outer_rows = 1;
@@ -415,6 +426,18 @@ TEST_P(FuzzDifferential, IncrementalMatchesBatch) {
     config.aot.use_fact_cardinalities = fact_cards;
     EXPECT_EQ(EvaluateIncremental(seed, config, 3), reference)
         << (fact_cards ? "aot facts" : "aot rules-only") << " incremental";
+  }
+  // Adaptive re-kinding across incremental epochs: every Update() closes
+  // an epoch the policy observes, so migrations interleave with delta
+  // propagation. Results must land on the one-shot model regardless.
+  {
+    core::EngineConfig config;
+    config.adaptive_indexes = true;
+    config.adaptive.min_probes = 1;
+    config.adaptive.hysteresis_epochs = 1;
+    config.adaptive.cooldown_epochs = 0;
+    EXPECT_EQ(EvaluateIncremental(seed, config, 4), reference)
+        << "adaptive incremental";
   }
 }
 

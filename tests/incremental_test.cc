@@ -56,7 +56,8 @@ std::string ReadGolden(const std::string& name) {
 
 // ---- tc pinned to the committed golden, across engines and threads ----
 
-void CheckTcIncremental(const core::EngineConfig& config, size_t num_batches) {
+void CheckTcIncremental(const core::EngineConfig& config, size_t num_batches,
+                        size_t* rekind_events = nullptr) {
   const auto edges = analysis::GenerateSparseGraph(
       /*seed=*/11, /*num_vertices=*/300, /*num_edges=*/900, /*zipf_s=*/1.1);
   // Initial load: all but the last ~1% per extra batch.
@@ -86,6 +87,10 @@ void CheckTcIncremental(const core::EngineConfig& config, size_t num_batches) {
     EXPECT_GE(report.seeded_rows, batch.size());
   }
   EXPECT_EQ(Render(engine.Results(w.output)), ReadGolden("tc"));
+  if (rekind_events != nullptr) {
+    ASSERT_NE(engine.adaptive_policy(), nullptr);
+    *rekind_events = engine.adaptive_policy()->events().size();
+  }
 }
 
 TEST(IncrementalGoldenTest, TcPushEngine) {
@@ -114,9 +119,57 @@ TEST(IncrementalGoldenTest, TcJitBytecode) {
   CheckTcIncremental(config, 3);
 }
 
+// ---- Self-tuning: adaptive re-kinding must not move a golden byte ----
+
+TEST(IncrementalGoldenTest, TcAdaptiveRekindsAndStaysGolden) {
+  // Start every index on a deliberately wrong static kind for this
+  // point-probe-dominated workload (btree) with the policy armed hot
+  // (no evidence gate, immediate hysteresis): migrations MUST fire
+  // across the multi-epoch run, and the output must stay byte-identical
+  // to the committed golden through every rebuild.
+  core::EngineConfig config;
+  config.index_kind = storage::IndexKind::kBtree;
+  config.adaptive_indexes = true;
+  config.adaptive.min_probes = 1;
+  config.adaptive.hysteresis_epochs = 1;
+  config.adaptive.cooldown_epochs = 0;
+  size_t rekinds = 0;
+  CheckTcIncremental(config, 6, &rekinds);
+  EXPECT_GT(rekinds, 0u);
+}
+
+TEST(IncrementalGoldenTest, TcAdaptiveParallelStaysGolden) {
+  // Same, across the shard/stage/merge path: per-shard profilers merge
+  // at the same serial point as staged rows, so the policy sees the same
+  // evidence and the golden must not move at any thread count.
+  for (int threads : {2, 4}) {
+    core::EngineConfig config;
+    config.index_kind = storage::IndexKind::kBtree;
+    config.adaptive_indexes = true;
+    config.adaptive.min_probes = 1;
+    config.adaptive.hysteresis_epochs = 1;
+    config.adaptive.cooldown_epochs = 0;
+    config.num_threads = threads;
+    config.parallel_min_outer_rows = 1;
+    size_t rekinds = 0;
+    CheckTcIncremental(config, 6, &rekinds);
+    EXPECT_GT(rekinds, 0u) << threads << " threads";
+  }
+}
+
+TEST(IncrementalGoldenTest, TcAdaptiveDefaultKnobsStayGolden) {
+  // Production knobs (256-probe gate, 2-epoch hysteresis + cooldown):
+  // whether or not any migration clears the gate on this small workload,
+  // the run must stay golden.
+  core::EngineConfig config;
+  config.adaptive_indexes = true;
+  CheckTcIncremental(config, 4);
+}
+
 // ---- Andersen pinned to the committed golden ----
 
-TEST(IncrementalGoldenTest, Andersen) {
+void CheckAndersenGolden(const core::EngineConfig& config,
+                         size_t* rekind_events = nullptr) {
   analysis::SListConfig slist;
   slist.scale = 2;
   analysis::Workload w =
@@ -142,7 +195,7 @@ TEST(IncrementalGoldenTest, Andersen) {
     db.ClearFacts(id);
   }
 
-  core::Engine engine(w.program.get(), core::EngineConfig{});
+  core::Engine engine(w.program.get(), config);
   for (storage::RelationId id = 0; id < db.NumRelations(); ++id) {
     CARAC_CHECK_OK(engine.AddFacts(id, initial[id]));
   }
@@ -158,6 +211,29 @@ TEST(IncrementalGoldenTest, Andersen) {
   CARAC_CHECK_OK(engine.Update(&report));
   EXPECT_FALSE(report.full);
   EXPECT_EQ(Render(engine.Results(w.output)), ReadGolden("andersen"));
+  if (rekind_events != nullptr) {
+    ASSERT_NE(engine.adaptive_policy(), nullptr);
+    *rekind_events = engine.adaptive_policy()->events().size();
+  }
+}
+
+TEST(IncrementalGoldenTest, Andersen) {
+  CheckAndersenGolden(core::EngineConfig{});
+}
+
+TEST(IncrementalGoldenTest, AndersenAdaptiveRekindsAndStaysGolden) {
+  // Multi-relation, multi-column program under a hot adaptive policy
+  // starting from the wrong static kind: re-kinds must fire and the
+  // golden must not move.
+  core::EngineConfig config;
+  config.index_kind = storage::IndexKind::kBtree;
+  config.adaptive_indexes = true;
+  config.adaptive.min_probes = 1;
+  config.adaptive.hysteresis_epochs = 1;
+  config.adaptive.cooldown_epochs = 0;
+  size_t rekinds = 0;
+  CheckAndersenGolden(config, &rekinds);
+  EXPECT_GT(rekinds, 0u);
 }
 
 // ---- Non-monotone fallbacks: negation and aggregates retract ----

@@ -13,9 +13,11 @@ namespace carac::storage {
 namespace {
 
 constexpr IndexKind kAllKinds[] = {IndexKind::kHash, IndexKind::kSorted,
-                                   IndexKind::kBtree, IndexKind::kSortedArray};
+                                   IndexKind::kBtree, IndexKind::kSortedArray,
+                                   IndexKind::kLearned};
 constexpr IndexKind kOrderedKinds[] = {IndexKind::kSorted, IndexKind::kBtree,
-                                       IndexKind::kSortedArray};
+                                       IndexKind::kSortedArray,
+                                       IndexKind::kLearned};
 
 std::vector<RowId> Collect(const RowCursor& cursor) {
   std::vector<RowId> out;
@@ -283,6 +285,7 @@ TEST(DatabaseIndexKindTest, DefaultKindAppliesToAllStores) {
   EXPECT_STREQ(IndexKindName(IndexKind::kHash), "hash");
   EXPECT_STREQ(IndexKindName(IndexKind::kBtree), "btree");
   EXPECT_STREQ(IndexKindName(IndexKind::kSortedArray), "sorted-array");
+  EXPECT_STREQ(IndexKindName(IndexKind::kLearned), "learned");
 }
 
 TEST(DatabaseIndexKindTest, PerColumnOverrideBeatsDefault) {
@@ -313,6 +316,7 @@ TEST(EngineIndexKindTest, EveryKindProducesSameResults) {
   EXPECT_EQ(want, run(IndexKind::kSorted));
   EXPECT_EQ(want, run(IndexKind::kBtree));
   EXPECT_EQ(want, run(IndexKind::kSortedArray));
+  EXPECT_EQ(want, run(IndexKind::kLearned));
 }
 
 TEST(EngineIndexKindTest, OrderedKindsWorkUnderJit) {
@@ -331,6 +335,94 @@ TEST(EngineIndexKindTest, OrderedKindsWorkUnderJit) {
   const auto want = run(IndexKind::kHash);
   EXPECT_EQ(want, run(IndexKind::kBtree));
   EXPECT_EQ(want, run(IndexKind::kSortedArray));
+  EXPECT_EQ(want, run(IndexKind::kLearned));
+}
+
+TEST(LearnedIndexTest, PredictionStaysWithinEpsilonOnTrainedKeys) {
+  // The fit uses a shrinking-cone bound strictly inside the probe window,
+  // so for every key in the stable prefix the predicted position must
+  // land within kEpsilon of the key's first actual position — that is
+  // what makes the windowed search exact (never a correctness issue: the
+  // bracket check falls back to full binary search, but trained keys
+  // must not need the fallback).
+  LearnedIndex index(0);
+  std::vector<Value> keys;
+  Value key = 0;
+  for (RowId row = 0; row < 20000; ++row) {
+    // Piecewise key distribution: dense runs, then jumps — forces
+    // multiple segments.
+    key += 1 + (row % 997 == 0 ? 5000 : (row % 7 == 0 ? 13 : 0));
+    keys.push_back(key);
+    index.AddFast(row, key);
+  }
+  index.Stabilize(20000);
+  EXPECT_GE(index.NumSegments(), 2u);
+  for (size_t i = 0; i < keys.size(); i += 11) {
+    size_t predicted = 0;
+    ASSERT_TRUE(index.PredictPosition(keys[i], &predicted)) << keys[i];
+    const size_t actual = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), keys[i]) - keys.begin());
+    const size_t err =
+        predicted > actual ? predicted - actual : actual - predicted;
+    EXPECT_LE(err, LearnedIndex::kEpsilon) << "key " << keys[i];
+  }
+}
+
+TEST(LearnedIndexTest, DuplicateHeavyKeysMatchSortedReference) {
+  // 50 distinct keys, 400 rows each: the model trains on (distinct key,
+  // first position) and the probe must recover the full duplicate run.
+  std::unique_ptr<IndexBase> learned = MakeIndex(0, IndexKind::kLearned);
+  std::unique_ptr<IndexBase> reference = MakeIndex(0, IndexKind::kSorted);
+  for (RowId row = 0; row < 20000; ++row) {
+    const Value key = (static_cast<Value>(row) * 2654435761u) % 50;
+    learned->Add(row, key);
+    reference->Add(row, key);
+  }
+  learned->Stabilize(20000);
+  for (Value key = -1; key <= 50; ++key) {
+    EXPECT_EQ(Collect(learned->Probe(key)), Collect(reference->Probe(key)))
+        << "key " << key;
+  }
+}
+
+TEST(LearnedIndexTest, PrefixTailSplitAndUntrainedKeysFallBack) {
+  std::unique_ptr<IndexBase> learned = MakeIndex(0, IndexKind::kLearned);
+  std::unique_ptr<IndexBase> reference = MakeIndex(0, IndexKind::kSorted);
+  for (RowId row = 0; row < 3000; ++row) {
+    const Value key = (static_cast<Value>(row) * 37) % 500;
+    learned->Add(row, key);
+    reference->Add(row, key);
+  }
+  learned->Stabilize(2000);  // Rows 2000..2999 stay in the mutable tail.
+  for (Value key = -3; key <= 502; ++key) {
+    EXPECT_EQ(Collect(learned->Probe(key)), Collect(reference->Probe(key)))
+        << "key " << key;
+    std::vector<RowId> got, want;
+    ASSERT_TRUE(learned->ProbeRange(key, key + 7, &got).ok());
+    ASSERT_TRUE(reference->ProbeRange(key, key + 7, &want).ok());
+    EXPECT_EQ(got, want) << "range from " << key;
+  }
+}
+
+TEST(LearnedIndexTest, StabilizeRefitsTheModel) {
+  LearnedIndex index(0);
+  for (RowId row = 0; row < 1000; ++row) index.AddFast(row, row * 2);
+  index.Stabilize(1000);
+  size_t predicted = 0;
+  EXPECT_TRUE(index.PredictPosition(1998, &predicted));
+  // Keys beyond the trained range are out of model: probes must still
+  // answer (via the tail / fallback), prediction must refuse.
+  EXPECT_FALSE(index.PredictPosition(5000, &predicted));
+  for (RowId row = 1000; row < 2000; ++row) index.AddFast(row, 3000 + row);
+  EXPECT_EQ(index.Probe(4500).size(), 1u);  // Tail probe before refit.
+  index.Stabilize(2000);
+  // The refit model now covers the merged key space.
+  EXPECT_TRUE(index.PredictPosition(4999, &predicted));
+  EXPECT_EQ(index.Probe(4500).size(), 1u);
+  EXPECT_EQ(index.Probe(1998).size(), 1u);
+  // A no-op Stabilize (same limit) keeps the model intact.
+  index.Stabilize(2000);
+  EXPECT_TRUE(index.PredictPosition(4999, &predicted));
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include "core/engine.h"
 #include "datalog/dsl.h"
 #include "storage/index.h"
+#include "storage/relation.h"
 #include "storage/staging_buffer.h"
 #include "util/rng.h"
 
@@ -331,12 +332,13 @@ TEST(HashTableProperty, StagingBufferMatchesSetModel) {
   }
 }
 
-// ---- Index oracle (storage/index.h, all four organizations) ----
+// ---- Index oracle (storage/index.h, all five organizations) ----
 //
 // Every IndexKind must agree with a std::multimap<key, row> model under
 // interleaved Add/Probe/ProbeRange/BatchProbe, with Stabilize() calls
-// thrown in at random quiescent points (kSortedArray migrates tail rows
-// into its immutable prefix there; the others must treat it as a no-op).
+// thrown in at random quiescent points (kSortedArray and kLearned migrate
+// tail rows into their immutable prefix there — kLearned also refits its
+// model; the others must treat it as a no-op).
 // Rows enter in ascending RowId order, so for any key the model's
 // equal_range — which preserves insertion order — IS the expected
 // ascending-RowId probe result.
@@ -353,7 +355,7 @@ TEST(IndexOracleProperty, EveryKindMatchesMultimapModel) {
   using storage::Value;
   for (IndexKind kind :
        {IndexKind::kHash, IndexKind::kSorted, IndexKind::kBtree,
-        IndexKind::kSortedArray}) {
+        IndexKind::kSortedArray, IndexKind::kLearned}) {
     for (uint64_t seed = 41; seed <= 46; ++seed) {
       util::Rng rng(seed);
       std::unique_ptr<storage::IndexBase> index = storage::MakeIndex(0, kind);
@@ -447,6 +449,104 @@ TEST(IndexOracleProperty, EveryKindMatchesMultimapModel) {
   }
 }
 
+TEST(IndexOracleProperty, MidStreamRekindingMatchesMultimapModel) {
+  // Self-tuning indexes re-kind columns between epochs. The oracle:
+  // random RedeclareIndex calls interleaved with inserts, watermark
+  // advances and every probe flavour must be invisible to results — the
+  // rebuilt index answers exactly like the multimap model, whatever
+  // sequence of organizations the column has been through.
+  using storage::DbKind;
+  using storage::IndexKind;
+  using storage::RowId;
+  using storage::Value;
+  constexpr IndexKind kKinds[] = {IndexKind::kHash, IndexKind::kSorted,
+                                  IndexKind::kBtree, IndexKind::kSortedArray,
+                                  IndexKind::kLearned};
+  for (uint64_t seed = 71; seed <= 76; ++seed) {
+    util::Rng rng(seed);
+    storage::Relation rel("R", 2);
+    rel.DeclareIndex(0, kKinds[seed % 5]);
+    std::multimap<Value, RowId> model;
+    RowId next_row = 0;
+    auto model_probe = [&](Value key) {
+      std::vector<RowId> rows;
+      auto [lo, hi] = model.equal_range(key);
+      for (auto it = lo; it != hi; ++it) rows.push_back(it->second);
+      return rows;
+    };
+    auto random_key = [&]() {
+      return static_cast<Value>(rng.NextBounded(50)) - 25;
+    };
+    for (int i = 0; i < 2500; ++i) {
+      switch (rng.NextBounded(8)) {
+        case 0:
+        case 1:
+        case 2: {
+          const Value key = random_key();
+          rel.Insert({key, static_cast<Value>(i)});
+          model.emplace(key, next_row);
+          ++next_row;
+          break;
+        }
+        case 3: {
+          const Value key = random_key();
+          ASSERT_EQ(CursorRows(rel.Probe(0, key)), model_probe(key))
+              << "seed " << seed << " op " << i;
+          break;
+        }
+        case 4: {
+          const Value lo = random_key();
+          const Value hi = lo + static_cast<Value>(rng.NextBounded(9));
+          std::vector<RowId> got;
+          const util::Status status = rel.ProbeRange(0, lo, hi, &got);
+          if (rel.IndexKindOf(0) == IndexKind::kHash) {
+            ASSERT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+            break;
+          }
+          ASSERT_TRUE(status.ok());
+          std::vector<RowId> want;
+          for (auto it = model.lower_bound(lo);
+               it != model.end() && it->first <= hi; ++it) {
+            want.push_back(it->second);
+          }
+          ASSERT_EQ(got, want) << "seed " << seed << " range [" << lo
+                               << ", " << hi << "]";
+          break;
+        }
+        case 5: {
+          Value keys[12];
+          const size_t n = 1 + rng.NextBounded(12);
+          for (size_t k = 0; k < n; ++k) {
+            keys[k] =
+                (k > 0 && rng.NextBool(0.5)) ? keys[k - 1] : random_key();
+          }
+          storage::RowCursor cursors[12];
+          rel.BatchProbe(0, keys, n, cursors);
+          for (size_t k = 0; k < n; ++k) {
+            ASSERT_EQ(CursorRows(cursors[k]), model_probe(keys[k]))
+                << "seed " << seed << " batch slot " << k;
+          }
+          break;
+        }
+        case 6:
+          // Epoch close: watermark advance stabilizes every index.
+          rel.AdvanceWatermark();
+          break;
+        case 7:
+          // The adaptive policy's move, at a random quiescent point —
+          // possibly a no-op re-kind to the current organization.
+          rel.RedeclareIndex(0, kKinds[rng.NextBounded(5)]);
+          break;
+      }
+    }
+    rel.AdvanceWatermark();
+    for (Value key = -26; key <= 26; ++key) {
+      ASSERT_EQ(CursorRows(rel.Probe(0, key)), model_probe(key))
+          << "seed " << seed << " final sweep";
+    }
+  }
+}
+
 TEST(IndexOracleProperty, GrowthBoundaryWalkEveryKind) {
   // Dense sequential inserts walk the B-tree across every node-split
   // boundary (fanout 32) and the sorted array across repeated
@@ -456,7 +556,7 @@ TEST(IndexOracleProperty, GrowthBoundaryWalkEveryKind) {
   using storage::RowId;
   for (IndexKind kind :
        {IndexKind::kHash, IndexKind::kSorted, IndexKind::kBtree,
-        IndexKind::kSortedArray}) {
+        IndexKind::kSortedArray, IndexKind::kLearned}) {
     std::unique_ptr<storage::IndexBase> index = storage::MakeIndex(0, kind);
     for (RowId row = 0; row < 400; ++row) {
       index->Add(row, static_cast<storage::Value>(row));

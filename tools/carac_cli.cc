@@ -17,11 +17,15 @@
 //   --async                compile on the compiler thread
 //   --snippet              snippet compilation (default: full)
 //   --no-indexes           disable hash indexes
-//   --index-kind=K         hash | sorted | btree | sorted-array | auto
-//                          index organization for every declared index
-//                          (default auto: hash for point-probed columns,
-//                          statistics pick an ordered kind for
+//   --index-kind=K         hash | sorted | btree | sorted-array | learned
+//                          | auto — index organization for every declared
+//                          index (default auto: hash for point-probed
+//                          columns, statistics pick an ordered kind for
 //                          range-only columns)
+//   --adaptive-indexes     self-tuning indexes: profile each indexed
+//                          column's runtime access mix and migrate its
+//                          organization at epoch close when the evidence
+//                          says another kind wins (results unchanged)
 //   --probe-batch-window=N outer rows per batched index probe
 //                          (default 64; 0 = tuple-at-a-time probes)
 //   --pull                 pull-based relational engine (default: push)
@@ -49,6 +53,8 @@
 //                                epoch report
 //   count <Relation>             print the relation's derived row count
 //   dump <Relation>              print the relation's sorted rows (TSV)
+//   stats                        print per-column index kinds, probe
+//                                counters and adaptive re-kind events
 //   save                         checkpoint durable state now
 //                                (requires --snapshot-dir)
 //   open                         recover durable state: load the snapshot
@@ -119,12 +125,14 @@ int Usage() {
                "       carac list\n"
                "options include --threads=N and --parallel-min-outer-rows=N\n"
                "(evaluation threads / parallel dispatch threshold),\n"
-               "--index-kind={hash,sorted,btree,sorted-array,auto} and\n"
+               "--index-kind={%s,auto} and\n"
                "--probe-batch-window=N (index organization / batched\n"
-               "probe window) and\n"
+               "probe window), --adaptive-indexes (self-tuning index\n"
+               "organization) and\n"
                "--snapshot-dir=DIR / --checkpoint-every=N (durable state:\n"
                "serve gains save/open commands and crash recovery);\n"
-               "see the header of tools/carac_cli.cc for the full list\n");
+               "see the header of tools/carac_cli.cc for the full list\n",
+               storage::IndexKindNameList().c_str());
   return 2;
 }
 
@@ -191,6 +199,8 @@ bool ParseFlag(const std::string& arg, Options* opts) {
         opts->probe_batch_window > std::numeric_limits<uint32_t>::max()) {
       opts->probe_batch_window = -1;
     }
+  } else if (arg == "--adaptive-indexes") {
+    opts->config.adaptive_indexes = true;
   } else if (arg == "--pull") {
     opts->config.engine_style = ir::EngineStyle::kPull;
   } else if (arg == "--aot" || arg == "--aot=facts") {
@@ -354,7 +364,7 @@ int RunServe(const Options& opts) {
     // user who thinks update takes a relation, not a no-op.
     std::string extra;
     if (command == "quit" || command == "update" || command == "save" ||
-        command == "open") {
+        command == "open" || command == "stats") {
       if (tokens >> extra) {
         std::fprintf(stderr,
                      "serve: %s takes no arguments (got \"%s\")\n",
@@ -377,6 +387,47 @@ int RunServe(const Options& opts) {
       }
       std::printf("%s in %s s\n", report.ToString().c_str(),
                   harness::FormatSeconds(seconds).c_str());
+      continue;
+    }
+
+    if (command == "stats") {
+      // Self-tuning surface: what each indexed column is organized as
+      // right now, what traffic the evaluators actually sent it, and
+      // which migrations the adaptive policy performed to get here.
+      const storage::DatabaseSet& db = program->db();
+      for (datalog::PredicateId id = 0; id < program->NumPredicates(); ++id) {
+        const storage::Relation& rel =
+            db.Get(id, storage::DbKind::kDerived);
+        for (size_t i = 0; i < rel.NumIndexes(); ++i) {
+          const storage::IndexBase& index = rel.IndexAt(i);
+          std::printf("index %s col%zu %s\n",
+                      program->PredicateName(id).c_str(), index.column(),
+                      storage::IndexKindName(index.kind()));
+        }
+      }
+      for (const auto& [key, counters] : engine.profiler().counters()) {
+        std::printf("probes %s col%u points=%llu hits=%llu ranges=%llu "
+                    "batch-windows=%llu\n",
+                    program->PredicateName(key.first).c_str(), key.second,
+                    static_cast<unsigned long long>(counters.point_probes),
+                    static_cast<unsigned long long>(counters.point_hits),
+                    static_cast<unsigned long long>(counters.range_probes),
+                    static_cast<unsigned long long>(counters.batch_windows));
+      }
+      if (engine.adaptive_policy() == nullptr) {
+        std::printf("adaptive off\n");
+      } else {
+        for (const optimizer::RekindEvent& event :
+             engine.adaptive_policy()->events()) {
+          std::printf("rekind epoch=%llu %s col%u %s->%s\n",
+                      static_cast<unsigned long long>(event.epoch),
+                      program->PredicateName(event.relation).c_str(),
+                      event.column, storage::IndexKindName(event.from),
+                      storage::IndexKindName(event.to));
+        }
+        std::printf("rekind-events %zu\n",
+                    engine.adaptive_policy()->events().size());
+      }
       continue;
     }
 
@@ -530,9 +581,9 @@ int main(int argc, char** argv) {
   }
   if (opts.index_kind_invalid) {
     std::fprintf(stderr,
-                 "invalid --index-kind=%s: expected hash, sorted, btree, "
-                 "sorted-array or auto\n",
-                 opts.index_kind_arg.c_str());
+                 "invalid --index-kind=%s: expected one of %s, or auto\n",
+                 opts.index_kind_arg.c_str(),
+                 storage::IndexKindNameList().c_str());
     return 2;
   }
   if (opts.probe_batch_window < 0) {
