@@ -70,6 +70,9 @@ util::Status Engine::Prepare() {
         std::make_unique<optimizer::AdaptiveIndexPolicy>(config_.adaptive);
   }
   prepared_ = true;
+  // Baseline view: epoch 0, every relation pinned at watermark 0 (no
+  // epoch has closed, so snapshot readers correctly see nothing yet).
+  PublishReadView();
   return util::Status::Ok();
 }
 
@@ -89,6 +92,7 @@ util::Status Engine::Run() {
   if (adaptive_policy_ != nullptr && status.ok()) {
     adaptive_policy_->ObserveEpoch(&program_->db(), ctx_->profiler());
   }
+  if (status.ok()) PublishReadView();
   // The epoch closed (AdvanceEpoch ran) even when an async JIT error is
   // being surfaced — evaluation itself kept interpreting — so the log
   // commit must not be skipped or the log would fall out of step with
@@ -151,6 +155,7 @@ util::Status Engine::Update(EpochReport* report) {
   if (adaptive_policy_ != nullptr && status.ok()) {
     adaptive_policy_->ObserveEpoch(&program_->db(), ctx_->profiler());
   }
+  if (status.ok()) PublishReadView();
   if (report != nullptr) *report = last_epoch_;
   if (persistence_enabled() && !replaying_) {
     util::Status commit_status = CommitEpochToLog();
@@ -419,6 +424,10 @@ util::Status Engine::Restore(RestoreInfo* info) {
   // append failure is moot.
   log_broken_ = false;
   uncommitted_batches_ = 0;
+  // OpenSnapshot replaced the symbol table wholesale (same size does not
+  // imply same contents), so the pinned decode table must be rebuilt.
+  symbol_cache_.reset();
+  PublishReadView();
   return util::Status::Ok();
 }
 
@@ -431,6 +440,75 @@ std::vector<storage::Tuple> Engine::Results(
 
 size_t Engine::ResultSize(datalog::PredicateId predicate) const {
   return program_->db().Get(predicate, storage::DbKind::kDerived).size();
+}
+
+// ---- Epoch-snapshot reads ----
+
+std::shared_ptr<const ReadView> Engine::PinReadView() const {
+  std::lock_guard<std::mutex> lock(view_mutex_);
+  return read_view_;
+}
+
+std::string Engine::FormatStats() const {
+  // Byte-identical to what `carac serve`'s stats command has always
+  // printed — cli_test pins this format, and the published ReadView
+  // freezes the same text per epoch.
+  std::string out;
+  const storage::DatabaseSet& db = program_->db();
+  for (datalog::PredicateId id = 0; id < program_->NumPredicates(); ++id) {
+    const storage::Relation& rel = db.Get(id, storage::DbKind::kDerived);
+    for (size_t i = 0; i < rel.NumIndexes(); ++i) {
+      const storage::IndexBase& index = rel.IndexAt(i);
+      out += "index " + program_->PredicateName(id) + " col" +
+             std::to_string(index.column()) + " " +
+             storage::IndexKindName(index.kind()) + "\n";
+    }
+  }
+  for (const auto& [key, counters] : ctx_->profiler().counters()) {
+    out += "probes " + program_->PredicateName(key.first) + " col" +
+           std::to_string(key.second) +
+           " points=" + std::to_string(counters.point_probes) +
+           " hits=" + std::to_string(counters.point_hits) +
+           " ranges=" + std::to_string(counters.range_probes) +
+           " batch-windows=" + std::to_string(counters.batch_windows) + "\n";
+  }
+  if (adaptive_policy_ == nullptr) {
+    out += "adaptive off\n";
+  } else {
+    for (const optimizer::RekindEvent& event : adaptive_policy_->events()) {
+      out += "rekind epoch=" + std::to_string(event.epoch) + " " +
+             program_->PredicateName(event.relation) + " col" +
+             std::to_string(event.column) + " " +
+             storage::IndexKindName(event.from) + "->" +
+             storage::IndexKindName(event.to) + "\n";
+    }
+    out += "rekind-events " +
+           std::to_string(adaptive_policy_->events().size()) + "\n";
+  }
+  return out;
+}
+
+void Engine::PublishReadView() {
+  storage::DatabaseSet& db = program_->db();
+  auto view = std::make_shared<ReadView>();
+  view->epoch = db.epoch();
+  const size_t num_relations = db.NumRelations();
+  view->relations.reserve(num_relations);
+  for (storage::RelationId id = 0; id < num_relations; ++id) {
+    view->relations.push_back(
+        db.Get(id, storage::DbKind::kDerived).PinViewAtWatermark());
+  }
+  // Interning is append-only between Restores, so a size match means the
+  // cached pinned table is still exact and can be shared across views.
+  const storage::SymbolTable& symbols = db.symbols();
+  if (symbol_cache_ == nullptr || symbol_cache_->size() != symbols.size()) {
+    symbol_cache_ =
+        std::make_shared<const std::vector<std::string>>(symbols.entries());
+  }
+  view->symbols = symbol_cache_;
+  view->stats_text = FormatStats();
+  std::lock_guard<std::mutex> lock(view_mutex_);
+  read_view_ = std::move(view);
 }
 
 }  // namespace carac::core

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "core/aot_planner.h"
 #include "core/fixpoint_driver.h"
 #include "core/jit.h"
+#include "core/read_view.h"
 #include "core/worker_pool.h"
 #include "datalog/ast.h"
 #include "ir/exec_context.h"
@@ -195,6 +197,23 @@ class Engine {
   std::vector<storage::Tuple> Results(datalog::PredicateId predicate) const;
   size_t ResultSize(datalog::PredicateId predicate) const;
 
+  // ---- Epoch-snapshot reads (the serving layer's read path) ----
+
+  /// The current published ReadView: the engine's queryable state pinned
+  /// to the last closed epoch. Safe to call from any thread, including
+  /// while a Run()/Update()/AddFacts() is in flight on the writer
+  /// thread — the returned view is immutable and stays valid for as
+  /// long as the caller holds it. Before the first epoch closes the
+  /// view is the post-Prepare() one: epoch 0, every relation empty.
+  /// Never null after a successful Prepare().
+  std::shared_ptr<const ReadView> PinReadView() const;
+
+  /// The `stats` report over the LIVE state: per-column index kinds,
+  /// cumulative probe counters and adaptive re-kind events. Single
+  /// source of the format — the published ReadView freezes this same
+  /// text at each epoch close.
+  std::string FormatStats() const;
+
  private:
   bool persistence_enabled() const { return !config_.snapshot_dir.empty(); }
   std::string SnapshotPath() const;
@@ -212,6 +231,11 @@ class Engine {
   util::Status CommitEpochToLog();
   /// Re-applies one replayed log epoch (symbols, batches, Update).
   util::Status ApplyReplayedEpoch(const storage::FactLog::ReplayEpoch& epoch);
+  /// Pins every relation at its watermark and swaps the result in as the
+  /// published ReadView. Writer-thread only, at quiescent points (end of
+  /// Prepare/Run/Update/Restore): no cursor is live and the watermarks
+  /// name exactly the closed epoch's rows.
+  void PublishReadView();
 
   datalog::Program* program_;
   EngineConfig config_;
@@ -224,6 +248,17 @@ class Engine {
   EpochReport last_epoch_;
   bool prepared_ = false;
   bool evaluated_ = false;
+  // ---- Published read snapshot (see PinReadView) ----
+  /// Guards read_view_ only. The writer swaps a fresh view in at epoch
+  /// close; readers copy the shared_ptr out. Held for pointer-copy
+  /// duration on both sides, so it is never contended for long — and the
+  /// release/acquire pair is the happens-before edge that makes the
+  /// view's pinned buffers safely visible to reader threads.
+  mutable std::mutex view_mutex_;
+  std::shared_ptr<const ReadView> read_view_;
+  /// Pinned symbol table shared across consecutive views; rebuilt only
+  /// when interning grew the table (or Restore() replaced it).
+  std::shared_ptr<const std::vector<std::string>> symbol_cache_;
   // ---- Persistence state (unused when snapshot_dir is empty) ----
   std::unique_ptr<storage::FactLog> factlog_;
   /// Symbols already covered by the snapshot/log; the suffix past this

@@ -1,0 +1,65 @@
+#ifndef CARAC_CORE_READ_VIEW_H_
+#define CARAC_CORE_READ_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/read_view.h"
+#include "storage/symbol_table.h"
+
+namespace carac::core {
+
+/// An immutable snapshot of the engine's queryable state, pinned to the
+/// last CLOSED epoch. The serving layer executes reads (count, dump,
+/// stats) against one of these instead of the live database, so a read
+/// never blocks on — and is never torn by — an in-flight load/update:
+///
+///   - `relations[p]` is a watermark-bounded cursor over predicate p's
+///     Derived store (storage::RelationReadView). The watermark at epoch
+///     close equals the row count, so the view covers exactly the facts
+///     the closed epoch derived; facts appended since sit above the
+///     bound and stay invisible until the writer publishes the next
+///     view.
+///   - `symbols` pins the interned-string table as of the same epoch.
+///     Every symbol id a pinned row can contain was interned before the
+///     epoch closed, so decode never chases the live (growing) table.
+///   - `stats_text` is the `stats` report formatted at publish time —
+///     index organizations, probe counters and re-kind events as of the
+///     epoch boundary. Counters mutate during evaluation, so snapshot
+///     reads serve the frozen text rather than racing the live ones.
+///
+/// Views are published by the single writer under Engine's view mutex
+/// and handed out as shared_ptr<const ReadView>; a reader keeps its view
+/// alive for as long as a streamed response needs it, regardless of how
+/// many epochs close meanwhile (the storage layer retires — never
+/// mutates — arena buffers that pinned views still reference).
+struct ReadView {
+  /// DatabaseSet epoch counter when the view was published (0 = no
+  /// evaluation has closed yet; all relation views are empty).
+  uint64_t epoch = 0;
+
+  /// Indexed by datalog::PredicateId; one pinned cursor per relation.
+  std::vector<storage::RelationReadView> relations;
+
+  /// Interned symbols in id order (symbol i = kSymbolBase + i), pinned.
+  /// Shared across consecutive views when no new symbol was interned.
+  std::shared_ptr<const std::vector<std::string>> symbols;
+
+  /// The `stats` command's full response as of this epoch.
+  std::string stats_text;
+
+  /// Decodes a tuple value: the pinned symbol text for symbol ids,
+  /// else the integer itself in decimal.
+  std::string DecodeValue(storage::Value value) const {
+    if (storage::SymbolTable::IsSymbol(value)) {
+      return (*symbols)[static_cast<size_t>(value - storage::kSymbolBase)];
+    }
+    return std::to_string(value);
+  }
+};
+
+}  // namespace carac::core
+
+#endif  // CARAC_CORE_READ_VIEW_H_

@@ -1,0 +1,266 @@
+#include "net/commands.h"
+
+#include <memory>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "analysis/loader.h"
+#include "core/read_view.h"
+#include "harness/table.h"
+#include "storage/read_view.h"
+#include "storage/symbol_table.h"
+#include "util/timer.h"
+
+namespace carac::net {
+
+namespace {
+
+bool FindRelation(const datalog::Program& program, const std::string& name,
+                  datalog::PredicateId* out) {
+  for (datalog::PredicateId id = 0; id < program.NumPredicates(); ++id) {
+    if (program.PredicateName(id) == name) {
+      *out = id;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Emits a multi-line report as one payload line per text line.
+void EmitTextLines(const std::string& text, ResponseWriter* writer) {
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    writer->Payload(std::string_view(text).substr(start, end - start));
+    start = end + 1;
+  }
+}
+
+/// Locks the write mutex (when serving concurrently) and fires the
+/// test-only stall hook inside the critical section.
+std::unique_lock<std::mutex> EnterWriteSection(ServeContext* ctx) {
+  std::unique_lock<std::mutex> lock;
+  if (ctx->write_mutex != nullptr) {
+    lock = std::unique_lock<std::mutex>(*ctx->write_mutex);
+  }
+  if (ctx->write_stall_for_test) ctx->write_stall_for_test();
+  return lock;
+}
+
+}  // namespace
+
+ServeOutcome ExecuteServeLine(ServeContext* ctx, std::string line,
+                              ResponseWriter* writer) {
+  core::Engine& engine = *ctx->engine;
+  StripComment(&line);
+  std::istringstream tokens(line);
+  std::string command;
+  if (!(tokens >> command)) return ServeOutcome::kSilent;
+
+  // Zero-argument commands reject trailing junk: `update Edge` is a
+  // user who thinks update takes a relation, not a no-op.
+  std::string extra;
+  if (command == "quit" || command == "update" || command == "save" ||
+      command == "open" || command == "stats") {
+    if (tokens >> extra) {
+      writer->Error("serve: " + command + " takes no arguments (got \"" +
+                    extra + "\")");
+      return ServeOutcome::kError;
+    }
+  }
+
+  if (command == "quit") return ServeOutcome::kQuit;
+
+  if (command == "update") {
+    core::EpochReport report;
+    util::Timer timer;
+    util::Status status;
+    {
+      std::unique_lock<std::mutex> lock = EnterWriteSection(ctx);
+      status = engine.Update(&report);
+    }
+    const double seconds = timer.ElapsedSeconds();
+    if (!status.ok()) {
+      writer->Error("update failed: " + status.ToString());
+      return ServeOutcome::kError;
+    }
+    // The epoch report names the GLOBAL epoch counter and the wall time,
+    // neither of which a concurrent session can predict — deterministic
+    // mode acknowledges with the bare terminator instead.
+    if (!ctx->deterministic_replies) {
+      writer->Payload(report.ToString() + " in " +
+                      harness::FormatSeconds(seconds) + " s");
+    }
+    return ServeOutcome::kOk;
+  }
+
+  if (command == "stats") {
+    // Self-tuning surface: what each indexed column is organized as,
+    // what traffic the evaluators actually sent it, and which
+    // migrations the adaptive policy performed to get here. Snapshot
+    // reads serve the text frozen at the last closed epoch; the live
+    // counters mutate during evaluation.
+    if (ctx->snapshot_reads) {
+      EmitTextLines(engine.PinReadView()->stats_text, writer);
+    } else {
+      EmitTextLines(engine.FormatStats(), writer);
+    }
+    return ServeOutcome::kOk;
+  }
+
+  if (command == "save") {
+    util::Status status;
+    {
+      std::unique_lock<std::mutex> lock = EnterWriteSection(ctx);
+      status = engine.Checkpoint();
+    }
+    if (!status.ok()) {
+      writer->Error("save failed: " + status.ToString());
+      return ServeOutcome::kError;
+    }
+    writer->Payload(
+        "checkpoint saved (epoch " +
+        std::to_string(ctx->program->db().epoch()) + ") to " +
+        ctx->snapshot_dir);
+    return ServeOutcome::kOk;
+  }
+
+  if (command == "open") {
+    core::RestoreInfo info;
+    util::Timer timer;
+    util::Status status;
+    {
+      std::unique_lock<std::mutex> lock = EnterWriteSection(ctx);
+      status = engine.Restore(&info);
+    }
+    const double seconds = timer.ElapsedSeconds();
+    if (!status.ok()) {
+      // Unlike input typos, a failed restore may leave the database
+      // partially overwritten (OpenSnapshot installs sections as they
+      // verify; replay may stop mid-log). Serving that state would be
+      // lying — this is the one serve error that ends the session (and
+      // in server mode, the server).
+      writer->Error("open failed: " + status.ToString());
+      return ServeOutcome::kFatal;
+    }
+    if (!ctx->deterministic_replies) {
+      writer->Payload(
+          std::string("restored ") +
+          (info.snapshot_loaded ? "snapshot" : "no snapshot") +
+          " (snapshot epoch " + std::to_string(info.snapshot_epoch) +
+          ") + " + std::to_string(info.epochs_replayed) + " log epoch(s)" +
+          (info.log_tail_discarded ? " (torn tail discarded)" : "") +
+          " in " + harness::FormatSeconds(seconds) + " s");
+    }
+    return ServeOutcome::kOk;
+  }
+
+  if (command == "load" || command == "count" || command == "dump") {
+    std::string rel_name;
+    if (!(tokens >> rel_name)) {
+      writer->Error("serve: " + command + " needs a relation name");
+      return ServeOutcome::kError;
+    }
+    datalog::PredicateId rel = datalog::kInvalidPredicate;
+    if (!FindRelation(*ctx->program, rel_name, &rel)) {
+      writer->Error("serve: unknown relation: " + rel_name);
+      return ServeOutcome::kError;
+    }
+
+    if (command == "load") {
+      std::string path;
+      if (!(tokens >> path)) {
+        writer->Error("serve: load needs a csv path");
+        return ServeOutcome::kError;
+      }
+      if (tokens >> extra) {
+        writer->Error("serve: load takes one csv path (got \"" + extra +
+                      "\")");
+        return ServeOutcome::kError;
+      }
+      util::Status status;
+      size_t total = 0;
+      {
+        // The whole load is a write: parsing the CSV interns symbols
+        // into the live table, and the batch must reach the durability
+        // log and the Derived store as one unit.
+        std::unique_lock<std::mutex> lock = EnterWriteSection(ctx);
+        // Through the engine, not straight into the DatabaseSet: the
+        // durability log only sees batches that cross Engine::AddFacts.
+        std::vector<storage::Tuple> facts;
+        status = analysis::ReadFactsCsv(path, ctx->program, rel, &facts);
+        if (status.ok()) status = engine.AddFacts(rel, facts);
+        if (status.ok()) {
+          total =
+              ctx->program->db().Get(rel, storage::DbKind::kDerived).size();
+        }
+      }
+      if (!status.ok()) {
+        writer->Error(status.ToString());
+        return ServeOutcome::kError;
+      }
+      writer->Payload("loaded " + path + " into " + rel_name + " (" +
+                      std::to_string(total) + " facts total)");
+      return ServeOutcome::kOk;
+    }
+
+    if (tokens >> extra) {
+      // count/dump take exactly one relation name.
+      writer->Error("serve: " + command + " takes one relation name (got \"" +
+                    extra + "\")");
+      return ServeOutcome::kError;
+    }
+
+    // The read path. Snapshot mode pins the published view (last closed
+    // epoch) — never blocked by, and never torn by, an in-flight write
+    // on another session. Live mode (stdin serve) pins the current row
+    // count of the live store: same zero-copy streaming, and byte-
+    // identical to the materializing Results() path it replaces,
+    // including facts loaded but not yet absorbed by an update.
+    std::shared_ptr<const core::ReadView> pinned;
+    storage::RelationReadView rows;
+    if (ctx->snapshot_reads) {
+      pinned = engine.PinReadView();
+      rows = pinned->relations[rel];
+    } else {
+      storage::Relation& live =
+          ctx->program->db().Get(rel, storage::DbKind::kDerived);
+      rows = live.PinView(static_cast<storage::RowId>(live.size()));
+    }
+
+    if (command == "count") {
+      writer->Payload(rel_name + ": " + std::to_string(rows.NumRows()) +
+                      " rows");
+      return ServeOutcome::kOk;
+    }
+
+    // dump: stream the sorted rows. The only allocation proportional to
+    // the relation is the RowId permutation — tuples are never copied.
+    const storage::SymbolTable& live_symbols = ctx->program->db().symbols();
+    std::string text;
+    for (const storage::RowId row : rows.SortedRowIds()) {
+      const storage::TupleView tuple = rows.View(row);
+      text.clear();
+      for (size_t i = 0; i < tuple.size(); ++i) {
+        if (i > 0) text += '\t';
+        const storage::Value value = tuple[i];
+        if (pinned != nullptr) {
+          text += pinned->DecodeValue(value);
+        } else if (storage::SymbolTable::IsSymbol(value)) {
+          text += live_symbols.Lookup(value);
+        } else {
+          text += std::to_string(value);
+        }
+      }
+      writer->Payload(text);
+    }
+    return ServeOutcome::kOk;
+  }
+
+  writer->Error("serve: unknown command: " + command);
+  return ServeOutcome::kError;
+}
+
+}  // namespace carac::net

@@ -1,0 +1,80 @@
+#ifndef CARAC_NET_COMMANDS_H_
+#define CARAC_NET_COMMANDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "core/engine.h"
+#include "datalog/ast.h"
+#include "net/framing.h"
+
+namespace carac::net {
+
+/// What executing one serve command line did — the session-control part
+/// of the response (the response text itself went through the
+/// ResponseWriter).
+enum class ServeOutcome : uint8_t {
+  /// Executed; session continues.
+  kOk,
+  /// Malformed input or a recoverable failure: a diagnostic was emitted
+  /// and the session CONTINUES — in a long-lived updatable database, a
+  /// typo must not tear down the in-memory fixpoint.
+  kError,
+  /// `quit`: end this session (the engine keeps running for others).
+  kQuit,
+  /// A failed `open`: the database may be partially overwritten, so
+  /// serving it would lie. The session — and in server mode the whole
+  /// server — must stop with an error.
+  kFatal,
+  /// Blank or comment-only line: no response at all.
+  kSilent,
+};
+
+/// Everything one serve command needs, plus the switches that
+/// distinguish the stdin session from the concurrent socket server.
+struct ServeContext {
+  datalog::Program* program = nullptr;
+  core::Engine* engine = nullptr;
+  /// For `save`'s response text (EngineConfig::snapshot_dir).
+  std::string snapshot_dir;
+
+  /// Reads (count/dump/stats) execute against Engine::PinReadView() —
+  /// the last CLOSED epoch — instead of the live stores. This is what
+  /// lets the server answer reads while a load/update is in flight on
+  /// another session. The stdin session keeps live reads (false): with
+  /// one client there is nothing to race, and `dump` right after `load`
+  /// has always shown the not-yet-updated facts.
+  bool snapshot_reads = false;
+
+  /// Suppresses the wall-clock-bearing payloads (`update`'s epoch report
+  /// line, `open`'s restore summary) so every response is a pure
+  /// function of the session's request stream — the property the
+  /// multi-client determinism test pins byte-for-byte.
+  bool deterministic_replies = false;
+
+  /// When set, write commands (load/update/save/open) serialize through
+  /// this mutex: sessions are pinned to different worker threads, but
+  /// the engine has a single-writer epoch pipeline. Readers never take
+  /// it — that is the point of snapshot_reads.
+  std::mutex* write_mutex = nullptr;
+
+  /// Test-only: invoked inside the write critical section, before the
+  /// engine runs the epoch. The concurrency test parks a write here and
+  /// proves reads still complete — deterministic, no timing games.
+  std::function<void()> write_stall_for_test;
+};
+
+/// Executes one protocol line against the engine, emitting the response
+/// through `writer`. Comment stripping (see StripComment) happens here,
+/// so every transport gets identical parsing. Thread contract: any
+/// number of threads may call this concurrently for DIFFERENT sessions
+/// when ctx->write_mutex is set and ctx->snapshot_reads is on;
+/// single-threaded use needs neither.
+ServeOutcome ExecuteServeLine(ServeContext* ctx, std::string line,
+                              ResponseWriter* writer);
+
+}  // namespace carac::net
+
+#endif  // CARAC_NET_COMMANDS_H_

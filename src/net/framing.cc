@@ -1,0 +1,58 @@
+#include "net/framing.h"
+
+#include <cstdio>
+
+namespace carac::net {
+
+void StripComment(std::string* line) {
+  for (size_t i = 0; i < line->size(); ++i) {
+    if ((*line)[i] != '#') continue;
+    if (i == 0 || (*line)[i - 1] == ' ' || (*line)[i - 1] == '\t') {
+      line->resize(i);
+      return;
+    }
+  }
+}
+
+bool LineBuffer::NextLine(std::string* out) {
+  const size_t pos = pending_.find('\n');
+  if (pos == std::string::npos) return false;
+  out->assign(pending_, 0, pos);
+  if (!out->empty() && out->back() == '\r') out->pop_back();
+  pending_.erase(0, pos + 1);
+  return true;
+}
+
+void StdioWriter::Payload(std::string_view line) {
+  std::fwrite(line.data(), 1, line.size(), stdout);
+  std::fputc('\n', stdout);
+}
+
+void StdioWriter::Error(std::string_view message) {
+  std::fwrite(message.data(), 1, message.size(), stderr);
+  std::fputc('\n', stderr);
+}
+
+void WireResponse::Payload(std::string_view line) {
+  out_ += "| ";
+  out_ += line;
+  out_ += '\n';
+}
+
+void WireResponse::Error(std::string_view message) {
+  error_.assign(message);
+  has_error_ = true;
+}
+
+std::string WireResponse::Finish() && {
+  if (has_error_) {
+    out_ += "err ";
+    out_ += error_;
+  } else {
+    out_ += "ok";
+  }
+  out_ += '\n';
+  return std::move(out_);
+}
+
+}  // namespace carac::net

@@ -1,0 +1,28 @@
+#include "net/injector_queue.h"
+
+namespace carac::net {
+
+void InjectorQueue::PushBatch(std::vector<ServerRequest> batch) {
+  if (batch.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (ServerRequest& request : batch) {
+      queue_.push_back(std::move(request));
+    }
+  }
+  ready_.notify_one();
+}
+
+size_t InjectorQueue::PopBatch(std::vector<ServerRequest>* out, size_t max) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_.wait(lock, [this] { return !queue_.empty(); });
+  size_t popped = 0;
+  while (popped < max && !queue_.empty()) {
+    out->push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    ++popped;
+  }
+  return popped;
+}
+
+}  // namespace carac::net

@@ -1,0 +1,102 @@
+#include "net/listener.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace carac::net {
+
+namespace {
+
+util::Status Errno(const std::string& what) {
+  return util::Status::Internal(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+util::Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return util::Status::Ok();
+}
+
+util::Status ListenUnix(const std::string& path, int* fd_out) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return util::Status::InvalidArgument(
+        "unix socket path too long (" + std::to_string(path.size()) +
+        " bytes, max " + std::to_string(sizeof(addr.sun_path) - 1) + "): " +
+        path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_UNIX)");
+  ::unlink(path.c_str());
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const util::Status status = Errno("bind(" + path + ")");
+    ::close(fd);
+    return status;
+  }
+  if (listen(fd, SOMAXCONN) < 0) {
+    const util::Status status = Errno("listen(" + path + ")");
+    ::close(fd);
+    return status;
+  }
+  const util::Status status = SetNonBlocking(fd);
+  if (!status.ok()) {
+    ::close(fd);
+    return status;
+  }
+  *fd_out = fd;
+  return util::Status::Ok();
+}
+
+util::Status ListenTcp(int port, int* fd_out, int* resolved_port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  // Skip TIME_WAIT squatting across quick restarts (tests restart the
+  // server on the same port within seconds).
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const util::Status status =
+        Errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+    ::close(fd);
+    return status;
+  }
+  if (listen(fd, SOMAXCONN) < 0) {
+    const util::Status status = Errno("listen");
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const util::Status status = Errno("getsockname");
+    ::close(fd);
+    return status;
+  }
+  const util::Status status = SetNonBlocking(fd);
+  if (!status.ok()) {
+    ::close(fd);
+    return status;
+  }
+  *fd_out = fd;
+  *resolved_port = ntohs(bound.sin_port);
+  return util::Status::Ok();
+}
+
+}  // namespace carac::net

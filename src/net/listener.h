@@ -1,0 +1,30 @@
+#ifndef CARAC_NET_LISTENER_H_
+#define CARAC_NET_LISTENER_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace carac::net {
+
+/// Binds and listens on a Unix-domain stream socket at `path`. A stale
+/// socket file from a previous run is unlinked first (the standard
+/// daemon idiom — bind() refuses an existing path). On success `*fd_out`
+/// is the nonblocking listening fd.
+util::Status ListenUnix(const std::string& path, int* fd_out);
+
+/// Binds and listens on 127.0.0.1:`port` (0 = kernel-assigned ephemeral
+/// port). On success `*fd_out` is the nonblocking listening fd and
+/// `*resolved_port` the actual port — callers print it so clients of an
+/// ephemeral-port server know where to connect. Loopback only: the
+/// serve protocol has no authentication, so it must not be reachable
+/// from other hosts.
+util::Status ListenTcp(int port, int* fd_out, int* resolved_port);
+
+/// Puts any fd into nonblocking mode (accepted connections inherit
+/// blocking mode on Linux, so every accept gets one of these).
+util::Status SetNonBlocking(int fd);
+
+}  // namespace carac::net
+
+#endif  // CARAC_NET_LISTENER_H_

@@ -1,0 +1,25 @@
+#include "storage/read_view.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace carac::storage {
+
+std::vector<RowId> RelationReadView::SortedRowIds() const {
+  std::vector<RowId> ids(num_rows_);
+  std::iota(ids.begin(), ids.end(), RowId{0});
+  const Value* data = data_;
+  const size_t arity = arity_;
+  // Lexicographic row compare — identical to sorting materialized Tuples
+  // (std::vector<Value> comparison), which is what keeps a streamed dump
+  // byte-identical to the old SortedRows() path. Set semantics means no
+  // two rows compare equal, so the order is total and deterministic.
+  std::sort(ids.begin(), ids.end(), [data, arity](RowId a, RowId b) {
+    const Value* pa = data + static_cast<size_t>(a) * arity;
+    const Value* pb = data + static_cast<size_t>(b) * arity;
+    return std::lexicographical_compare(pa, pa + arity, pb, pb + arity);
+  });
+  return ids;
+}
+
+}  // namespace carac::storage

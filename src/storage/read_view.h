@@ -1,0 +1,63 @@
+#ifndef CARAC_STORAGE_READ_VIEW_H_
+#define CARAC_STORAGE_READ_VIEW_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace carac::storage {
+
+/// A pinned, immutable cursor over one relation's first `num_rows` rows —
+/// in the serving layer, the rows at or below the epoch watermark when
+/// the view was pinned (Relation::PinView). The view holds SHARED
+/// ownership of the arena buffer it points into, so it stays valid even
+/// if the live relation afterwards grows past the buffer's capacity,
+/// is cleared by a stratum recompute, or reloads a snapshot: all of
+/// those retire the old buffer to a fresh one instead of mutating the
+/// pinned rows (see Relation's copy-on-retire arena). Rows strictly
+/// above the pinned bound may share the buffer with concurrent writer
+/// appends — the view never reads them.
+///
+/// Reads are zero-copy: View() hands out TupleViews straight into the
+/// arena. The only allocation a sorted scan needs is the RowId
+/// permutation (4 bytes per row), never a materialized Tuple copy.
+class RelationReadView {
+ public:
+  /// An empty view (no rows, arity 0).
+  RelationReadView() = default;
+
+  size_t arity() const { return arity_; }
+  uint32_t NumRows() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  /// Zero-copy view of row `row` (< NumRows()); valid as long as this
+  /// RelationReadView (or any copy of it) is alive.
+  TupleView View(RowId row) const {
+    return TupleView(data_ + static_cast<size_t>(row) * arity_, arity_);
+  }
+
+  /// RowIds of the pinned rows in ascending tuple order — the same order
+  /// SortedRows() produces, without copying a single tuple. Streaming
+  /// `dump` walks this permutation and emits View(id) per row.
+  std::vector<RowId> SortedRowIds() const;
+
+ private:
+  friend class Relation;
+  RelationReadView(std::shared_ptr<const std::vector<Value>> buffer,
+                   const Value* data, uint32_t num_rows, size_t arity)
+      : buffer_(std::move(buffer)),
+        data_(data),
+        num_rows_(num_rows),
+        arity_(arity) {}
+
+  /// Keep-alive for the arena buffer `data_` points into.
+  std::shared_ptr<const std::vector<Value>> buffer_;
+  const Value* data_ = nullptr;
+  uint32_t num_rows_ = 0;
+  size_t arity_ = 0;
+};
+
+}  // namespace carac::storage
+
+#endif  // CARAC_STORAGE_READ_VIEW_H_

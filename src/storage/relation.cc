@@ -61,10 +61,44 @@ inline RowCursor IndexProbe(const IndexBase& index, Value value) {
 }  // namespace
 
 void Relation::Reserve(size_t rows) {
-  arena_.reserve(rows * arity_);
+  EnsureArenaCapacity(rows * arity_);
   // Size the table so `rows` entries stay under the 3/4 load ceiling.
   const size_t wanted = NextPowerOfTwo(rows + rows / 3 + 1, kMinSlots);
   if (wanted > slots_.size()) Rehash(wanted);
+}
+
+void Relation::EnsureArenaCapacity(size_t values) {
+  if (arena_->capacity() >= values) return;
+  // Geometric growth, like the plain vector this replaces.
+  const size_t grown = std::max(values, arena_->capacity() * 2);
+  if (!arena_shared_) {
+    arena_->reserve(grown);
+    arena_data_ = arena_->data();
+    return;
+  }
+  // Pinned views are reading this buffer: moving its contents in place
+  // would reallocate under them. Copy into a fresh buffer and retire the
+  // old one — it stays alive through the views' shared ownership.
+  auto fresh = std::make_shared<std::vector<Value>>();
+  fresh->reserve(grown);
+  fresh->assign(arena_->begin(), arena_->end());
+  AdoptArena(std::move(fresh));
+}
+
+void Relation::AdoptArena(std::shared_ptr<std::vector<Value>> fresh) {
+  arena_ = std::move(fresh);
+  arena_data_ = arena_->data();
+  arena_shared_ = false;
+}
+
+RelationReadView Relation::PinView(RowId upto) {
+  CARAC_CHECK(upto <= num_rows_);
+  // A zero-row view never dereferences the buffer, so only nonempty pins
+  // force copy-on-retire semantics onto later mutations.
+  if (upto > 0) arena_shared_ = true;
+  return RelationReadView(
+      std::shared_ptr<const std::vector<Value>>(arena_), arena_data_, upto,
+      arity_);
 }
 
 bool Relation::Insert(TupleView tuple) {
@@ -84,7 +118,10 @@ bool Relation::Insert(TupleView tuple) {
   // loudly instead of silently corrupting dedup at 2^32-1 rows.
   CARAC_CHECK(num_rows_ < kEmptySlot);
   slots_[slot] = num_rows_;
-  arena_.insert(arena_.end(), tuple.begin(), tuple.end());
+  // Capacity is ensured up front so the append itself never reallocates —
+  // rows below any pinned view's bound stay where its readers see them.
+  EnsureArenaCapacity((static_cast<size_t>(num_rows_) + 1) * arity_);
+  arena_->insert(arena_->end(), tuple.begin(), tuple.end());
   for (const std::unique_ptr<IndexBase>& index : indexes_) {
     IndexAdd(index.get(), num_rows_, tuple[index->column()]);
   }
@@ -187,7 +224,16 @@ void Relation::StabilizeIndexes() {
 void Relation::Clear() {
   num_rows_ = 0;
   watermark_ = 0;
-  arena_.clear();
+  if (arena_shared_) {
+    // Pinned views may still be walking this buffer; recycling its
+    // storage would overwrite rows under their readers. Retire it — the
+    // views' shared ownership keeps it alive — and start fresh. Delta
+    // stores are never pinned, so the evaluator's per-iteration clears
+    // keep today's capacity-preserving fast path.
+    AdoptArena(std::make_shared<std::vector<Value>>());
+  } else {
+    arena_->clear();
+  }
   std::fill(slots_.begin(), slots_.end(), kEmptySlot);
   for (const std::unique_ptr<IndexBase>& index : indexes_) index->Clear();
 }
@@ -225,7 +271,10 @@ void Relation::LoadContents(std::vector<Value> arena, uint32_t num_rows,
                             RowId watermark) {
   CARAC_CHECK(arena.size() == static_cast<size_t>(num_rows) * arity_);
   CARAC_CHECK(watermark <= num_rows);
-  arena_ = std::move(arena);
+  // Adopt the loaded arena as a fresh buffer; any pinned views keep the
+  // retired one (a snapshot open under live readers must not mutate the
+  // rows they are scanning).
+  AdoptArena(std::make_shared<std::vector<Value>>(std::move(arena)));
   num_rows_ = num_rows;
   watermark_ = watermark;
   // Rebuild the dedup table at the same load factor Reserve() targets.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "storage/index.h"
+#include "storage/read_view.h"
 #include "storage/tuple.h"
 #include "util/status.h"
 
@@ -33,10 +34,21 @@ class StagingBuffer;
 /// arena) and must not hold views across an insert into the *same*
 /// relation (arena growth may reallocate). The evaluator never does:
 /// rules read Derived/DeltaKnown and write DeltaNew.
+///
+/// The arena buffer itself is held through a shared_ptr so the serving
+/// layer can pin epoch-snapshot read views (PinView): once a buffer has
+/// been pinned, any operation that would invalidate its rows — growth
+/// past capacity, Clear, LoadContents — RETIRES the buffer (installs a
+/// fresh copy for the live relation) instead of mutating it in place.
+/// Appends within capacity keep the buffer: they only touch rows past
+/// every pinned bound. Unpinned buffers grow and clear exactly as
+/// before, so the evaluator's delta stores never pay for this.
 class Relation {
  public:
   Relation(std::string name, size_t arity)
-      : name_(std::move(name)), arity_(arity) {}
+      : name_(std::move(name)),
+        arity_(arity),
+        arena_(std::make_shared<std::vector<Value>>()) {}
 
   Relation(const Relation&) = delete;
   Relation& operator=(const Relation&) = delete;
@@ -81,7 +93,7 @@ class Relation {
 
   /// Raw row-major pointer to row `row` (arity() values).
   const Value* RowData(RowId row) const {
-    return arena_.data() + static_cast<size_t>(row) * arity_;
+    return arena_data_ + static_cast<size_t>(row) * arity_;
   }
 
   TupleView View(RowId row) const { return TupleView(RowData(row), arity_); }
@@ -137,6 +149,20 @@ class Relation {
   /// arenas never remove rows before Clear). Must only be called at
   /// quiescent points — never while probe cursors are live.
   void StabilizeIndexes();
+
+  // ---- Pinned read views (watermark-bounded cursors) ----
+
+  /// Pins a zero-copy read view over rows [0, upto) (`upto` <= NumRows;
+  /// the serving layer passes watermark() so the view is exactly the
+  /// last closed epoch). The returned view stays valid for its whole
+  /// lifetime regardless of what happens to this relation afterwards:
+  /// pinning marks the current arena buffer shared, and every later
+  /// operation that would disturb rows below `upto` retires the buffer
+  /// instead of mutating it. Must be called from the relation's writer
+  /// thread (a quiescent point); the VIEW may then be read from any
+  /// thread concurrently with further writer appends.
+  RelationReadView PinView(RowId upto);
+  RelationReadView PinViewAtWatermark() { return PinView(watermark_); }
 
   // ---- Indexes ----
 
@@ -211,7 +237,7 @@ class Relation {
   /// order). Snapshot write serializes it verbatim; that is what makes a
   /// loaded relation byte-identical to the saved one — RowIds, insertion
   /// order and hence SortedRows all survive.
-  const std::vector<Value>& arena() const { return arena_; }
+  const std::vector<Value>& arena() const { return *arena_; }
 
   /// Replaces this relation's contents with `num_rows` rows given
   /// row-major in `arena` (snapshot load). The rows must be distinct —
@@ -240,10 +266,30 @@ class Relation {
   /// every row. Indexes are untouched: they store RowIds.
   void Rehash(size_t new_slots);
 
+  /// Makes room for `values` total arena values WITHOUT reallocating the
+  /// current buffer in place: when capacity is short, the contents move
+  /// to a fresh, larger buffer and the old one is retired (pinned views
+  /// keep it alive through their shared_ptr).
+  void EnsureArenaCapacity(size_t values);
+
+  /// Installs `fresh` as the live arena buffer, abandoning the current
+  /// one to whatever pinned views still hold it.
+  void AdoptArena(std::shared_ptr<std::vector<Value>> fresh);
+
   std::string name_;
   size_t arity_;
   /// Row-major tuple storage: row r occupies [r*arity, (r+1)*arity).
-  std::vector<Value> arena_;
+  /// Shared so pinned read views can outlive a retire (see class
+  /// comment); all mutation goes through this relation.
+  std::shared_ptr<std::vector<Value>> arena_;
+  /// Cached arena_->data() — the RowData hot path stays one member load,
+  /// exactly as with the previous inline vector. Refreshed whenever the
+  /// buffer or its allocation can change.
+  const Value* arena_data_ = nullptr;
+  /// True once PinView handed the CURRENT buffer to a reader; cleared
+  /// when the buffer is retired. While set, Clear/LoadContents/growth
+  /// must swap buffers instead of touching pinned rows.
+  bool arena_shared_ = false;
   uint32_t num_rows_ = 0;
   /// Epoch boundary: rows >= watermark_ arrived after the last
   /// AdvanceWatermark() call.

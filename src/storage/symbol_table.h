@@ -36,6 +36,11 @@ class SymbolTable {
 
   size_t size() const { return symbols_.size(); }
 
+  /// The interned strings in id order (symbol i has id kSymbolBase + i).
+  /// Snapshot/serving code copies this to pin a consistent decode table;
+  /// the reference itself is invalidated by the next Intern().
+  const std::vector<std::string>& entries() const { return symbols_; }
+
   /// Replaces the table's contents (snapshot load): symbol i of `symbols`
   /// gets id kSymbolBase + i, reproducing the interning order of the run
   /// that saved the snapshot — tuples serialized with symbol ids stay

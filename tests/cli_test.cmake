@@ -387,3 +387,136 @@ if(NOT serve_code STREQUAL "0" OR NOT serve_out MATCHES "no snapshot")
 else()
   message(STATUS "[serve_open_empty] ok (exit ${serve_code})")
 endif()
+
+# serve comment handling: full-line and trailing comments are stripped
+# (and draw no response/diagnostic), but a '#' embedded in a token is
+# payload — `load Edge .../data#1.csv` must load THAT file, not a
+# truncated "data" path. Regression for the comment-stripping fix.
+file(WRITE "${WORK_DIR}/data#1.csv" "9,10\n")
+file(WRITE "${WORK_DIR}/serve_comments.txt"
+  "# a full-line comment draws no response\n"
+  "   # neither does an indented one\n"
+  "update          # trailing comments are stripped\n"
+  "load Edge ${WORK_DIR}/data#1.csv\n"
+  "update\n"
+  "count Path      # still stripped after arguments\n"
+  "quit\n")
+execute_process(
+  COMMAND "${CARAC_CLI}" serve "${WORK_DIR}/good.dl"
+  INPUT_FILE "${WORK_DIR}/serve_comments.txt"
+  OUTPUT_VARIABLE serve_out
+  ERROR_VARIABLE serve_err
+  RESULT_VARIABLE serve_code
+  TIMEOUT 60)
+if(NOT serve_code STREQUAL "0")
+  message(SEND_ERROR "[serve_comments] expected exit 0, got ${serve_code}\n"
+    "${serve_out}${serve_err}")
+endif()
+foreach(needle "data#1.csv into Edge \\(3 facts total\\)" "Path: 4 rows")
+  if(NOT serve_out MATCHES "${needle}")
+    message(SEND_ERROR
+      "[serve_comments] output missing '${needle}':\n${serve_out}${serve_err}")
+  endif()
+endforeach()
+if(NOT serve_err STREQUAL "")
+  message(SEND_ERROR "[serve_comments] expected no diagnostics, got:\n"
+    "${serve_err}")
+else()
+  message(STATUS "[serve_comments] ok (exit ${serve_code})")
+endif()
+
+# The interactive-pipe tests need a real shell (FIFOs, /dev/tcp).
+find_program(BASH_BIN bash)
+if(NOT BASH_BIN)
+  message(STATUS "[serve_flush/server_smoke] skipped (bash not found)")
+else()
+
+# serve flush contract: a lock-step pipe client sends each command only
+# after the previous response arrived. stdout is BLOCK-buffered on pipes,
+# so without the per-command flush the first `read` below blocks forever
+# (well, until the 60 s timeout fails the test) even though serve already
+# printf'd the response. Regression for the flush fix.
+file(WRITE "${WORK_DIR}/serve_flush.sh" [=[
+#!/usr/bin/env bash
+set -eu
+cli=$1; dl=$2; work=$3
+in="$work/flush_in.fifo"; out="$work/flush_out.fifo"
+rm -f "$in" "$out"; mkfifo "$in" "$out"
+"$cli" serve "$dl" <"$in" >"$out" &
+pid=$!
+exec 3>"$in" 4<"$out"
+echo "update" >&3
+read -r r1 <&4
+case "$r1" in epoch=1*) ;; *) echo "unexpected update reply: $r1"; exit 1;; esac
+echo "count Path" >&3
+read -r r2 <&4
+[ "$r2" = "Path: 3 rows" ] || { echo "unexpected count reply: $r2"; exit 1; }
+echo "quit" >&3
+exec 3>&-
+wait $pid
+]=])
+execute_process(
+  COMMAND "${BASH_BIN}" "${WORK_DIR}/serve_flush.sh" "${CARAC_CLI}"
+    "${WORK_DIR}/good.dl" "${WORK_DIR}"
+  OUTPUT_VARIABLE flush_out
+  ERROR_VARIABLE flush_err
+  RESULT_VARIABLE flush_code
+  TIMEOUT 60)
+if(NOT flush_code STREQUAL "0")
+  message(SEND_ERROR "[serve_flush] lock-step session failed "
+    "(exit ${flush_code}) — responses not flushed per command?\n"
+    "${flush_out}${flush_err}")
+else()
+  message(STATUS "[serve_flush] ok (exit ${flush_code})")
+endif()
+
+# carac server end-to-end smoke: start on an ephemeral TCP port, wait for
+# the "ready" line, run a framed session over /dev/tcp (update, snapshot
+# count, error contract, quit), then SIGTERM and require a clean exit 0.
+file(WRITE "${WORK_DIR}/server_smoke.sh" [=[
+#!/usr/bin/env bash
+set -eu
+cli=$1; dl=$2; work=$3
+"$cli" server "$dl" --listen-tcp=0 --server-workers=2 \
+  >"$work/server.out" 2>"$work/server.err" &
+pid=$!
+ready=0
+for _ in $(seq 1 200); do
+  if grep -q "^ready$" "$work/server.out" 2>/dev/null; then ready=1; break; fi
+  sleep 0.05
+done
+if [ "$ready" != 1 ]; then
+  echo "server never became ready"; cat "$work/server.err"; exit 1
+fi
+port=$(sed -n 's/^serving tcp:\([0-9][0-9]*\)$/\1/p' "$work/server.out")
+[ -n "$port" ] || { echo "no resolved port in server.out"; exit 1; }
+exec 3<>/dev/tcp/127.0.0.1/$port
+printf 'update\ncount Path\nbogus\nquit\n' >&3
+read -r l1 <&3
+[ "$l1" = "ok" ] || { echo "update reply: $l1"; exit 1; }
+read -r l2 <&3
+[ "$l2" = "| Path: 3 rows" ] || { echo "count payload: $l2"; exit 1; }
+read -r l3 <&3
+[ "$l3" = "ok" ] || { echo "count terminator: $l3"; exit 1; }
+read -r l4 <&3
+[ "$l4" = "err serve: unknown command: bogus" ] || { echo "bogus reply: $l4"; exit 1; }
+read -r l5 <&3
+[ "$l5" = "ok" ] || { echo "quit reply: $l5"; exit 1; }
+kill -TERM $pid
+wait $pid
+]=])
+execute_process(
+  COMMAND "${BASH_BIN}" "${WORK_DIR}/server_smoke.sh" "${CARAC_CLI}"
+    "${WORK_DIR}/good.dl" "${WORK_DIR}"
+  OUTPUT_VARIABLE smoke_out
+  ERROR_VARIABLE smoke_err
+  RESULT_VARIABLE smoke_code
+  TIMEOUT 60)
+if(NOT smoke_code STREQUAL "0")
+  message(SEND_ERROR "[server_smoke] expected exit 0, got ${smoke_code}\n"
+    "${smoke_out}${smoke_err}")
+else()
+  message(STATUS "[server_smoke] ok (exit ${smoke_code})")
+endif()
+
+endif()  # BASH_BIN

@@ -5,6 +5,7 @@
 //   carac dl <program.dl> [options]    run a textual Datalog program
 //   carac tc <facts.csv> [options]     transitive closure over a CSV edge list
 //   carac serve <program.dl> [options] incremental update session on stdin
+//   carac server <program.dl> [options] concurrent socket server (see below)
 //   carac list                         list built-in workloads
 //
 // Workloads: cspa csda andersen invfuns ackermann fibonacci primes
@@ -41,6 +42,13 @@
 //                          every batch + epoch for crash recovery
 //   --checkpoint-every=N   with --snapshot-dir: auto-checkpoint after
 //                          every N epochs (0 = manual `save` only)
+//   --listen-unix=PATH     (server) listen on a Unix-domain socket
+//   --listen-tcp=PORT      (server) listen on 127.0.0.1:PORT (0 =
+//                          ephemeral; the resolved port is printed)
+//   --server-workers=N     (server) worker threads, each owning the
+//                          sessions pinned to it (default 1)
+//   --admission-batch=N    (server) max requests a worker admits per
+//                          queue pop (default 16)
 //   --ir                   print the lowered IR before running
 //   --stats                print execution counters
 //
@@ -66,12 +74,25 @@
 // startup failures (unparsable program, failed Prepare) and a failed
 // `open` (the database may be partially overwritten — serving it would
 // lie) exit nonzero.
+//
+// `carac server` serves the same command protocol to N concurrent
+// clients over Unix-domain and/or TCP sockets, one request per line.
+// Responses are framed: zero or more "| "-prefixed payload lines, then
+// "ok" or "err <diagnostic>". Reads (count/dump/stats) answer from the
+// engine's epoch-snapshot read view (the last closed epoch) and are
+// never blocked by an in-flight load/update; writes serialize through
+// the single-writer epoch pipeline. Timing-bearing payloads (update's
+// epoch report, open's restore summary) are suppressed so responses are
+// a pure function of each session's request stream. `quit` ends one
+// session; SIGINT/SIGTERM (or a failed `open`) shut the server down
+// after in-flight requests complete.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <limits>
-#include <sstream>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -80,6 +101,8 @@
 #include "datalog/parser.h"
 #include "core/engine.h"
 #include "harness/table.h"
+#include "net/commands.h"
+#include "net/server.h"
 #include "util/parse.h"
 #include "util/timer.h"
 
@@ -112,6 +135,16 @@ struct Options {
   int64_t probe_batch_window = 64;
   std::string probe_batch_window_arg;
   bool snapshot_dir_empty = false;  // --snapshot-dir= with no path.
+  // Server flags. listen_tcp: -1 = off, 0 = ephemeral, else the port;
+  // -2 marks "invalid" (diagnostic + exit 2, same contract as --scale).
+  std::string listen_unix;
+  bool listen_unix_empty = false;  // --listen-unix= with no path.
+  int64_t listen_tcp = -1;
+  std::string listen_tcp_arg;
+  int64_t server_workers = 1;
+  std::string server_workers_arg;
+  int64_t admission_batch = 16;
+  std::string admission_batch_arg;
   bool print_ir = false;
   bool print_stats = false;
 };
@@ -122,6 +155,9 @@ int Usage() {
                "       carac dl <program.dl> [options]\n"
                "       carac tc <facts.csv> [options]\n"
                "       carac serve <program.dl> [options]\n"
+               "       carac server <program.dl> --listen-unix=PATH and/or\n"
+               "                    --listen-tcp=PORT [--server-workers=N]\n"
+               "                    [--admission-batch=N] [options]\n"
                "       carac list\n"
                "options include --threads=N and --parallel-min-outer-rows=N\n"
                "(evaluation threads / parallel dispatch threshold),\n"
@@ -227,6 +263,29 @@ bool ParseFlag(const std::string& arg, Options* opts) {
   } else if (const char* d = value_of("--snapshot-dir=")) {
     opts->config.snapshot_dir = d;
     opts->snapshot_dir_empty = opts->config.snapshot_dir.empty();
+  } else if (const char* u = value_of("--listen-unix=")) {
+    opts->listen_unix = u;
+    opts->listen_unix_empty = opts->listen_unix.empty();
+  } else if (const char* p = value_of("--listen-tcp=")) {
+    opts->listen_tcp_arg = p;
+    // Strict like --scale: a typo'd port must not silently bind an
+    // ephemeral one. 0 is valid and means "kernel picks".
+    if (!util::ParseInt64(p, &opts->listen_tcp) || opts->listen_tcp < 0 ||
+        opts->listen_tcp > 65535) {
+      opts->listen_tcp = -2;
+    }
+  } else if (const char* n = value_of("--server-workers=")) {
+    opts->server_workers_arg = n;
+    if (!util::ParseInt64(n, &opts->server_workers) ||
+        opts->server_workers < 1 || opts->server_workers > 64) {
+      opts->server_workers = -1;
+    }
+  } else if (const char* a = value_of("--admission-batch=")) {
+    opts->admission_batch_arg = a;
+    if (!util::ParseInt64(a, &opts->admission_batch) ||
+        opts->admission_batch < 1 || opts->admission_batch > 4096) {
+      opts->admission_batch = -1;
+    }
   } else if (const char* c = value_of("--checkpoint-every=")) {
     opts->checkpoint_every_arg = c;
     // Strict integer like --scale: a typo'd cadence must not silently
@@ -312,17 +371,6 @@ int RunWorkload(const Options& opts, analysis::Workload workload) {
   return 0;
 }
 
-bool FindRelation(const datalog::Program& program, const std::string& name,
-                  datalog::PredicateId* out) {
-  for (datalog::PredicateId id = 0; id < program.NumPredicates(); ++id) {
-    if (program.PredicateName(id) == name) {
-      *out = id;
-      return true;
-    }
-  }
-  return false;
-}
-
 /// The `serve` command: Prepare() once, then apply stdin commands —
 /// fact batches, update epochs and (with --snapshot-dir) durable
 /// checkpoints — against the live engine. This is the CLI surface of
@@ -352,188 +400,96 @@ int RunServe(const Options& opts) {
     std::fputs(engine.ir().ToString(*program).c_str(), stdout);
   }
 
+  net::ServeContext ctx;
+  ctx.program = program.get();
+  ctx.engine = &engine;
+  ctx.snapshot_dir = opts.config.snapshot_dir;
+  net::StdioWriter writer;
+
   std::string line;
   while (std::getline(std::cin, line)) {
-    const size_t hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    std::istringstream tokens(line);
-    std::string command;
-    if (!(tokens >> command)) continue;  // Blank / comment-only line.
-
-    // Zero-argument commands reject trailing junk: `update Edge` is a
-    // user who thinks update takes a relation, not a no-op.
-    std::string extra;
-    if (command == "quit" || command == "update" || command == "save" ||
-        command == "open" || command == "stats") {
-      if (tokens >> extra) {
-        std::fprintf(stderr,
-                     "serve: %s takes no arguments (got \"%s\")\n",
-                     command.c_str(), extra.c_str());
-        continue;
-      }
-    }
-
-    if (command == "quit") return 0;
-
-    if (command == "update") {
-      core::EpochReport report;
-      util::Timer timer;
-      status = engine.Update(&report);
-      const double seconds = timer.ElapsedSeconds();
-      if (!status.ok()) {
-        std::fprintf(stderr, "update failed: %s\n",
-                     status.ToString().c_str());
-        continue;
-      }
-      std::printf("%s in %s s\n", report.ToString().c_str(),
-                  harness::FormatSeconds(seconds).c_str());
-      continue;
-    }
-
-    if (command == "stats") {
-      // Self-tuning surface: what each indexed column is organized as
-      // right now, what traffic the evaluators actually sent it, and
-      // which migrations the adaptive policy performed to get here.
-      const storage::DatabaseSet& db = program->db();
-      for (datalog::PredicateId id = 0; id < program->NumPredicates(); ++id) {
-        const storage::Relation& rel =
-            db.Get(id, storage::DbKind::kDerived);
-        for (size_t i = 0; i < rel.NumIndexes(); ++i) {
-          const storage::IndexBase& index = rel.IndexAt(i);
-          std::printf("index %s col%zu %s\n",
-                      program->PredicateName(id).c_str(), index.column(),
-                      storage::IndexKindName(index.kind()));
-        }
-      }
-      for (const auto& [key, counters] : engine.profiler().counters()) {
-        std::printf("probes %s col%u points=%llu hits=%llu ranges=%llu "
-                    "batch-windows=%llu\n",
-                    program->PredicateName(key.first).c_str(), key.second,
-                    static_cast<unsigned long long>(counters.point_probes),
-                    static_cast<unsigned long long>(counters.point_hits),
-                    static_cast<unsigned long long>(counters.range_probes),
-                    static_cast<unsigned long long>(counters.batch_windows));
-      }
-      if (engine.adaptive_policy() == nullptr) {
-        std::printf("adaptive off\n");
-      } else {
-        for (const optimizer::RekindEvent& event :
-             engine.adaptive_policy()->events()) {
-          std::printf("rekind epoch=%llu %s col%u %s->%s\n",
-                      static_cast<unsigned long long>(event.epoch),
-                      program->PredicateName(event.relation).c_str(),
-                      event.column, storage::IndexKindName(event.from),
-                      storage::IndexKindName(event.to));
-        }
-        std::printf("rekind-events %zu\n",
-                    engine.adaptive_policy()->events().size());
-      }
-      continue;
-    }
-
-    if (command == "save") {
-      status = engine.Checkpoint();
-      if (!status.ok()) {
-        std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
-        continue;
-      }
-      std::printf("checkpoint saved (epoch %llu) to %s\n",
-                  static_cast<unsigned long long>(program->db().epoch()),
-                  opts.config.snapshot_dir.c_str());
-      continue;
-    }
-
-    if (command == "open") {
-      core::RestoreInfo info;
-      util::Timer timer;
-      status = engine.Restore(&info);
-      const double seconds = timer.ElapsedSeconds();
-      if (!status.ok()) {
-        // Unlike input typos, a failed restore may leave the database
-        // partially overwritten (OpenSnapshot installs sections as they
-        // verify; replay may stop mid-log). Serving that state would be
-        // lying — this is the one serve error that ends the session.
-        std::fprintf(stderr, "open failed: %s\n", status.ToString().c_str());
-        return 1;
-      }
-      std::printf("restored %s (snapshot epoch %llu) + %llu log epoch(s)%s "
-                  "in %s s\n",
-                  info.snapshot_loaded ? "snapshot" : "no snapshot",
-                  static_cast<unsigned long long>(info.snapshot_epoch),
-                  static_cast<unsigned long long>(info.epochs_replayed),
-                  info.log_tail_discarded ? " (torn tail discarded)" : "",
-                  harness::FormatSeconds(seconds).c_str());
-      continue;
-    }
-
-    if (command == "load" || command == "count" || command == "dump") {
-      std::string rel_name;
-      if (!(tokens >> rel_name)) {
-        std::fprintf(stderr, "serve: %s needs a relation name\n",
-                     command.c_str());
-        continue;
-      }
-      datalog::PredicateId rel = datalog::kInvalidPredicate;
-      if (!FindRelation(*program, rel_name, &rel)) {
-        std::fprintf(stderr, "serve: unknown relation: %s\n",
-                     rel_name.c_str());
-        continue;
-      }
-      if (command == "load") {
-        std::string path;
-        if (!(tokens >> path)) {
-          std::fprintf(stderr, "serve: load needs a csv path\n");
-          continue;
-        }
-        if (tokens >> extra) {
-          std::fprintf(stderr,
-                       "serve: load takes one csv path (got \"%s\")\n",
-                       extra.c_str());
-          continue;
-        }
-        // Through the engine, not straight into the DatabaseSet: the
-        // durability log only sees batches that cross Engine::AddFacts.
-        std::vector<storage::Tuple> facts;
-        status = analysis::ReadFactsCsv(path, program.get(), rel, &facts);
-        if (status.ok()) status = engine.AddFacts(rel, facts);
-        if (!status.ok()) {
-          std::fprintf(stderr, "%s\n", status.ToString().c_str());
-          continue;
-        }
-        std::printf("loaded %s into %s (%zu facts total)\n", path.c_str(),
-                    rel_name.c_str(),
-                    program->db()
-                        .Get(rel, storage::DbKind::kDerived)
-                        .size());
-      } else if (tokens >> extra) {
-        // count/dump take exactly one relation name.
-        std::fprintf(stderr,
-                     "serve: %s takes one relation name (got \"%s\")\n",
-                     command.c_str(), extra.c_str());
-        continue;
-      } else if (command == "count") {
-        std::printf("%s: %zu rows\n", rel_name.c_str(),
-                    engine.ResultSize(rel));
-      } else {
-        for (const storage::Tuple& row : engine.Results(rel)) {
-          for (size_t i = 0; i < row.size(); ++i) {
-            if (i > 0) std::printf("\t");
-            if (storage::SymbolTable::IsSymbol(row[i])) {
-              std::printf(
-                  "%s", program->db().symbols().Lookup(row[i]).c_str());
-            } else {
-              std::printf("%lld", static_cast<long long>(row[i]));
-            }
-          }
-          std::printf("\n");
-        }
-      }
-      continue;
-    }
-
-    std::fprintf(stderr, "serve: unknown command: %s\n", command.c_str());
+    const net::ServeOutcome outcome =
+        net::ExecuteServeLine(&ctx, std::move(line), &writer);
+    // Responses must reach the client NOW: stdout is block-buffered on
+    // pipes, so without the flush a programmatic client that waits for
+    // this command's response before sending its next command deadlocks
+    // against the unflushed buffer.
+    std::fflush(stdout);
+    std::fflush(stderr);
+    if (outcome == net::ServeOutcome::kQuit) return 0;
+    if (outcome == net::ServeOutcome::kFatal) return 1;
   }
   return 0;
+}
+
+/// SIGINT/SIGTERM handler target: RequestShutdown is one write(2) on a
+/// self-pipe, the async-signal-safe way to stop a poll loop.
+net::Server* g_server = nullptr;
+
+void HandleShutdownSignal(int) {
+  if (g_server != nullptr) g_server->RequestShutdown();
+}
+
+/// The `server` command: the serve protocol, concurrently, over
+/// sockets. Same engine setup as serve; the serving layer itself lives
+/// in src/net (see net::Server for the threading model and the
+/// shutdown contract).
+int RunServer(const Options& opts) {
+  auto program = std::make_unique<datalog::Program>();
+  util::Status status = datalog::ParseDatalogFile(opts.target, program.get());
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  core::Engine engine(program.get(), opts.config);
+  status = engine.Prepare();
+  if (!status.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (opts.print_ir) {
+    std::fputs(engine.ir().ToString(*program).c_str(), stdout);
+  }
+
+  std::mutex write_mutex;
+  net::ServeContext ctx;
+  ctx.program = program.get();
+  ctx.engine = &engine;
+  ctx.snapshot_dir = opts.config.snapshot_dir;
+  ctx.snapshot_reads = true;
+  ctx.deterministic_replies = true;
+  ctx.write_mutex = &write_mutex;
+
+  net::ServerConfig server_config;
+  server_config.unix_path = opts.listen_unix;
+  server_config.tcp_port = static_cast<int>(opts.listen_tcp);
+  server_config.num_workers = static_cast<int>(opts.server_workers);
+  server_config.admission_batch =
+      static_cast<size_t>(opts.admission_batch);
+
+  net::Server server(&ctx, server_config);
+  status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "server failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  // The ready banner, flushed: clients (and the test harness) wait for
+  // it — and parse the resolved port out of it — before connecting.
+  if (!opts.listen_unix.empty()) {
+    std::printf("serving unix:%s\n", opts.listen_unix.c_str());
+  }
+  if (opts.listen_tcp >= 0) {
+    std::printf("serving tcp:%d\n", server.tcp_port());
+  }
+  std::printf("ready\n");
+  std::fflush(stdout);
+
+  server.Wait();
+  g_server = nullptr;
+  return server.fatal_error() ? 1 : 0;
 }
 
 }  // namespace
@@ -613,6 +569,38 @@ int main(int argc, char** argv) {
                  "(nowhere to write the checkpoint)\n");
     return 2;
   }
+  if (opts.listen_unix_empty) {
+    std::fprintf(stderr, "invalid --listen-unix=: needs a socket path\n");
+    return 2;
+  }
+  if (opts.listen_tcp == -2) {
+    std::fprintf(stderr,
+                 "invalid --listen-tcp=%s: expected a port in [0, 65535] "
+                 "(0 = ephemeral)\n",
+                 opts.listen_tcp_arg.c_str());
+    return 2;
+  }
+  if (opts.server_workers < 1) {
+    std::fprintf(stderr,
+                 "invalid --server-workers=%s: expected an integer in "
+                 "[1, 64]\n",
+                 opts.server_workers_arg.c_str());
+    return 2;
+  }
+  if (opts.admission_batch < 1) {
+    std::fprintf(stderr,
+                 "invalid --admission-batch=%s: expected an integer in "
+                 "[1, 4096]\n",
+                 opts.admission_batch_arg.c_str());
+    return 2;
+  }
+  if (opts.command == "server" && opts.listen_unix.empty() &&
+      opts.listen_tcp < 0) {
+    std::fprintf(stderr,
+                 "server needs --listen-unix=PATH and/or --listen-tcp=PORT "
+                 "(nothing to listen on)\n");
+    return 2;
+  }
   opts.config.probe_batch_window =
       static_cast<uint32_t>(opts.probe_batch_window);
   opts.config.num_threads = static_cast<int>(opts.threads);
@@ -674,6 +662,10 @@ int main(int argc, char** argv) {
 
   if (opts.command == "serve") {
     return RunServe(opts);
+  }
+
+  if (opts.command == "server") {
+    return RunServer(opts);
   }
 
   if (opts.command == "tc") {
