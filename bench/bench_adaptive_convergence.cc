@@ -20,12 +20,13 @@
 //                 full stream is what a too-short phase costs you.)
 //
 // This drives Relation/AccessProfiler/AdaptiveIndexPolicy directly
-// rather than through a Datalog program: the evaluators lower range
-// constraints to comparison builtins, so engine-driven traffic is
-// point-only and could never exercise the range arms of the policy.
-// Hash-kind range demands fall back to a full filtered scan — exactly
-// what a mis-organized column costs in practice, and the reason the
-// policy exists.
+// rather than through a Datalog program, so the phase mix is exactly
+// controlled. (Engine-driven range traffic exists too: range pushdown
+// lowers comparison builtins onto ProbeRange, and incremental_test's
+// RangeDemandRekindsHashToOrdered covers the program-driven path
+// end-to-end.) Hash-kind range demands fall back to a full filtered
+// scan — exactly what a mis-organized column costs in practice, and
+// the reason the policy exists.
 //
 // Machine-readable ADAPTIVE lines feed scripts/run_benches.sh; --micro
 // shrinks the workload for the CI bench-smoke job.

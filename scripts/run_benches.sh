@@ -11,8 +11,8 @@
 #   --large       run with CARAC_BENCH_SCALE=large (paper-sized inputs)
 #   --build-dir   directory containing bench/ binaries
 #                 (default: autodetect build, build/release)
-#   --out         output JSON path (default: <repo>/BENCH_pr7.json)
-#   --baseline    snapshot to diff against (default: <repo>/BENCH_pr6.json;
+#   --out         output JSON path (default: <repo>/BENCH_pr9.json)
+#   --baseline    snapshot to diff against (default: <repo>/BENCH_pr7.json;
 #                 a per-bench delta table is printed when it exists)
 #   --threads N   evaluation threads passed to the benches that accept the
 #                 flag (fig6/fig8/table2); recorded as "threads" in the
@@ -50,6 +50,10 @@
 # bench_adaptive_convergence's ADAPTIVE lines (per-phase static sweep vs
 # the self-tuning policy, re-kind events, steady-state ratios), plus the
 # optional per-bench "ab_seconds" field written by --ab mode.
+# Schema carac-bench/v7 adds a "range" section lifted from
+# bench_range_pushdown's RANGE lines: per-IndexKind, per-selectivity
+# engine wall-clock with range pushdown on vs off (interleaved arms;
+# "speedup" is off/on, so >1 means the pushdown won).
 
 set -u -o pipefail
 
@@ -57,8 +61,8 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 mode=full
 scale=small
 build_dir=""
-out="$repo_root/BENCH_pr7.json"
-baseline="$repo_root/BENCH_pr6.json"
+out="$repo_root/BENCH_pr9.json"
+baseline="$repo_root/BENCH_pr7.json"
 threads=1
 sweeps=1
 ab_dir=""
@@ -140,6 +144,7 @@ benches=(
   bench_adaptive_convergence
   bench_parallel_scaling
   bench_persistence
+  bench_range_pushdown
 )
 # >20s each at small scale; dropped in --quick mode.
 slow_benches=" bench_fig6_macro_unopt bench_table1_interpreted bench_ablation_freshness bench_adaptive_convergence "
@@ -162,6 +167,7 @@ incremental_ran=false
 persistence_ran=false
 index_ran=false
 adaptive_ran=false
+range_ran=false
 for bench in "${benches[@]}"; do
   exe="$build_dir/bench/$bench"
   skipped=false
@@ -255,6 +261,9 @@ for bench in "${benches[@]}"; do
   fi
   if [ "$bench" = bench_adaptive_convergence ] && [ "$code" = 0 ]; then
     adaptive_ran=true
+  fi
+  if [ "$bench" = bench_range_pushdown ] && [ "$code" = 0 ]; then
+    range_ran=true
   fi
   # shellcheck disable=SC2086
   seconds=$(printf '%s\n' $sweep_times | sort -n |
@@ -368,9 +377,27 @@ if [ "$adaptive_ran" = true ] && [ -f "$adaptive_log" ]; then
   adaptive_rows="${adaptive_rows%,}"
 fi
 
+# Range-pushdown A/B measurements, lifted from bench_range_pushdown's
+# RANGE lines (kind + selectivity label, then generic key=value fields).
+# Same staleness gate as the other sections: only a run from THIS
+# invocation contributes.
+range_rows=""
+range_log="$log_dir/bench_range_pushdown.txt"
+if [ "$range_ran" = true ] && [ -f "$range_log" ]; then
+  range_rows=$(awk '/^RANGE /{
+    printf "    {\"kind\": \"%s\", \"selectivity\": \"%s\"", $2, $3
+    for (i = 4; i <= NF; ++i) {
+      split($i, kv, "=")
+      printf ", \"%s\": %s", kv[1], kv[2]
+    }
+    printf "},\n"
+  }' "$range_log")
+  range_rows="${range_rows%,}"
+fi
+
 {
   echo "{"
-  echo "  \"schema\": \"carac-bench/v6\","
+  echo "  \"schema\": \"carac-bench/v7\","
   echo "  \"timestamp_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
   echo "  \"mode\": \"$mode\","
   echo "  \"scale\": \"$scale\","
@@ -401,6 +428,9 @@ fi
   echo "  ],"
   echo "  \"adaptive\": ["
   if [ -n "$adaptive_rows" ]; then printf '%s\n' "$adaptive_rows"; fi
+  echo "  ],"
+  echo "  \"range\": ["
+  if [ -n "$range_rows" ]; then printf '%s\n' "$range_rows"; fi
   echo "  ]"
   echo "}"
 } > "$out"

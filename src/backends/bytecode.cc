@@ -1,6 +1,7 @@
 #include "backends/bytecode.h"
 
 #include "datalog/builtins.h"
+#include "ir/range_access.h"
 #include "util/status.h"
 
 namespace carac::backends {
@@ -33,6 +34,16 @@ struct IterState {
   Value memo_key = 0;
   uint64_t memo_gen = 0;
   bool memo_valid = false;
+  // Range-probe extension of the memo: keyed on the CLOSED [lo, hi]
+  // (strictness folds into the bounds, so two spellings of the same
+  // interval share a memo entry). A declined probe is memoized too —
+  // re-deciding against the same index state would reach the same
+  // verdict, so the scan fallback is replayed without re-probing.
+  std::vector<RowId> range_rows;
+  Value memo_lo = 0;
+  Value memo_hi = 0;
+  bool memo_is_range = false;
+  bool memo_declined = false;
   // Counter slot for the memoized (relation, column); re-resolved only
   // when the slot's target changes, so a memo hit costs nothing and a
   // memo miss pays one pointer increment on top of the probe itself.
@@ -57,8 +68,8 @@ struct IterState {
     }
     rel = relation;
     probe = true;
-    if (!(memo_valid && memo_rel == relation && memo_col == col &&
-          memo_key == value && memo_gen == gen)) {
+    if (!(memo_valid && !memo_is_range && memo_rel == relation &&
+          memo_col == col && memo_key == value && memo_gen == gen)) {
       bucket = relation->Probe(col, value);
       if (probe_stats == nullptr || memo_rel != relation || memo_col != col) {
         probe_stats = profiler->Slot(pred, col);
@@ -69,8 +80,66 @@ struct IterState {
       memo_col = col;
       memo_key = value;
       memo_gen = gen;
+      memo_is_range = false;
       memo_valid = memoizable;
     }
+    bucket_pos = 0;
+    current = nullptr;
+  }
+
+  void OpenRange(const Relation* relation, size_t col, Value lo,
+                 bool lo_strict, Value hi, bool hi_strict, uint64_t gen,
+                 bool memoizable, datalog::PredicateId pred,
+                 ir::AccessProfiler* profiler) {
+    if (!relation->HasIndex(col)) {
+      // Unindexed configuration: degrade to a scan. The kCompare
+      // residuals the compiler always emits behind the loop keep it
+      // correct.
+      OpenScan(relation);
+      return;
+    }
+    ir::ResolvedRange range;
+    range.empty = !ir::CloseInterval(lo, lo_strict, hi, hi_strict, &range.lo,
+                                     &range.hi);
+    if (range.empty) {
+      // Canonical empty key so every contradictory interval memo-hits.
+      range.lo = 1;
+      range.hi = 0;
+    }
+    if (memo_valid && memo_is_range && memo_rel == relation &&
+        memo_col == col && memo_lo == range.lo && memo_hi == range.hi &&
+        memo_gen == gen) {
+      if (memo_declined) {
+        OpenScan(relation);
+        return;
+      }
+      rel = relation;
+      probe = true;
+      bucket = storage::RowCursor(range_rows.data(), range_rows.size());
+      bucket_pos = 0;
+      current = nullptr;
+      return;
+    }
+    if (probe_stats == nullptr || memo_rel != relation || memo_col != col) {
+      probe_stats = profiler->Slot(pred, col);
+    }
+    const bool taken =
+        ir::TryRangeProbe(*relation, col, range, probe_stats, &range_rows);
+    memo_rel = relation;
+    memo_col = col;
+    memo_lo = range.lo;
+    memo_hi = range.hi;
+    memo_gen = gen;
+    memo_is_range = true;
+    memo_declined = !taken;
+    memo_valid = memoizable;
+    if (!taken) {
+      OpenScan(relation);
+      return;
+    }
+    rel = relation;
+    probe = true;
+    bucket = storage::RowCursor(range_rows.data(), range_rows.size());
     bucket_pos = 0;
     current = nullptr;
   }
@@ -128,6 +197,16 @@ void RunBytecode(const BytecodeProgram& program, ir::ExecContext& ctx,
             &db.Get(static_cast<datalog::PredicateId>(insn.b),
                     static_cast<storage::DbKind>(insn.c)),
             static_cast<size_t>(insn.d), regs[insn.e], probe_gen,
+            static_cast<storage::DbKind>(insn.c) != storage::DbKind::kDeltaNew,
+            static_cast<datalog::PredicateId>(insn.b), &ctx.profiler());
+        ++pc;
+        break;
+      case Insn::Op::kRangeOpen:
+        iters[insn.a].OpenRange(
+            &db.Get(static_cast<datalog::PredicateId>(insn.b),
+                    static_cast<storage::DbKind>(insn.c)),
+            static_cast<size_t>(insn.d), regs[insn.e], (insn.g & 1) != 0,
+            regs[insn.f], (insn.g & 2) != 0, probe_gen,
             static_cast<storage::DbKind>(insn.c) != storage::DbKind::kDeltaNew,
             static_cast<datalog::PredicateId>(insn.b), &ctx.profiler());
         ++pc;
@@ -233,10 +312,10 @@ void RunBytecode(const BytecodeProgram& program, ir::ExecContext& ctx,
 
 std::string BytecodeProgram::Disassemble() const {
   static const char* kNames[] = {
-      "loadimm",  "scan",   "probec", "prober",   "next",     "checkc",
-      "checkr",   "bind",   "cmp",    "arith",    "arithchk", "notcont",
-      "emit",     "jump",   "swapclr", "jmpdelta", "iterbump", "callnode",
-      "halt"};
+      "loadimm",  "scan",   "probec",  "prober",   "rangeo",   "next",
+      "checkc",   "checkr", "bind",    "cmp",      "arith",    "arithchk",
+      "notcont",  "emit",   "jump",    "swapclr",  "jmpdelta", "iterbump",
+      "callnode", "halt"};
   std::string out;
   for (size_t i = 0; i < code.size(); ++i) {
     const Insn& insn = code[i];

@@ -26,6 +26,11 @@ struct Insn {
     kScanOpen,        // iters[a] = scan(pred b, db c)
     kProbeOpenConst,  // iters[a] = probe(pred b, db c, col d, imm)
     kProbeOpenReg,    // iters[a] = probe(pred b, db c, col d, regs[e])
+    kRangeOpen,       // iters[a] = range(pred b, db c, col d,
+                      //   lo=regs[e], hi=regs[f]; g bit0/1: lo/hi strict).
+                      // Declined or unindexed ranges degrade to a scan —
+                      // the kCompare residuals behind the loop keep the
+                      // result identical either way.
     kNext,            // advance iters[a]; jump d when exhausted
     kCheckConst,      // row(a)[b] != imm -> jump d
     kCheckReg,        // row(a)[b] != regs[e] -> jump d

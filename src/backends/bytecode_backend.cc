@@ -1,6 +1,7 @@
 #include "backends/bytecode_backend.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -128,6 +129,16 @@ class Compiler {
     return ConstReg(s, t.constant);
   }
 
+  /// Register holding one side of a range bound. An absent side widens
+  /// to `missing` (the Value domain edge: match-everything). Bound-var
+  /// sides read the variable's register directly — the annotation pass
+  /// guarantees it is bound before the atom executes.
+  int32_t BoundReg(SpjState* s, const ir::BoundSpec& b, int64_t missing) {
+    if (!b.present()) return ConstReg(s, missing);
+    if (b.kind == ir::BoundSpec::Kind::kVar) return b.var;
+    return ConstReg(s, b.constant);
+  }
+
   void FailJump(SpjState* s, size_t insn_index) {
     if (prog_.code[insn_index].d == kExitSentinel) {
       s->exit_patches.push_back(insn_index);
@@ -226,7 +237,27 @@ class Compiler {
       }
     }
 
-    if (probe_col < 0) {
+    if (probe_col < 0 && atom.has_range() &&
+        stats_.HasIndex(atom.predicate,
+                        static_cast<size_t>(atom.range_col))) {
+      // Range pushdown: lower the annotated bounds into registers and
+      // let the VM decide probe-vs-scan at open time (kind, key extremes
+      // and profitability are runtime properties). A missing side widens
+      // to the Value domain edge; strictness travels as flags so the VM
+      // closes the interval exactly like the tree evaluators.
+      Insn open{.op = Insn::Op::kRangeOpen};
+      open.a = iter;
+      open.b = static_cast<int32_t>(atom.predicate);
+      open.c = static_cast<int32_t>(atom.source);
+      open.d = atom.range_col;
+      open.e = BoundReg(s, atom.lower,
+                        std::numeric_limits<int64_t>::min());
+      open.f = BoundReg(s, atom.upper,
+                        std::numeric_limits<int64_t>::max());
+      open.g = (atom.lower.present() && atom.lower.strict ? 1 : 0) |
+               (atom.upper.present() && atom.upper.strict ? 2 : 0);
+      Emit(open);
+    } else if (probe_col < 0) {
       Insn open{.op = Insn::Op::kScanOpen};
       open.a = iter;
       open.b = static_cast<int32_t>(atom.predicate);

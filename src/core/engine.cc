@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <filesystem>
+#include <map>
 #include <string_view>
 #include <system_error>
 
@@ -51,8 +52,8 @@ util::Status Engine::Prepare() {
   if (config_.eliminate_aliases) {
     datalog::EliminateAliases(program_);
   }
-  CARAC_RETURN_IF_ERROR(
-      ir::LowerProgram(program_, /*declare_indexes=*/true, &irp_));
+  CARAC_RETURN_IF_ERROR(ir::LowerProgram(program_, /*declare_indexes=*/true,
+                                         &irp_, config_.range_pushdown));
   if (config_.aot_reorder) {
     ApplyAotPlan(config_.aot, program_->db(), &irp_);
   }
@@ -471,6 +472,24 @@ std::string Engine::FormatStats() const {
            " hits=" + std::to_string(counters.point_hits) +
            " ranges=" + std::to_string(counters.range_probes) +
            " batch-windows=" + std::to_string(counters.batch_windows) + "\n";
+  }
+  // Range-pushdown decisions: which (relation, column) pairs lowering
+  // annotated with index-range bounds. Emitted only when at least one
+  // atom is annotated, so programs without comparison builtins keep the
+  // exact pre-pushdown report (cli_test byte-pins that text).
+  std::map<std::pair<datalog::PredicateId, int32_t>, size_t> pushdown_atoms;
+  for (const ir::IROp* op : irp_.by_id) {
+    if (op == nullptr) continue;
+    for (const ir::AtomSpec& atom : op->atoms) {
+      if (atom.has_range()) {
+        pushdown_atoms[{atom.predicate, atom.range_col}]++;
+      }
+    }
+  }
+  for (const auto& [key, count] : pushdown_atoms) {
+    out += "pushdown " + program_->PredicateName(key.first) + " col" +
+           std::to_string(key.second) + " atoms=" + std::to_string(count) +
+           "\n";
   }
   if (adaptive_policy_ == nullptr) {
     out += "adaptive off\n";

@@ -46,6 +46,15 @@ struct EngineConfig {
   /// Outer-window size for batch-at-a-time index probes (see
   /// ir::ExecContext::probe_batch_window); 0 disables batching.
   uint32_t probe_batch_window = 64;
+  /// Push comparison builtins into the storage layer: lowering annotates
+  /// each eligible atom with per-side range bounds (ir::AnnotateRangeBounds)
+  /// and the evaluators serve them through Relation::ProbeRange when the
+  /// column's index is ordered and the optimizer's coverage estimate says
+  /// a range probe beats the filtered scan. Results are byte-identical on
+  /// or off — the comparison builtins always remain as residual filters —
+  /// so this is purely an access-path switch (and the escape hatch when
+  /// the uniform-key coverage estimate misfires).
+  bool range_pushdown = true;
   /// Self-tuning indexes: at every epoch close, compare each indexed
   /// column's OBSERVED probe/range mix (runtime access profiling) against
   /// its current organization and migrate it when the evidence says

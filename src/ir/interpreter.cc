@@ -10,6 +10,7 @@
 
 #include "core/worker_pool.h"
 #include "datalog/builtins.h"
+#include "ir/range_access.h"
 #include "util/status.h"
 
 namespace carac::ir {
@@ -52,6 +53,11 @@ struct AtomPlan {
   // plan-build time so the join loops pay plain increments. Non-null iff
   // probe_col >= 0.
   ColumnProbeStats* probe_stats = nullptr;
+  // Range pushdown: non-null iff the atom carries annotated bounds on an
+  // indexed column AND no point probe applies (a point probe always
+  // wins). Counters for (predicate, range_col); the join resolves the
+  // bounds per outer binding and may serve the atom via TryRangeProbe.
+  ColumnProbeStats* range_stats = nullptr;
 };
 
 /// The join executor. Stack-allocated per subquery evaluation.
@@ -120,14 +126,26 @@ class SubqueryRun {
     if (outer.rel == nullptr || outer.atom->negated) return false;
     // The outer sequence: an index bucket when the first atom probes (no
     // variable is bound before atom 0, so the key is always a constant),
-    // the full RowId range otherwise.
-    const size_t outer_rows =
-        outer.probe_col >= 0
-            ? outer.rel
-                  ->Probe(static_cast<size_t>(outer.probe_col),
-                          outer.probe_const)
-                  .size()
-            : outer.rel->NumRows();
+    // the range-probe row list when atom 0 carries const bounds the
+    // index will serve, the full RowId range otherwise. This sizing pass
+    // must resolve the range exactly as the workers will (deterministic:
+    // same bounds, same index state) but records no stats — the workers
+    // do, into their shard profilers.
+    size_t outer_rows;
+    if (outer.probe_col >= 0) {
+      outer_rows = outer.rel
+                       ->Probe(static_cast<size_t>(outer.probe_col),
+                               outer.probe_const)
+                       .size();
+    } else if (outer.range_stats != nullptr &&
+               TryRangeProbe(*outer.rel,
+                             static_cast<size_t>(outer.atom->range_col),
+                             ResolveRange(*outer.atom, binding_.data()),
+                             nullptr, &range_scratch_[0])) {
+      outer_rows = range_scratch_[0].size();
+    } else {
+      outer_rows = outer.rel->NumRows();
+    }
     if (outer_rows < ctx_.parallel_min_rows()) return false;
     const int shards = pool->num_threads();
     std::vector<storage::StagingBuffer>& staging =
@@ -209,9 +227,16 @@ class SubqueryRun {
       if (p.probe_col >= 0) {
         p.probe_stats = profiler_->Slot(atom.predicate,
                                         static_cast<size_t>(p.probe_col));
+      } else if (atom.has_range() &&
+                 p.rel->HasIndex(static_cast<size_t>(atom.range_col))) {
+        p.range_stats = profiler_->Slot(atom.predicate,
+                                        static_cast<size_t>(atom.range_col));
       }
       plan_.push_back(std::move(p));
     }
+    // One range-row buffer per plan depth: Join() recurses, so an inner
+    // atom's probe must not clobber an outer atom's live row list.
+    range_scratch_.resize(plan_.size());
   }
 
   Value Resolve(const LocalTerm& t) const {
@@ -292,6 +317,19 @@ class SubqueryRun {
         match(rel.View(row));
       }
     } else {
+      if (p.range_stats != nullptr) {
+        const ResolvedRange range = ResolveRange(atom, binding_.data());
+        std::vector<RowId>& rows = range_scratch_[i];
+        if (TryRangeProbe(rel, static_cast<size_t>(atom.range_col), range,
+                          p.range_stats, &rows)) {
+          // The residual comparison builtins still run behind the probe,
+          // so any declined/degraded case below is just the scan path.
+          for (RowId row : rows) {
+            match(rel.View(row));
+          }
+          return;
+        }
+      }
       for (RowId row = 0, n = rel.NumRows(); row < n; ++row) {
         match(rel.View(row));
       }
@@ -337,6 +375,21 @@ class SubqueryRun {
         match(rel.View(bucket[pos]));
       }
     } else {
+      if (p.range_stats != nullptr) {
+        // Atom-0 bounds are const-only (no variable binds before it), so
+        // every shard resolves the identical row list — positions index
+        // the same sequence RunSharded sized the shards against.
+        const ResolvedRange range = ResolveRange(*p.atom, binding_.data());
+        std::vector<RowId>& rows = range_scratch_[0];
+        if (TryRangeProbe(rel, static_cast<size_t>(p.atom->range_col), range,
+                          p.range_stats, &rows)) {
+          const size_t limit = std::min(end, rows.size());
+          for (size_t pos = std::min(begin, limit); pos < limit; ++pos) {
+            match(rel.View(rows[pos]));
+          }
+          return;
+        }
+      }
       const size_t limit = std::min(end, static_cast<size_t>(rel.NumRows()));
       for (size_t row = std::min(begin, limit); row < limit; ++row) {
         match(rel.View(static_cast<RowId>(row)));
@@ -399,6 +452,7 @@ class SubqueryRun {
     const size_t window = ctx_.probe_batch_window();
 
     storage::RowCursor outer_bucket;
+    const std::vector<RowId>* outer_range = nullptr;
     size_t limit;
     if (outer.probe_col >= 0) {
       // No variable is bound before atom 0: the key is a const.
@@ -407,6 +461,15 @@ class SubqueryRun {
       outer.probe_stats->point_probes++;
       outer.probe_stats->point_hits += !outer_bucket.empty();
       limit = std::min(end, outer_bucket.size());
+    } else if (outer.range_stats != nullptr &&
+               TryRangeProbe(outer_rel,
+                             static_cast<size_t>(outer.atom->range_col),
+                             ResolveRange(*outer.atom, binding_.data()),
+                             outer.range_stats, &range_scratch_[0])) {
+      // Const-only bounds (see JoinOuterWindow): the row list is the
+      // same for every shard.
+      outer_range = &range_scratch_[0];
+      limit = std::min(end, outer_range->size());
     } else {
       limit = std::min(end, static_cast<size_t>(outer_rel.NumRows()));
     }
@@ -420,8 +483,9 @@ class SubqueryRun {
       batch_rows_.clear();
       batch_keys_.clear();
       for (; pos < chunk_end; ++pos) {
-        const RowId row = outer.probe_col >= 0
-                              ? outer_bucket[pos]
+        const RowId row = outer.probe_col >= 0 ? outer_bucket[pos]
+                          : outer_range != nullptr
+                              ? (*outer_range)[pos]
                               : static_cast<RowId>(pos);
         if (!ApplyActions(outer, outer_rel.View(row))) continue;
         batch_rows_.push_back(row);
@@ -549,6 +613,9 @@ class SubqueryRun {
   std::vector<RowId> batch_rows_;
   std::vector<Value> batch_keys_;
   std::vector<storage::RowCursor> batch_cursors_;
+  // Range-probe row lists, one per plan depth (Join recurses; see
+  // BuildPlan).
+  std::vector<std::vector<RowId>> range_scratch_;
 };
 
 }  // namespace

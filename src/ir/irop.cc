@@ -37,6 +37,7 @@ std::unique_ptr<IROp> IROp::Clone() const {
   copy->rule_index = rule_index;
   copy->delta_pos = delta_pos;
   copy->delta_pinned = delta_pinned;
+  copy->range_pushdown = range_pushdown;
   copy->agg = agg;
   copy->agg_operand = agg_operand;
   copy->children.reserve(children.size());
@@ -59,6 +60,11 @@ namespace {
 
 std::string TermStr(const LocalTerm& t) {
   return t.is_var ? "l" + std::to_string(t.var) : std::to_string(t.constant);
+}
+
+std::string BoundStr(const BoundSpec& b) {
+  return b.kind == BoundSpec::Kind::kVar ? "l" + std::to_string(b.var)
+                                         : std::to_string(b.constant);
 }
 
 void Render(const IROp& op, const datalog::Program& program, int indent,
@@ -97,6 +103,20 @@ void Render(const IROp& op, const datalog::Program& program, int indent,
         out->append(TermStr(atom.terms[j]));
       }
       out->append(")");
+      if (atom.has_range()) {
+        // Only annotated atoms render bounds, so programs without
+        // pushdown print exactly as before.
+        out->append("{col" + std::to_string(atom.range_col));
+        out->append(atom.lower.present()
+                        ? (atom.lower.strict ? ">" : ">=") +
+                              BoundStr(atom.lower)
+                        : std::string());
+        out->append(atom.upper.present()
+                        ? (atom.upper.strict ? "<" : "<=") +
+                              BoundStr(atom.upper)
+                        : std::string());
+        out->append("}");
+      }
     }
   }
   out->append("\n");

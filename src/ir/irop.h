@@ -26,6 +26,19 @@ struct LocalTerm {
   static LocalTerm Const(storage::Value c) { return LocalTerm{false, -1, c}; }
 };
 
+/// One side of a pushed-down range constraint on an atom column. The
+/// bound value is either a constant or a local variable that is bound
+/// BEFORE the atom executes; `strict` distinguishes `<` from `<=`.
+struct BoundSpec {
+  enum class Kind : uint8_t { kNone, kConst, kVar };
+  Kind kind = Kind::kNone;
+  storage::Value constant = 0;
+  LocalVar var = -1;
+  bool strict = false;
+
+  bool present() const { return kind != Kind::kNone; }
+};
+
 /// One atom inside an SPJ subquery. Relational atoms carry the database
 /// they read (Derived or DeltaKnown — the semi-naive split, §II-A); builtin
 /// atoms evaluate in place; negated atoms are membership tests.
@@ -36,10 +49,23 @@ struct AtomSpec {
   bool negated = false;
   std::vector<LocalTerm> terms;
 
+  /// Range pushdown (see ir::AnnotateRangeBounds): when >= 0, column
+  /// `range_col` of this atom binds a fresh variable that downstream
+  /// comparison builtins constrain — the evaluators MAY serve the atom
+  /// through Relation::ProbeRange(range_col, lower, upper) instead of a
+  /// full scan. The comparison builtins stay in `atoms` as residual
+  /// filters, so executing the range as any superset (including a full
+  /// scan) is always correct; the annotation is purely an access-path
+  /// hint and never changes the result.
+  int32_t range_col = -1;
+  BoundSpec lower;
+  BoundSpec upper;
+
   bool is_builtin() const { return builtin != datalog::BuiltinOp::kNone; }
   bool is_relational() const { return !is_builtin(); }
   /// True for positive relational atoms — the ones the join orderer moves.
   bool is_join_atom() const { return is_relational() && !negated; }
+  bool has_range() const { return range_col >= 0; }
 };
 
 /// IR operator kinds, mirroring the paper's Fig. 4.
@@ -92,6 +118,10 @@ struct IROp {
   /// the JIT backends' compile-time replanning) honors this constraint —
   /// see optimizer::ReorderSubquery.
   bool delta_pinned = false;
+  /// Whether range pushdown was enabled when this subquery was lowered
+  /// (EngineConfig::range_pushdown). Reorderers re-annotate bounds after
+  /// permuting atoms only when set.
+  bool range_pushdown = false;
 
   // kAggregate only:
   datalog::AggFunc agg = datalog::AggFunc::kNone;

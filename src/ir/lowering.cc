@@ -1,6 +1,7 @@
 #include "ir/lowering.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <set>
 #include <utility>
@@ -116,6 +117,101 @@ std::vector<AtomSpec> ScheduleAtoms(const std::vector<AtomSpec>& join_atoms,
   // Rule validation guarantees a valid schedule exists.
   for (bool p : placed) CARAC_CHECK(p);
   return out;
+}
+
+namespace {
+
+BoundSpec MakeBound(const LocalTerm& t, bool strict) {
+  BoundSpec b;
+  b.strict = strict;
+  if (t.is_var) {
+    b.kind = BoundSpec::Kind::kVar;
+    b.var = t.var;
+  } else {
+    b.kind = BoundSpec::Kind::kConst;
+    b.constant = t.constant;
+  }
+  return b;
+}
+
+/// True when `t` can serve as a range bound for an atom executed with
+/// `bound_before` already bound: constants always, variables only when
+/// their value exists before the probed atom runs.
+bool BoundEligible(const LocalTerm& t, const std::set<LocalVar>& bound_before) {
+  return !t.is_var || bound_before.count(t.var) > 0;
+}
+
+}  // namespace
+
+void AnnotateRangeBounds(IROp* op) {
+  if (op->kind != OpKind::kSpj && op->kind != OpKind::kAggregate) return;
+  for (AtomSpec& atom : op->atoms) {
+    atom.range_col = -1;
+    atom.lower = BoundSpec{};
+    atom.upper = BoundSpec{};
+  }
+  std::set<LocalVar> bound;
+  for (AtomSpec& atom : op->atoms) {
+    if (atom.is_join_atom()) {
+      for (size_t col = 0; col < atom.terms.size() && !atom.has_range();
+           ++col) {
+        const LocalTerm& t = atom.terms[col];
+        // Only a FRESH variable's binder column can become the range: a
+        // pre-bound column is a check (and a point-probe candidate), and
+        // a repeated in-atom variable's later column is a self-join check.
+        if (!t.is_var || bound.count(t.var) > 0) continue;
+        bool first_in_atom = true;
+        for (size_t prev = 0; prev < col; ++prev) {
+          if (atom.terms[prev].is_var && atom.terms[prev].var == t.var) {
+            first_in_atom = false;
+            break;
+          }
+        }
+        if (!first_in_atom) continue;
+
+        BoundSpec lower, upper;
+        for (const AtomSpec& b : op->atoms) {
+          if (!b.is_builtin() || b.terms.size() != 2) continue;
+          const datalog::BuiltinOp bop = b.builtin;
+          if (bop != datalog::BuiltinOp::kLt &&
+              bop != datalog::BuiltinOp::kLe &&
+              bop != datalog::BuiltinOp::kGt &&
+              bop != datalog::BuiltinOp::kGe &&
+              bop != datalog::BuiltinOp::kEq) {
+            continue;
+          }
+          for (int side = 0; side < 2; ++side) {
+            const LocalTerm& mine = b.terms[side];
+            const LocalTerm& other = b.terms[1 - side];
+            if (!mine.is_var || mine.var != t.var) continue;
+            if (!BoundEligible(other, bound)) continue;
+            const bool strict = bop == datalog::BuiltinOp::kLt ||
+                                bop == datalog::BuiltinOp::kGt;
+            // v OP other, with OP as written on `side` of the builtin:
+            // side 0 keeps the operator's direction, side 1 mirrors it.
+            const bool upper_bound =
+                bop == datalog::BuiltinOp::kEq ||
+                ((bop == datalog::BuiltinOp::kLt ||
+                  bop == datalog::BuiltinOp::kLe) == (side == 0));
+            const bool lower_bound =
+                bop == datalog::BuiltinOp::kEq || !upper_bound;
+            if (upper_bound && !upper.present()) {
+              upper = MakeBound(other, strict);
+            }
+            if (lower_bound && !lower.present()) {
+              lower = MakeBound(other, strict);
+            }
+          }
+        }
+        if (lower.present() || upper.present()) {
+          atom.range_col = static_cast<int32_t>(col);
+          atom.lower = lower;
+          atom.upper = upper;
+        }
+      }
+    }
+    AtomBinds(atom, &bound);
+  }
 }
 
 namespace {
@@ -308,7 +404,7 @@ void DeclareRuleIndexes(const datalog::Program& program,
 
 util::Status Lower(datalog::Program* program,
                    const datalog::Stratification& strata, bool declare_indexes,
-                   IRProgram* out) {
+                   IRProgram* out, bool range_pushdown) {
   LoweringState state;
   state.program = program;
 
@@ -409,14 +505,26 @@ util::Status Lower(datalog::Program* program,
   }
   out->num_nodes = state.next_id;
   out->RebuildIndex();
+
+  if (range_pushdown) {
+    std::function<void(IROp*)> annotate = [&](IROp* op) {
+      if (op->kind == OpKind::kSpj || op->kind == OpKind::kAggregate) {
+        op->range_pushdown = true;
+        AnnotateRangeBounds(op);
+      }
+      for (auto& child : op->children) annotate(child.get());
+    };
+    annotate(out->root.get());
+    annotate(out->update_root.get());
+  }
   return util::Status::Ok();
 }
 
 util::Status LowerProgram(datalog::Program* program, bool declare_indexes,
-                          IRProgram* out) {
+                          IRProgram* out, bool range_pushdown) {
   datalog::Stratification strata;
   CARAC_RETURN_IF_ERROR(datalog::Stratify(*program, &strata));
-  return Lower(program, strata, declare_indexes, out);
+  return Lower(program, strata, declare_indexes, out, range_pushdown);
 }
 
 }  // namespace carac::ir

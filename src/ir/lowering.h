@@ -21,13 +21,18 @@ namespace carac::ir {
 /// relation column that carries a constant or a shared (join) variable in
 /// any rule body — the paper's one-index-per-predicate policy (§IV). Index
 /// declarations still respect DatabaseSet::SetIndexingEnabled.
+///
+/// When `range_pushdown` is true (the default, EngineConfig::range_pushdown)
+/// every SPJ/Aggregate subquery is annotated via AnnotateRangeBounds so the
+/// evaluators can serve comparison-constrained scans through
+/// Relation::ProbeRange instead of a filtered full scan.
 util::Status Lower(datalog::Program* program,
                    const datalog::Stratification& strata, bool declare_indexes,
-                   IRProgram* out);
+                   IRProgram* out, bool range_pushdown = true);
 
 /// Convenience: stratify + Lower.
 util::Status LowerProgram(datalog::Program* program, bool declare_indexes,
-                          IRProgram* out);
+                          IRProgram* out, bool range_pushdown = true);
 
 /// Interleaves non-join atoms ("floaters": builtins and negations) into a
 /// given order of join atoms, placing each floater at the earliest point
@@ -35,6 +40,19 @@ util::Status LowerProgram(datalog::Program* program, bool declare_indexes,
 /// join atoms and must then re-place the floaters.
 std::vector<AtomSpec> ScheduleAtoms(const std::vector<AtomSpec>& join_atoms,
                                     const std::vector<AtomSpec>& floaters);
+
+/// Range-pushdown annotation pass over one SPJ/Aggregate node: clears and
+/// recomputes every atom's (range_col, lower, upper) from the comparison
+/// builtins in the CURRENT atom order. A positive relational atom whose
+/// column binds a fresh variable constrained by kLt/kLe/kGt/kGe/kEq
+/// builtins — against constants or variables bound before the atom
+/// executes — gains per-side bounds (first eligible builtin per side
+/// wins; at most one range column per atom). The builtins stay in place
+/// as residual filters, so the annotation never changes results — it only
+/// licenses Relation::ProbeRange as the access path. Reorderers that
+/// permute `op->atoms` must call this again (bounds depend on what is
+/// bound before each atom); see optimizer::ReorderSubquery.
+void AnnotateRangeBounds(IROp* op);
 
 }  // namespace carac::ir
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "datalog/builtins.h"
+#include "ir/range_access.h"
 #include "util/status.h"
 
 namespace carac::ir {
@@ -134,6 +135,12 @@ class ScanSource : public RowSource {
     if (probe_col_ >= 0) {
       probe_stats_ = profiler->Slot(atom->predicate,
                                     static_cast<size_t>(probe_col_));
+    } else if (atom->has_range() &&
+               rel->HasIndex(static_cast<size_t>(atom->range_col))) {
+      // Range pushdown candidate (a point probe always wins): Reset()
+      // resolves the bounds and may serve the scan via TryRangeProbe.
+      range_stats_ = profiler->Slot(atom->predicate,
+                                    static_cast<size_t>(atom->range_col));
     }
   }
 
@@ -143,12 +150,25 @@ class ScanSource : public RowSource {
   }
 
   size_t SequenceSize(const std::vector<Value>& binding) const override {
-    if (probe_col_ < 0) return rel_->NumRows();
-    const LocalTerm& key = atom_->terms[probe_col_];
-    return rel_
-        ->Probe(static_cast<size_t>(probe_col_),
-                key.is_var ? binding[key.var] : key.constant)
-        .size();
+    if (probe_col_ >= 0) {
+      const LocalTerm& key = atom_->terms[probe_col_];
+      return rel_
+          ->Probe(static_cast<size_t>(probe_col_),
+                  key.is_var ? binding[key.var] : key.constant)
+          .size();
+    }
+    if (range_stats_ != nullptr) {
+      // Mirror Reset()'s access path (same bounds, same index state →
+      // same decision) without recording stats: the sizing pass must not
+      // double-count the probes the shard workers will take.
+      std::vector<RowId> rows;
+      if (TryRangeProbe(*rel_, static_cast<size_t>(atom_->range_col),
+                        ResolveRange(*atom_, binding.data()), nullptr,
+                        &rows)) {
+        return rows.size();
+      }
+    }
+    return rel_->NumRows();
   }
 
   void Reset(std::vector<Value>& binding) override {
@@ -161,6 +181,19 @@ class ScanSource : public RowSource {
                             key.is_var ? binding[key.var] : key.constant);
       probe_stats_->point_probes++;
       probe_stats_->point_hits += !bucket_.empty();
+      use_bucket_ = true;
+    } else if (range_stats_ != nullptr &&
+               TryRangeProbe(*rel_, static_cast<size_t>(atom_->range_col),
+                             ResolveRange(*atom_, binding.data()),
+                             range_stats_, &range_rows_)) {
+      // Declined probes fall through to the scan; the residual builtin
+      // stages behind this one keep the result identical either way.
+      bucket_ = RowCursor(range_rows_.data(), range_rows_.size());
+      use_bucket_ = true;
+    } else {
+      use_bucket_ = false;
+    }
+    if (use_bucket_) {
       bucket_limit_ = std::min(outer_end_, bucket_.size());
       bucket_pos_ = std::min(outer_begin_, bucket_limit_);
     } else {
@@ -174,7 +207,7 @@ class ScanSource : public RowSource {
   bool Next(std::vector<Value>& binding) override {
     for (;;) {
       TupleView row;
-      if (probe_col_ >= 0) {
+      if (use_bucket_) {
         if (bucket_pos_ >= bucket_limit_) return false;
         row = rel_->View(bucket_[bucket_pos_++]);
       } else {
@@ -191,6 +224,10 @@ class ScanSource : public RowSource {
   std::vector<ColAction> actions_;
   int32_t probe_col_ = -1;
   ColumnProbeStats* probe_stats_ = nullptr;  // Non-null iff probe_col_ >= 0.
+  ColumnProbeStats* range_stats_ = nullptr;  // Range candidate (see ctor).
+  std::vector<RowId> range_rows_;  // Owns the rows bucket_ wraps on the
+                                   // range path.
+  bool use_bucket_ = false;
   RowCursor bucket_;
   size_t bucket_pos_ = 0;
   size_t bucket_limit_ = 0;
@@ -272,7 +309,8 @@ class BatchedJoinSource final : public RowSource {
                     const Relation* inner_rel, const AtomSpec* inner_atom,
                     std::vector<bool>& bound, size_t window,
                     AccessProfiler* profiler)
-      : outer_rel_(outer_rel), inner_rel_(inner_rel), window_(window) {
+      : outer_rel_(outer_rel), outer_atom_(outer_atom),
+        inner_rel_(inner_rel), window_(window) {
     const std::vector<bool> bound_before_outer = bound;
     outer_actions_ = BuildColActions(*outer_atom, bound);
     outer_probe_col_ = PickProbeCol(*outer_rel, *outer_atom,
@@ -282,6 +320,11 @@ class BatchedJoinSource final : public RowSource {
       outer_probe_const_ = outer_atom->terms[outer_probe_col_].constant;
       outer_probe_stats_ = profiler->Slot(
           outer_atom->predicate, static_cast<size_t>(outer_probe_col_));
+    } else if (outer_atom->has_range() &&
+               outer_rel->HasIndex(
+                   static_cast<size_t>(outer_atom->range_col))) {
+      outer_range_stats_ = profiler->Slot(
+          outer_atom->predicate, static_cast<size_t>(outer_atom->range_col));
     }
     const std::vector<bool> bound_before_inner = bound;
     inner_actions_ = BuildColActions(*inner_atom, bound);
@@ -301,20 +344,41 @@ class BatchedJoinSource final : public RowSource {
   }
 
   size_t SequenceSize(const std::vector<Value>& binding) const override {
-    (void)binding;
-    if (outer_probe_col_ < 0) return outer_rel_->NumRows();
-    return outer_rel_
-        ->Probe(static_cast<size_t>(outer_probe_col_), outer_probe_const_)
-        .size();
+    if (outer_probe_col_ >= 0) {
+      return outer_rel_
+          ->Probe(static_cast<size_t>(outer_probe_col_), outer_probe_const_)
+          .size();
+    }
+    if (outer_range_stats_ != nullptr) {
+      // Stats-free mirror of Reset()'s decision, like ScanSource's.
+      std::vector<RowId> rows;
+      if (TryRangeProbe(*outer_rel_,
+                        static_cast<size_t>(outer_atom_->range_col),
+                        ResolveRange(*outer_atom_, binding.data()), nullptr,
+                        &rows)) {
+        return rows.size();
+      }
+    }
+    return outer_rel_->NumRows();
   }
 
-  void Reset(std::vector<Value>& /*binding*/) override {
+  void Reset(std::vector<Value>& binding) override {
+    outer_range_active_ = false;
     if (outer_probe_col_ >= 0) {
       outer_bucket_ = outer_rel_->Probe(
           static_cast<size_t>(outer_probe_col_), outer_probe_const_);
       outer_probe_stats_->point_probes++;
       outer_probe_stats_->point_hits += !outer_bucket_.empty();
       limit_ = std::min(outer_end_, outer_bucket_.size());
+    } else if (outer_range_stats_ != nullptr &&
+               TryRangeProbe(*outer_rel_,
+                             static_cast<size_t>(outer_atom_->range_col),
+                             ResolveRange(*outer_atom_, binding.data()),
+                             outer_range_stats_, &outer_range_rows_)) {
+      // Const-only bounds (nothing binds before the first atom), so every
+      // shard resolves the identical row list.
+      outer_range_active_ = true;
+      limit_ = std::min(outer_end_, outer_range_rows_.size());
     } else {
       limit_ = std::min(outer_end_,
                         static_cast<size_t>(outer_rel_->NumRows()));
@@ -358,8 +422,9 @@ class BatchedJoinSource final : public RowSource {
       batch_idx_ = 0;
       const size_t chunk_end = std::min(pos_ + window_, limit_);
       for (; pos_ < chunk_end; ++pos_) {
-        const RowId row = outer_probe_col_ >= 0
-                              ? outer_bucket_[pos_]
+        const RowId row = outer_probe_col_ >= 0 ? outer_bucket_[pos_]
+                          : outer_range_active_
+                              ? outer_range_rows_[pos_]
                               : static_cast<RowId>(pos_);
         if (!ApplyColActions(outer_actions_, outer_rel_->View(row),
                              binding)) {
@@ -383,12 +448,16 @@ class BatchedJoinSource final : public RowSource {
 
  private:
   const Relation* outer_rel_;
+  const AtomSpec* outer_atom_;
   const Relation* inner_rel_;
   std::vector<ColAction> outer_actions_;
   std::vector<ColAction> inner_actions_;
   int32_t outer_probe_col_ = -1;
   Value outer_probe_const_ = 0;
   ColumnProbeStats* outer_probe_stats_ = nullptr;
+  ColumnProbeStats* outer_range_stats_ = nullptr;
+  std::vector<RowId> outer_range_rows_;
+  bool outer_range_active_ = false;
   int32_t inner_probe_col_ = -1;
   ColumnProbeStats* inner_probe_stats_ = nullptr;
   LocalVar inner_probe_var_ = -1;

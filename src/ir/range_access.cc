@@ -1,0 +1,81 @@
+#include "ir/range_access.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "optimizer/selectivity.h"
+#include "util/status.h"
+
+namespace carac::ir {
+
+using storage::Value;
+
+bool CloseInterval(Value lo, bool lo_strict, Value hi, bool hi_strict,
+                   Value* out_lo, Value* out_hi) {
+  if (lo_strict) {
+    if (lo == std::numeric_limits<Value>::max()) return false;
+    ++lo;
+  }
+  if (hi_strict) {
+    if (hi == std::numeric_limits<Value>::min()) return false;
+    --hi;
+  }
+  if (lo > hi) return false;
+  *out_lo = lo;
+  *out_hi = hi;
+  return true;
+}
+
+ResolvedRange ResolveRange(const AtomSpec& atom, const Value* binding) {
+  const auto value_of = [&](const BoundSpec& b) {
+    return b.kind == BoundSpec::Kind::kVar ? binding[b.var] : b.constant;
+  };
+  Value lo = std::numeric_limits<Value>::min();
+  bool lo_strict = false;
+  if (atom.lower.present()) {
+    lo = value_of(atom.lower);
+    lo_strict = atom.lower.strict;
+  }
+  Value hi = std::numeric_limits<Value>::max();
+  bool hi_strict = false;
+  if (atom.upper.present()) {
+    hi = value_of(atom.upper);
+    hi_strict = atom.upper.strict;
+  }
+  ResolvedRange r;
+  r.empty = !CloseInterval(lo, lo_strict, hi, hi_strict, &r.lo, &r.hi);
+  return r;
+}
+
+bool TryRangeProbe(const storage::Relation& rel, size_t col,
+                   const ResolvedRange& range, ColumnProbeStats* stats,
+                   std::vector<storage::RowId>* rows) {
+  if (!rel.HasIndex(col)) return false;
+  // Record the demand before deciding: declined ranges on a hash column
+  // are the signal AdaptiveIndexPolicy re-kinds on.
+  if (stats != nullptr) stats->range_probes++;
+  if (range.empty) {
+    rows->clear();
+    return true;
+  }
+  if (!storage::IndexKindIsOrdered(rel.IndexKindOf(col))) return false;
+  Value key_min;
+  Value key_max;
+  if (!rel.IndexKeyBounds(col, &key_min, &key_max)) {
+    // Ordered index with no keys: the relation is empty.
+    rows->clear();
+    return true;
+  }
+  if (!optimizer::RangeProbeProfitable(range.lo, range.hi, key_min, key_max)) {
+    return false;
+  }
+  rows->clear();
+  CARAC_CHECK_OK(rel.ProbeRange(col, range.lo, range.hi, rows));
+  // ProbeRange yields ascending (key, RowId); the evaluators iterate in
+  // ascending RowId — the filter scan's order — so re-sort. This pass is
+  // the cost RangeProbeProfitable weighs against the scan.
+  std::sort(rows->begin(), rows->end());
+  return true;
+}
+
+}  // namespace carac::ir

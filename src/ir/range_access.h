@@ -1,0 +1,56 @@
+#ifndef CARAC_IR_RANGE_ACCESS_H_
+#define CARAC_IR_RANGE_ACCESS_H_
+
+#include <vector>
+
+#include "ir/exec_context.h"
+#include "ir/irop.h"
+#include "storage/relation.h"
+
+namespace carac::ir {
+
+/// A fully resolved, closed range [lo, hi] for one annotated atom (see
+/// AtomSpec::range_col). `empty` marks a contradiction (e.g. x > 5,
+/// x < 3): the atom can match nothing, whatever the index holds.
+struct ResolvedRange {
+  storage::Value lo = 0;
+  storage::Value hi = 0;
+  bool empty = false;
+};
+
+/// Turns a half-open/strict interval into the closed [lo, hi] form the
+/// indexes probe, saturating at the Value domain edges (a strict lower
+/// bound at INT64_MAX, or a strict upper bound at INT64_MIN, admits
+/// nothing). Returns false when the closed interval is empty.
+bool CloseInterval(storage::Value lo, bool lo_strict, storage::Value hi,
+                   bool hi_strict, storage::Value* out_lo,
+                   storage::Value* out_hi);
+
+/// Materializes `atom`'s annotated bounds against the current binding
+/// array (bound-variable bounds read `binding[var]`; the annotation pass
+/// guarantees those variables are bound before the atom executes).
+/// Missing sides widen to the Value domain edge.
+ResolvedRange ResolveRange(const AtomSpec& atom,
+                           const storage::Value* binding);
+
+/// Attempts to serve an annotated range through the index on `col`.
+/// Returns true with *rows holding the matching RowIds in ASCENDING
+/// RowId order — the same emission order a filtered full scan would
+/// produce, which is what keeps results byte-identical with pushdown on
+/// or off. Returns false when the caller should fall back to scan +
+/// residual filters: no index on the column, an unordered index kind,
+/// or a range too wide to beat the scan (optimizer::RangeProbeProfitable
+/// against the index's key extremes).
+///
+/// Demand recording: whenever an index exists, `stats->range_probes` is
+/// incremented even when the probe is declined — a hash-kind column that
+/// keeps attracting range demand is exactly what AdaptiveIndexPolicy
+/// re-kinds to an ordered organization. `stats` may be null (sizing
+/// passes that must not double-count).
+bool TryRangeProbe(const storage::Relation& rel, size_t col,
+                   const ResolvedRange& range, ColumnProbeStats* stats,
+                   std::vector<storage::RowId>* rows);
+
+}  // namespace carac::ir
+
+#endif  // CARAC_IR_RANGE_ACCESS_H_

@@ -113,6 +113,10 @@ bool ReorderSubquery(const StatsSnapshot& stats, const JoinOrderConfig& config,
   }
 
   std::vector<ir::AtomSpec> scheduled = ir::ScheduleAtoms(ordered, floaters);
+  // Range bounds are derived from atom order (a bound-variable bound is
+  // only usable if its variable binds BEFORE the atom), so recompute them
+  // for the new order. Excluded from the change comparison below: bounds
+  // are an access-path hint, not plan structure.
   const bool changed = [&] {
     if (scheduled.size() != op->atoms.size()) return true;
     for (size_t i = 0; i < scheduled.size(); ++i) {
@@ -134,6 +138,7 @@ bool ReorderSubquery(const StatsSnapshot& stats, const JoinOrderConfig& config,
     return false;
   }();
   op->atoms = std::move(scheduled);
+  if (op->range_pushdown) ir::AnnotateRangeBounds(op);
   return changed;
 }
 

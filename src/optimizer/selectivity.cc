@@ -40,4 +40,18 @@ bool IsConnected(const ir::AtomSpec& atom,
   return false;
 }
 
+bool RangeProbeProfitable(storage::Value lo, storage::Value hi,
+                          storage::Value key_min, storage::Value key_max) {
+  // Clamp the request to the indexed span; an empty intersection is
+  // maximally selective.
+  const storage::Value clo = lo < key_min ? key_min : lo;
+  const storage::Value chi = hi > key_max ? key_max : hi;
+  if (clo > chi) return true;
+  // Doubles avoid signed overflow on spans like [INT64_MIN, INT64_MAX].
+  const double span = static_cast<double>(chi) - static_cast<double>(clo) + 1.0;
+  const double key_span =
+      static_cast<double>(key_max) - static_cast<double>(key_min) + 1.0;
+  return span / key_span <= kRangePushdownMaxCoverage;
+}
+
 }  // namespace carac::optimizer

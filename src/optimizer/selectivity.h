@@ -47,6 +47,21 @@ int CountBoundConditions(const ir::AtomSpec& atom,
 bool IsConnected(const ir::AtomSpec& atom,
                  const std::set<ir::LocalVar>& bound);
 
+/// A range probe replaces a filtered full scan only when it is expected
+/// to skip at least half the rows. Coverage is estimated uniformly:
+/// requested span / indexed key span. Above this threshold the probe's
+/// sort-by-RowId pass (needed to preserve the determinism contract)
+/// costs more than the scan saves, so the evaluators decline and fall
+/// back to scan+filter.
+inline constexpr double kRangePushdownMaxCoverage = 0.5;
+
+/// Decides whether serving [lo, hi] through ProbeRange beats a filtered
+/// full scan, given the index's key extremes [key_min, key_max]
+/// (Relation::IndexKeyBounds). Uniform-distribution estimate — see
+/// EXPERIMENTS.md for the break-even methodology.
+bool RangeProbeProfitable(storage::Value lo, storage::Value hi,
+                          storage::Value key_min, storage::Value key_max);
+
 }  // namespace carac::optimizer
 
 #endif  // CARAC_OPTIMIZER_SELECTIVITY_H_

@@ -8,8 +8,12 @@ AccessPathProfile ProfileAccessPaths(const datalog::Program& program) {
     // Occurrence counts mirror lowering's DeclareRuleIndexes trigger so
     // the profile covers exactly the columns that will get indexes.
     std::map<datalog::VarId, int> occurrences;
-    // Variables with range / point evidence from builtins.
+    // Variables with range / point evidence from builtins. An ordering
+    // comparison (kLt..kGe) is range evidence — it lowers to a ProbeRange
+    // bound (ir::AnnotateRangeBounds); kEq pins a single key, so it is
+    // point evidence; kNe constrains nothing an index can serve.
     std::map<datalog::VarId, bool> compared;
+    std::map<datalog::VarId, bool> eq_compared;
     std::map<datalog::VarId, bool> arith_output;
     // Occurrences among relational atoms only: ≥2 means join key.
     std::map<datalog::VarId, int> relational_occurrences;
@@ -22,7 +26,9 @@ AccessPathProfile ProfileAccessPaths(const datalog::Program& program) {
           ++relational_occurrences[t.var];
         } else if (datalog::BuiltinBindsOutput(atom.builtin)) {
           if (i + 1 == atom.terms.size()) arith_output[t.var] = true;
-        } else {
+        } else if (atom.builtin == datalog::BuiltinOp::kEq) {
+          eq_compared[t.var] = true;
+        } else if (atom.builtin != datalog::BuiltinOp::kNe) {
           compared[t.var] = true;
         }
       }
@@ -34,7 +40,7 @@ AccessPathProfile ProfileAccessPaths(const datalog::Program& program) {
         if (t.is_var() && occurrences[t.var] <= 1) continue;
         ColumnAccess& access = profile.columns[{atom.predicate, col}];
         if (t.is_const() || relational_occurrences[t.var] > 1 ||
-            arith_output[t.var]) {
+            arith_output[t.var] || eq_compared[t.var]) {
           ++access.point_uses;
         }
         if (t.is_var() && compared[t.var]) ++access.range_uses;

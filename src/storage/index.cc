@@ -68,6 +68,12 @@ void IndexBase::BatchProbe(const Value* keys, size_t n,
 
 void IndexBase::Stabilize(RowId limit) { (void)limit; }
 
+bool IndexBase::KeyBounds(Value* min, Value* max) const {
+  (void)min;
+  (void)max;
+  return false;
+}
+
 // ---- SortedIndex ----
 
 util::Status SortedIndex::ProbeRange(Value lo, Value hi,
@@ -77,6 +83,13 @@ util::Status SortedIndex::ProbeRange(Value lo, Value hi,
     out->insert(out->end(), it->second.begin(), it->second.end());
   }
   return util::Status::Ok();
+}
+
+bool SortedIndex::KeyBounds(Value* min, Value* max) const {
+  if (buckets_.empty()) return false;
+  *min = buckets_.begin()->first;
+  *max = buckets_.rbegin()->first;
+  return true;
 }
 
 // ---- BtreeIndex ----
@@ -241,6 +254,18 @@ void BtreeIndex::Clear() {
   root_ = kNoNode;
 }
 
+bool BtreeIndex::KeyBounds(Value* min, Value* max) const {
+  if (root_ == kNoNode) return false;
+  uint32_t id = root_;
+  while (!nodes_[id].leaf) id = nodes_[id].children.front();
+  if (nodes_[id].keys.empty()) return false;
+  *min = nodes_[id].keys.front();
+  id = root_;
+  while (!nodes_[id].leaf) id = nodes_[id].children.back();
+  *max = nodes_[id].keys.back();
+  return true;
+}
+
 // ---- SortedArrayIndex ----
 
 RowCursor SortedArrayIndex::ProbeFast(Value value) const {
@@ -355,6 +380,9 @@ void SortedArrayIndex::Clear() {
   prefix_rows_.clear();
   stable_limit_ = 0;
   tail_.clear();
+  have_key_bounds_ = false;
+  key_lo_ = 0;
+  key_hi_ = 0;
 }
 
 // ---- LearnedIndex ----

@@ -188,6 +188,12 @@ class IndexBase {
 
   virtual void Clear() = 0;
 
+  /// Smallest and largest key currently indexed. Returns false when the
+  /// index is empty or the kind does not track key bounds (kHash). The
+  /// optimizer's range-pushdown profitability check divides the requested
+  /// [lo, hi] span by this key span to estimate coverage.
+  virtual bool KeyBounds(Value* min, Value* max) const;
+
   /// Hints that rows below `limit` are epoch-stable (will never be
   /// removed before the next Clear). kSortedArray rebuilds its immutable
   /// prefix here; other kinds ignore it. Called only at quiescent points
@@ -249,6 +255,7 @@ class SortedIndex final : public IndexBase {
   util::Status ProbeRange(Value lo, Value hi,
                           std::vector<RowId>* out) const override;
   void Clear() override { buckets_.clear(); }
+  bool KeyBounds(Value* min, Value* max) const override;
 
  private:
   std::map<Value, std::vector<RowId>> buckets_;
@@ -271,6 +278,7 @@ class BtreeIndex final : public IndexBase {
                           std::vector<RowId>* out) const override;
   void BatchProbe(const Value* keys, size_t n, RowCursor* out) const override;
   void Clear() override;
+  bool KeyBounds(Value* min, Value* max) const override;
 
  private:
   // 32 keys/node keeps a node's key array within four cache lines while
@@ -311,7 +319,12 @@ class SortedArrayIndex : public IndexBase {
   explicit SortedArrayIndex(size_t column)
       : IndexBase(column, IndexKind::kSortedArray) {}
 
-  void AddFast(RowId row, Value key) { tail_[key].push_back(row); }
+  void AddFast(RowId row, Value key) {
+    tail_[key].push_back(row);
+    if (!have_key_bounds_ || key < key_lo_) key_lo_ = key;
+    if (!have_key_bounds_ || key > key_hi_) key_hi_ = key;
+    have_key_bounds_ = true;
+  }
   RowCursor ProbeFast(Value value) const;
 
   void Add(RowId row, Value key) override { AddFast(row, key); }
@@ -320,6 +333,12 @@ class SortedArrayIndex : public IndexBase {
                           std::vector<RowId>* out) const override;
   void Clear() override;
   void Stabilize(RowId limit) override;
+  bool KeyBounds(Value* min, Value* max) const override {
+    if (!have_key_bounds_) return false;
+    *min = key_lo_;
+    *max = key_hi_;
+    return true;
+  }
 
  protected:
   /// For kLearned, which reuses the prefix+tail layout wholesale and only
@@ -332,6 +351,11 @@ class SortedArrayIndex : public IndexBase {
   RowId stable_limit_ = 0;
   /// Rows >= stable_limit_, in insertion (ascending RowId) order.
   std::unordered_map<Value, std::vector<RowId>> tail_;
+  /// Running [key_lo_, key_hi_] over everything ever Added (prefix and
+  /// tail; keys only leave at Clear, so the running extremes stay exact).
+  bool have_key_bounds_ = false;
+  Value key_lo_ = 0;
+  Value key_hi_ = 0;
 };
 
 /// kLearned: SortedArrayIndex's prefix+tail layout with a RMI/ALEX-style

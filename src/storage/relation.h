@@ -201,6 +201,13 @@ class Relation {
   util::Status ProbeRange(size_t column, Value lo, Value hi,
                           std::vector<RowId>* out) const;
 
+  /// Smallest/largest key in the index on `column` (see
+  /// IndexBase::KeyBounds). False when the index is empty or its kind
+  /// does not track key bounds. Requires HasIndex(column).
+  bool IndexKeyBounds(size_t column, Value* min, Value* max) const {
+    return indexes_[index_by_column_[column]]->KeyBounds(min, max);
+  }
+
   /// Index declarations in declaration order (snapshot serialization).
   size_t NumIndexes() const { return indexes_.size(); }
   const IndexBase& IndexAt(size_t i) const { return *indexes_[i]; }

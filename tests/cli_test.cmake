@@ -115,6 +115,21 @@ expect_cli(adaptive_run_ok 0 "Fibonacci" run fibonacci --scale=2
   --adaptive-indexes)
 expect_cli(usage_mentions_adaptive 2 "--adaptive-indexes")
 
+# --range-pushdown: strict on/off (a typo must not silently run the
+# default configuration — A/B ablations would measure the wrong thing),
+# documented in usage. Both arms must evaluate the workload correctly:
+# results are byte-identical by contract, pushdown only moves the
+# access path.
+expect_cli(range_pushdown_on 0 "Primes" run primes --scale=2
+  --range-pushdown=on)
+expect_cli(range_pushdown_off 0 "Primes" run primes --scale=2
+  --range-pushdown=off)
+expect_cli(range_pushdown_garbage 2 "invalid --range-pushdown=maybe"
+  run fibonacci --range-pushdown=maybe)
+expect_cli(range_pushdown_empty 2 "invalid --range-pushdown" run fibonacci
+  --range-pushdown=)
+expect_cli(usage_mentions_range_pushdown 2 "--range-pushdown=")
+
 # --probe-batch-window: strict integer >= 0 (0 disables batching and must
 # still evaluate correctly).
 expect_cli(probe_window_off 0 "Fibonacci" run fibonacci --scale=2
@@ -232,6 +247,49 @@ if(NOT serve_code STREQUAL "0" OR NOT serve_out MATCHES "rekind-events ")
     "count, got exit ${serve_code}:\n${serve_out}${serve_err}")
 else()
   message(STATUS "[serve_stats_adaptive] ok (exit ${serve_code})")
+endif()
+
+# serve stats surfaces range pushdown: a comparison-constrained program
+# must report which (relation, column) pairs lowering annotated and the
+# range-probe counters the evaluation recorded; with --range-pushdown=off
+# the pushdown lines must disappear (no atom is annotated) while the
+# stats report itself stays intact.
+file(WRITE "${WORK_DIR}/range.dl"
+  "Edge(1,2).\nEdge(2,3).\nEdge(3,4).\nEdge(4,5).\n"
+  "Path(x,y) :- Edge(x,y).\n"
+  "Path(x,z) :- Path(x,y), Edge(y,z), y < 4.\n")
+execute_process(
+  COMMAND "${CARAC_CLI}" serve "${WORK_DIR}/range.dl" --index-kind=btree
+  INPUT_FILE "${WORK_DIR}/serve_stats.txt"
+  OUTPUT_VARIABLE serve_out
+  ERROR_VARIABLE serve_err
+  RESULT_VARIABLE serve_code
+  TIMEOUT 60)
+if(NOT serve_code STREQUAL "0")
+  message(SEND_ERROR "[serve_stats_pushdown] expected exit 0, got "
+    "${serve_code}\n${serve_out}${serve_err}")
+endif()
+foreach(needle "pushdown Path col1 atoms=" "ranges=")
+  if(NOT serve_out MATCHES "${needle}")
+    message(SEND_ERROR "[serve_stats_pushdown] output missing "
+      "'${needle}':\n${serve_out}${serve_err}")
+  endif()
+endforeach()
+message(STATUS "[serve_stats_pushdown] ok (exit ${serve_code})")
+execute_process(
+  COMMAND "${CARAC_CLI}" serve "${WORK_DIR}/range.dl" --index-kind=btree
+          --range-pushdown=off
+  INPUT_FILE "${WORK_DIR}/serve_stats.txt"
+  OUTPUT_VARIABLE serve_out
+  ERROR_VARIABLE serve_err
+  RESULT_VARIABLE serve_code
+  TIMEOUT 60)
+if(NOT serve_code STREQUAL "0" OR serve_out MATCHES "pushdown "
+    OR NOT serve_out MATCHES "index Edge col0")
+  message(SEND_ERROR "[serve_stats_pushdown_off] expected a pushdown-free "
+    "stats report, got exit ${serve_code}:\n${serve_out}${serve_err}")
+else()
+  message(STATUS "[serve_stats_pushdown_off] ok (exit ${serve_code})")
 endif()
 
 # serve error contract: malformed input prints a diagnostic and the

@@ -102,17 +102,35 @@ struct RandomProgram {
         }
         std::vector<datalog::VarId> bound_list(bound.begin(), bound.end());
 
-        // Optional comparison between two bound variables.
-        if (!bound_list.empty() && rng.NextBool(0.3)) {
-          datalog::Atom cmp;
-          cmp.builtin = rng.NextBool(0.5) ? datalog::BuiltinOp::kLe
-                                          : datalog::BuiltinOp::kNe;
-          cmp.terms = {
-              datalog::Term::MakeVar(
-                  bound_list[rng.NextBounded(bound_list.size())]),
-              datalog::Term::MakeVar(
-                  bound_list[rng.NextBounded(bound_list.size())])};
-          rule.body.push_back(std::move(cmp));
+        // Comparison builtins: 0-2 per rule, each constraining a bound
+        // variable against a constant or another bound variable, in
+        // either direction (both `x < c` and `c < x` spellings).
+        // Random constants make redundant and contradictory pairs
+        // (x < 2, x > 9) common — exactly the interval-closing and
+        // empty-range corners range pushdown must absorb while staying
+        // model-identical to the filtered scan.
+        if (!bound_list.empty()) {
+          const int num_cmps = static_cast<int>(rng.NextBounded(3));
+          static const datalog::BuiltinOp kCmps[] = {
+              datalog::BuiltinOp::kLt, datalog::BuiltinOp::kLe,
+              datalog::BuiltinOp::kGt, datalog::BuiltinOp::kGe,
+              datalog::BuiltinOp::kEq, datalog::BuiltinOp::kNe};
+          for (int c = 0; c < num_cmps; ++c) {
+            datalog::Atom cmp;
+            cmp.builtin = kCmps[rng.NextBounded(6)];
+            const datalog::Term var_side = datalog::Term::MakeVar(
+                bound_list[rng.NextBounded(bound_list.size())]);
+            const datalog::Term other =
+                rng.NextBool(0.5)
+                    ? datalog::Term::MakeConst(
+                          static_cast<int64_t>(rng.NextBounded(kDomain)))
+                    : datalog::Term::MakeVar(
+                          bound_list[rng.NextBounded(bound_list.size())]);
+            const bool var_left = rng.NextBool(0.5);
+            cmp.terms.push_back(var_left ? var_side : other);
+            cmp.terms.push_back(var_left ? other : var_side);
+            rule.body.push_back(std::move(cmp));
+          }
         }
 
         // Optional negated EDB atom over bound variables (stratified and
@@ -335,6 +353,30 @@ TEST_P(FuzzDifferential, AllConfigurationsAgree) {
     config.aot_reorder = true;
     EXPECT_EQ(Evaluate(seed, config), reference) << "aot";
   }
+  {
+    // The filter-scan path (pushdown off) is the semantic baseline the
+    // range-probe path must reproduce; the reference above ran with
+    // pushdown on (the default).
+    core::EngineConfig config;
+    config.range_pushdown = false;
+    EXPECT_EQ(Evaluate(seed, config), reference) << "pushdown off";
+  }
+  for (storage::IndexKind kind :
+       {storage::IndexKind::kBtree, storage::IndexKind::kLearned}) {
+    // The bytecode VM's kRangeOpen instruction (and its closed-interval
+    // memo) against ordered kinds, both pushdown arms.
+    for (bool pushdown : {true, false}) {
+      core::EngineConfig config;
+      config.mode = core::EvalMode::kJit;
+      config.jit.backend = backends::BackendKind::kBytecode;
+      config.jit.granularity = core::Granularity::kUnionAll;
+      config.index_kind = kind;
+      config.range_pushdown = pushdown;
+      EXPECT_EQ(Evaluate(seed, config), reference)
+          << "bytecode " << storage::IndexKindName(kind) << " pushdown "
+          << (pushdown ? "on" : "off");
+    }
+  }
   for (backends::BackendKind backend :
        {backends::BackendKind::kLambda, backends::BackendKind::kBytecode,
         backends::BackendKind::kIRGenerator}) {
@@ -370,14 +412,18 @@ TEST_P(FuzzDifferential, AllConfigurationsAgree) {
       for (storage::IndexKind kind :
            {storage::IndexKind::kHash, storage::IndexKind::kBtree,
             storage::IndexKind::kSortedArray, storage::IndexKind::kLearned}) {
-        core::EngineConfig config;
-        config.num_threads = threads;
-        config.parallel_min_outer_rows = 1;
-        config.engine_style = style;
-        config.index_kind = kind;
-        EXPECT_EQ(Evaluate(seed, config), reference)
-            << threads << " threads, " << ir::EngineStyleName(style)
-            << " engine, " << storage::IndexKindName(kind) << " index";
+        for (bool pushdown : {true, false}) {
+          core::EngineConfig config;
+          config.num_threads = threads;
+          config.parallel_min_outer_rows = 1;
+          config.engine_style = style;
+          config.index_kind = kind;
+          config.range_pushdown = pushdown;
+          EXPECT_EQ(Evaluate(seed, config), reference)
+              << threads << " threads, " << ir::EngineStyleName(style)
+              << " engine, " << storage::IndexKindName(kind)
+              << " index, pushdown " << (pushdown ? "on" : "off");
+        }
       }
     }
   }
@@ -426,6 +472,14 @@ TEST_P(FuzzDifferential, IncrementalMatchesBatch) {
     config.aot.use_fact_cardinalities = fact_cards;
     EXPECT_EQ(EvaluateIncremental(seed, config, 3), reference)
         << (fact_cards ? "aot facts" : "aot rules-only") << " incremental";
+  }
+  // Pushdown off across epochs: incremental delta propagation must land
+  // on the same model whichever access path serves the comparisons.
+  {
+    core::EngineConfig config;
+    config.range_pushdown = false;
+    EXPECT_EQ(EvaluateIncremental(seed, config, 3), reference)
+        << "pushdown off incremental";
   }
   // Adaptive re-kinding across incremental epochs: every Update() closes
   // an epoch the policy observes, so migrations interleave with delta

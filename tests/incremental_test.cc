@@ -157,6 +157,86 @@ TEST(IncrementalGoldenTest, TcAdaptiveParallelStaysGolden) {
   }
 }
 
+// ---- Self-tuning: declined range demand re-kinds hash to ordered ----
+
+TEST(IncrementalGoldenTest, RangeDemandRekindsHashToOrdered) {
+  // A range-constrained recursion (Reach col1 is bounded by a comparison
+  // builtin, never point-probed by the full tree) forced to start on hash
+  // everywhere. Range pushdown records the demand even though the hash
+  // index declines to serve it — that declined demand is exactly the
+  // evidence the adaptive policy needs, so with the policy armed hot the
+  // column MUST migrate to an ordered kind, after which the same builtin
+  // serves through ProbeRange. Every epoch must land on the model a
+  // from-scratch run over the union of the facts produces.
+  const auto edges = analysis::GenerateSparseGraph(
+      /*seed=*/7, /*num_vertices=*/150, /*num_edges=*/450, /*zipf_s=*/1.1);
+  auto build = [](datalog::Program* program, datalog::PredicateId* edge_id) {
+    Dsl dsl(program);
+    auto edge = dsl.Relation("Edge", 2);
+    auto reach = dsl.Relation("Reach", 2);
+    auto [x, y, z] = dsl.Vars<3>();
+    reach(x, y) <<= edge(x, y);
+    reach(x, z) <<= reach(x, y) & edge(y, z) & dsl.Lt(y, 60);
+    *edge_id = edge.id();
+    return reach.id();
+  };
+
+  // Reference: a default-config from-scratch run over all the facts.
+  Program ref_program;
+  datalog::PredicateId ref_edge;
+  const datalog::PredicateId ref_reach = build(&ref_program, &ref_edge);
+  core::Engine ref(&ref_program, core::EngineConfig{});
+  CARAC_CHECK_OK(ref.Prepare());
+  std::vector<Tuple> all_facts;
+  for (const auto& e : edges) all_facts.push_back({e.first, e.second});
+  CARAC_CHECK_OK(ref.AddFacts(ref_edge, all_facts));
+  CARAC_CHECK_OK(ref.Run());
+  const std::string expected = Render(ref.Results(ref_reach));
+
+  core::EngineConfig config;
+  config.index_kind = storage::IndexKind::kHash;
+  config.adaptive_indexes = true;
+  config.adaptive.min_probes = 1;
+  config.adaptive.hysteresis_epochs = 1;
+  config.adaptive.cooldown_epochs = 0;
+  Program program;
+  datalog::PredicateId edge_id;
+  const datalog::PredicateId reach_id = build(&program, &edge_id);
+  core::Engine engine(&program, config);
+  CARAC_CHECK_OK(engine.Prepare());
+
+  constexpr size_t kBatches = 3;
+  const size_t delta = edges.size() / 50;
+  const size_t initial = edges.size() - delta * (kBatches - 1);
+  std::vector<Tuple> head(all_facts.begin(),
+                          all_facts.begin() + static_cast<ptrdiff_t>(initial));
+  CARAC_CHECK_OK(engine.AddFacts(edge_id, head));
+  CARAC_CHECK_OK(engine.Run());
+  for (size_t b = 1; b < kBatches; ++b) {
+    std::vector<Tuple> batch(
+        all_facts.begin() + static_cast<ptrdiff_t>(initial + (b - 1) * delta),
+        all_facts.begin() + static_cast<ptrdiff_t>(initial + b * delta));
+    CARAC_CHECK_OK(engine.AddFacts(edge_id, batch));
+    CARAC_CHECK_OK(engine.Update());
+  }
+  EXPECT_EQ(Render(engine.Results(reach_id)), expected);
+
+  ASSERT_NE(engine.adaptive_policy(), nullptr);
+  const auto& events = engine.adaptive_policy()->events();
+  ASSERT_FALSE(events.empty());
+  bool reach_went_ordered = false;
+  for (const optimizer::RekindEvent& event : events) {
+    if (event.relation == reach_id && event.column == 1 &&
+        storage::IndexKindIsOrdered(event.to)) {
+      reach_went_ordered = true;
+      // Migration must not be a last-epoch fluke: later epochs run (and
+      // stay correct) with the ordered kind actually serving the range.
+      EXPECT_LT(event.epoch, kBatches);
+    }
+  }
+  EXPECT_TRUE(reach_went_ordered);
+}
+
 TEST(IncrementalGoldenTest, TcAdaptiveDefaultKnobsStayGolden) {
   // Production knobs (256-probe gate, 2-epoch hysteresis + cooldown):
   // whether or not any migration clears the gate on this small workload,

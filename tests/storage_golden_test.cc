@@ -19,6 +19,7 @@
 #include "analysis/factgen.h"
 #include "analysis/programs.h"
 #include "core/engine.h"
+#include "datalog/dsl.h"
 #include "harness/runner.h"
 #include "storage/index.h"
 
@@ -42,6 +43,32 @@ analysis::Workload MakeAndersenWorkload() {
   analysis::SListConfig config;
   config.scale = 2;
   return analysis::MakeAndersen(config, analysis::RuleOrder::kHandOptimized);
+}
+
+analysis::Workload MakeBoundedReachWorkload() {
+  // Bounded reachability: the recursion's frontier column carries a
+  // lower AND an upper comparison bound, so every evaluation path runs
+  // its range-probe access path (or, with pushdown off / hash kinds,
+  // the residual filtered scan) on every fixpoint iteration. The golden
+  // pins that both paths emit byte-identical rows.
+  const auto edges = analysis::GenerateSparseGraph(
+      /*seed=*/23, /*num_vertices=*/250, /*num_edges=*/800, /*zipf_s=*/1.1);
+  analysis::Workload w;
+  w.name = "BoundedReach";
+  w.program = std::make_unique<datalog::Program>();
+  datalog::Dsl dsl(w.program.get());
+  auto edge = dsl.Relation("Edge", 2);
+  auto reach = dsl.Relation("Reach", 2);
+  auto [x, y, z] = dsl.Vars<3>();
+  reach(x, y) <<= edge(x, y);
+  reach(x, z) <<= reach(x, y) & edge(y, z) & dsl.Ge(y, 20) & dsl.Lt(y, 200);
+  w.output = reach.id();
+  w.relations["Edge"] = edge.id();
+  w.relations["Reach"] = reach.id();
+  for (const auto& e : edges) {
+    w.program->AddFact(edge.id(), {e.first, e.second});
+  }
+  return w;
 }
 
 /// One line per tuple, tab-separated raw values, trailing newline.
@@ -113,14 +140,18 @@ TEST(StorageGoldenTest, AndersenAllBackends) {
   CheckAgainstGolden("andersen", MakeAndersenWorkload);
 }
 
+TEST(StorageGoldenTest, BoundedReachAllBackends) {
+  CheckAgainstGolden("range", MakeBoundedReachWorkload);
+}
+
 // Every index organization must reproduce the committed goldens exactly:
 // probe results come back in ascending RowId order regardless of how the
 // index stores its postings, so the insertion sequence — and therefore
 // the rendered output — cannot move when the index kind does.
-void CheckGoldenUnderKind(const std::string& golden_name,
-                          const WorkloadFn& make, storage::IndexKind kind) {
-  core::EngineConfig config = harness::InterpretedConfig(true);
-  config.index_kind = kind;
+void CheckGoldenUnderConfig(const std::string& golden_name,
+                            const WorkloadFn& make,
+                            const core::EngineConfig& config,
+                            const std::string& label) {
   const std::string got = RunBackend(make, config);
 
   const std::string path =
@@ -129,8 +160,15 @@ void CheckGoldenUnderKind(const std::string& golden_name,
   ASSERT_TRUE(in.good()) << "missing golden " << path;
   std::stringstream contents;
   contents << in.rdbuf();
-  EXPECT_EQ(contents.str(), got)
-      << golden_name << " under " << storage::IndexKindName(kind);
+  EXPECT_EQ(contents.str(), got) << golden_name << " under " << label;
+}
+
+void CheckGoldenUnderKind(const std::string& golden_name,
+                          const WorkloadFn& make, storage::IndexKind kind) {
+  core::EngineConfig config = harness::InterpretedConfig(true);
+  config.index_kind = kind;
+  CheckGoldenUnderConfig(golden_name, make, config,
+                         storage::IndexKindName(kind));
 }
 
 class StorageGoldenKindTest
@@ -144,11 +182,49 @@ TEST_P(StorageGoldenKindTest, AndersenMatchesGolden) {
   CheckGoldenUnderKind("andersen", MakeAndersenWorkload, GetParam());
 }
 
+TEST_P(StorageGoldenKindTest, BoundedReachMatchesGolden) {
+  CheckGoldenUnderKind("range", MakeBoundedReachWorkload, GetParam());
+}
+
+// Pushdown on vs off must not move a byte, per kind: ordered kinds
+// actually take the ProbeRange path when on, hash kinds decline — both
+// must render exactly the committed golden.
+TEST_P(StorageGoldenKindTest, BoundedReachPushdownOffMatchesGolden) {
+  core::EngineConfig config = harness::InterpretedConfig(true);
+  config.index_kind = GetParam();
+  config.range_pushdown = false;
+  CheckGoldenUnderConfig(
+      "range", MakeBoundedReachWorkload, config,
+      std::string(storage::IndexKindName(GetParam())) + " pushdown-off");
+}
+
+// The pull engine and the sharded parallel path serve the same bounds
+// through their own range cursors; the golden must not move there
+// either, at any thread count.
+TEST(StorageGoldenTest, BoundedReachPullMatchesGolden) {
+  core::EngineConfig config = harness::InterpretedConfig(true);
+  config.engine_style = ir::EngineStyle::kPull;
+  config.index_kind = storage::IndexKind::kBtree;
+  CheckGoldenUnderConfig("range", MakeBoundedReachWorkload, config, "pull");
+}
+
+TEST(StorageGoldenTest, BoundedReachParallelMatchesGolden) {
+  for (int threads : {2, 4}) {
+    core::EngineConfig config = harness::InterpretedConfig(true);
+    config.num_threads = threads;
+    config.parallel_min_outer_rows = 1;
+    config.index_kind = storage::IndexKind::kBtree;
+    CheckGoldenUnderConfig("range", MakeBoundedReachWorkload, config,
+                           std::to_string(threads) + " threads");
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Kinds, StorageGoldenKindTest,
     ::testing::Values(storage::IndexKind::kHash, storage::IndexKind::kSorted,
                       storage::IndexKind::kBtree,
-                      storage::IndexKind::kSortedArray),
+                      storage::IndexKind::kSortedArray,
+                      storage::IndexKind::kLearned),
     [](const ::testing::TestParamInfo<storage::IndexKind>& info) {
       std::string name = storage::IndexKindName(info.param);
       for (char& c : name) {

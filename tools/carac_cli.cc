@@ -27,6 +27,10 @@
 //                          column's runtime access mix and migrate its
 //                          organization at epoch close when the evidence
 //                          says another kind wins (results unchanged)
+//   --range-pushdown=V     on | off — serve comparison-constrained scans
+//                          through index range probes where profitable
+//                          (default on; off forces the filtered-scan
+//                          path, results byte-identical either way)
 //   --probe-batch-window=N outer rows per batched index probe
 //                          (default 64; 0 = tuple-at-a-time probes)
 //   --pull                 pull-based relational engine (default: push)
@@ -132,6 +136,10 @@ struct Options {
   // "invalid" (diagnostic + exit 2, same contract as --scale).
   bool index_kind_invalid = false;
   std::string index_kind_arg;
+  // Raw --range-pushdown value; the bool marks "invalid" (diagnostic +
+  // exit 2, same contract as --index-kind).
+  bool range_pushdown_invalid = false;
+  std::string range_pushdown_arg;
   int64_t probe_batch_window = 64;
   std::string probe_batch_window_arg;
   bool snapshot_dir_empty = false;  // --snapshot-dir= with no path.
@@ -164,7 +172,8 @@ int Usage() {
                "--index-kind={%s,auto} and\n"
                "--probe-batch-window=N (index organization / batched\n"
                "probe window), --adaptive-indexes (self-tuning index\n"
-               "organization) and\n"
+               "organization), --range-pushdown={on,off} (comparison\n"
+               "builtins as index range probes) and\n"
                "--snapshot-dir=DIR / --checkpoint-every=N (durable state:\n"
                "serve gains save/open commands and crash recovery);\n"
                "see the header of tools/carac_cli.cc for the full list\n",
@@ -237,6 +246,17 @@ bool ParseFlag(const std::string& arg, Options* opts) {
     }
   } else if (arg == "--adaptive-indexes") {
     opts->config.adaptive_indexes = true;
+  } else if (const char* r = value_of("--range-pushdown=")) {
+    opts->range_pushdown_arg = r;
+    // Strict like --index-kind: a typo must not silently run with the
+    // default (A/B ablations would measure the wrong configuration).
+    if (opts->range_pushdown_arg == "on") {
+      opts->config.range_pushdown = true;
+    } else if (opts->range_pushdown_arg == "off") {
+      opts->config.range_pushdown = false;
+    } else {
+      opts->range_pushdown_invalid = true;
+    }
   } else if (arg == "--pull") {
     opts->config.engine_style = ir::EngineStyle::kPull;
   } else if (arg == "--aot" || arg == "--aot=facts") {
@@ -540,6 +560,11 @@ int main(int argc, char** argv) {
                  "invalid --index-kind=%s: expected one of %s, or auto\n",
                  opts.index_kind_arg.c_str(),
                  storage::IndexKindNameList().c_str());
+    return 2;
+  }
+  if (opts.range_pushdown_invalid) {
+    std::fprintf(stderr, "invalid --range-pushdown=%s: expected on or off\n",
+                 opts.range_pushdown_arg.c_str());
     return 2;
   }
   if (opts.probe_batch_window < 0) {
